@@ -1,0 +1,189 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one bench per artefact, DESIGN.md §4), plus end-to-end
+// pipeline benches. Reduced workloads keep `go test -bench=.` in the
+// minutes range; `cmd/emap-exp` runs the full-size versions.
+package emap_test
+
+import (
+	"testing"
+
+	"emap"
+	"emap/internal/experiments"
+)
+
+// benchEnv is the shared reduced environment for figure benches.
+func benchEnv() experiments.EnvConfig {
+	return experiments.EnvConfig{Archetypes: 4, Instances: 2}
+}
+
+// BenchmarkFig2 regenerates the motivational P_A trajectory (paper
+// Fig. 2: 0.22 → 0.66 over five tracking iterations).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2(experiments.Fig2Opts{Env: benchEnv()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.LastPA() < r.FirstPA() {
+			b.Fatalf("P_A fell: %.2f -> %.2f", r.FirstPA(), r.LastPA())
+		}
+	}
+}
+
+// BenchmarkFig4Upload regenerates the Fig. 4a upload-time curves.
+func BenchmarkFig4Upload(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(experiments.Fig4Opts{})
+		if len(r.UploadMicros) != 6 {
+			b.Fatal("platform count")
+		}
+	}
+}
+
+// BenchmarkFig4Download regenerates the Fig. 4b download-time curves.
+func BenchmarkFig4Download(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig4(experiments.Fig4Opts{})
+		if len(r.DownloadMillis) != 6 {
+			b.Fatal("platform count")
+		}
+	}
+}
+
+// BenchmarkFig7aAlphaSweep regenerates the step-size sweep (paper
+// Fig. 7a: quality saturates at α = 0.004).
+func BenchmarkFig7aAlphaSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7a(experiments.Fig7Opts{
+			Env: benchEnv(), Inputs: 2,
+			Alphas: []float64{0.002, 0.004, 0.01},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7bExploration regenerates the exhaustive-vs-Algorithm-1
+// comparison (paper Fig. 7b: ≈6.8× reduction).
+func BenchmarkFig7bExploration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig7b(experiments.Fig7Opts{
+			Env: benchEnv(), Inputs: 2, Sizes: []int{250, 500},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.MeanSpeedup() < 2 {
+			b.Fatalf("speedup %.1f×", r.MeanSpeedup())
+		}
+	}
+}
+
+// BenchmarkFig8aThresholds regenerates the δ vs δ_A equivalence sweep
+// (paper Fig. 8a: δ_A ≈ 900 ↔ δ = 0.8).
+func BenchmarkFig8aThresholds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8a(experiments.Fig8Opts{
+			Env: benchEnv(), MaxSets: 200,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8bTracking regenerates the area-vs-correlation tracking
+// cost comparison (paper Fig. 8b: ≈4.3× reduction).
+func BenchmarkFig8bTracking(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8b(experiments.Fig8Opts{
+			Env: benchEnv(), TrackCounts: []int{50, 100}, Repeats: 5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Timeline regenerates the timing analysis (paper Fig. 9:
+// Δ_initial ≈ 3 s, sub-second iterations, periodic cloud calls).
+func BenchmarkFig9Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig9(experiments.Fig9Opts{Env: benchEnv(), Seconds: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.InitialOverhead <= 0 {
+			b.Fatal("no initial overhead")
+		}
+	}
+}
+
+// BenchmarkFig10Seizure regenerates the lead-time accuracy analysis
+// (paper Fig. 10: EMAP ≈ 94% vs SoA [13] ≈ 93%).
+func BenchmarkFig10Seizure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(experiments.Fig10Opts{
+			Env: benchEnv(), Batches: 1, PerBatch: 4,
+			Leads: []int{15, 60}, WindowsPerInput: 12,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Fidelity regenerates the retrieval-fidelity comparison
+// (paper Fig. 11: Algorithm 1 ≈ exhaustive).
+func BenchmarkFig11Fidelity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(experiments.Fig11Opts{
+			Env: benchEnv(), InputsPerClass: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI regenerates the multi-anomaly accuracy table (paper
+// Table I: seizure ≈ 0.94, encephalopathy ≈ 0.73, stroke ≈ 0.79).
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(experiments.Table1Opts{
+			Env: benchEnv(), Batches: 1, PerBatch: 4,
+			WindowsPerInput: 12, NormalInputs: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEndToEndSession measures one full monitoring second through
+// the public API (acquire → search/track → predict).
+func BenchmarkEndToEndSession(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := gen.SeizureInput(0, 30, 15)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := emap.NewSession(store, emap.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Process(input, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMDBConstruction measures the full corpus-to-store pipeline.
+func BenchmarkMDBConstruction(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	recs := gen.TrainingRecordings(2, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := emap.BuildMDB(recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

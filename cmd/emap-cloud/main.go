@@ -1,0 +1,67 @@
+// Command emap-cloud runs the cloud tier: it hosts a mega-database and
+// answers edge uploads with signal correlation sets over TCP.
+//
+// Usage:
+//
+//	emap-cloud [-addr :7300] [-mdb mdb.snap] [-per 8] [-seed 2020]
+//
+// With -mdb pointing at a snapshot written by emap-mdb, the store is
+// loaded from disk; otherwise a synthetic store is built at startup.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"emap"
+	"emap/internal/cloud"
+	"emap/internal/mdb"
+)
+
+func main() {
+	addr := flag.String("addr", ":7300", "listen address")
+	snapshot := flag.String("mdb", "", "mega-database snapshot path (empty: build synthetic)")
+	per := flag.Int("per", 8, "recordings per corpus when building synthetically")
+	seed := flag.Uint64("seed", 2020, "generator seed when building synthetically")
+	horizon := flag.Float64("horizon", 8, "continuation horizon per match [s]")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
+
+	var store *emap.Store
+	var err error
+	if *snapshot != "" {
+		store, err = mdb.LoadFile(*snapshot)
+		if err != nil {
+			logger.Fatalf("loading %s: %v", *snapshot, err)
+		}
+		logger.Printf("loaded %s", *snapshot)
+	} else {
+		logger.Printf("building synthetic mega-database (seed %d, %d per corpus)…", *seed, *per)
+		store, err = emap.BuildMDBFromCorpora(emap.NewGenerator(*seed), *per)
+		if err != nil {
+			logger.Fatalf("building store: %v", err)
+		}
+	}
+	normal, anomalous := store.LabelCounts()
+	logger.Printf("serving %d signal-sets (%d normal / %d anomalous)", store.NumSets(), normal, anomalous)
+
+	srv, err := cloud.NewServer(store, cloud.Config{
+		HorizonSeconds: *horizon,
+		Logger:         logger,
+	})
+	if err != nil {
+		logger.Fatal(err)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("emap-cloud listening on %s\n", l.Addr())
+	if err := srv.Serve(l); err != nil {
+		logger.Fatal(err)
+	}
+}

@@ -1,0 +1,89 @@
+// Command emap-edge runs the edge tier: it streams a synthetic EEG
+// recording through the acquisition pipeline, uploads one-second
+// windows to a running emap-cloud, tracks the returned correlation
+// sets locally, and prints per-second anomaly probabilities.
+//
+// Usage:
+//
+//	emap-edge [-addr localhost:7300] [-class seizure] [-lead 30]
+//	          [-seconds 30] [-seed 2020] [-arch 0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"emap"
+	"emap/internal/edge"
+	"emap/internal/synth"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:7300", "cloud address")
+	className := flag.String("class", "seizure", "input class: normal|seizure|encephalopathy|stroke")
+	lead := flag.Float64("lead", 30, "seizure inputs: seconds before onset")
+	seconds := flag.Float64("seconds", 30, "input duration")
+	seed := flag.Uint64("seed", 2020, "generator seed (match the cloud's for retrievable inputs)")
+	arch := flag.Int("arch", 0, "input archetype index")
+	realtime := flag.Bool("realtime", false, "pace the stream at one window per second")
+	flag.Parse()
+
+	var class emap.Class
+	found := false
+	for _, c := range synth.Classes {
+		if c.String() == *className {
+			class, found = c, true
+		}
+	}
+	if !found {
+		log.Fatalf("emap-edge: unknown class %q", *className)
+	}
+
+	gen := emap.NewGenerator(*seed)
+	var input *emap.Recording
+	if class == emap.Seizure {
+		input = gen.SeizureInput(*arch, *lead, *seconds)
+	} else {
+		input = gen.Instance(class, *arch, emap.InstanceOpts{
+			OffsetSamples: 3000, DurSeconds: *seconds})
+	}
+
+	client, err := edge.Dial(*addr, 5*time.Second)
+	if err != nil {
+		log.Fatalf("emap-edge: %v", err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		log.Fatalf("emap-edge: cloud not responding: %v", err)
+	}
+
+	dev, err := edge.NewDevice(client, edge.Config{})
+	if err != nil {
+		log.Fatalf("emap-edge: %v", err)
+	}
+
+	fmt.Printf("streaming %s (%s, %.0f s) to %s\n", input.ID, class, *seconds, *addr)
+	for k := 0; k+256 <= len(input.Samples); k += 256 {
+		st, err := dev.PushSecond(input.Samples[k : k+256])
+		if err != nil {
+			log.Fatalf("emap-edge: slot %d: %v", st.Window, err)
+		}
+		marker := ""
+		if st.CloudCalled {
+			marker = "  [cloud call]"
+		}
+		if st.Tracking {
+			fmt.Printf("t=%3ds  P_A=%.2f  tracking %3d signals  anomalous=%v%s\n",
+				st.Window, st.PA, st.Remaining, st.Anomalous, marker)
+		} else {
+			fmt.Printf("t=%3ds  (acquiring)%s\n", st.Window, marker)
+		}
+		if *realtime {
+			time.Sleep(time.Second)
+		}
+	}
+	fmt.Printf("final decision: anomalous=%v (peak smoothed P_A %.2f)\n",
+		dev.Predictor().Anomalous(), dev.Predictor().PeakSmoothed())
+}

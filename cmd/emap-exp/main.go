@@ -1,0 +1,176 @@
+// Command emap-exp regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	emap-exp [-quick] [experiment ...]
+//
+// Experiments: fig2 fig4 fig7a fig7b fig8a fig8b fig9 fig10 fig11
+// table1, or "all" (the default). -quick shrinks workloads for smoke
+// runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"emap/internal/experiments"
+)
+
+var quick = flag.Bool("quick", false, "use small workloads (smoke run)")
+
+func env() experiments.EnvConfig {
+	if *quick {
+		return experiments.QuickEnv()
+	}
+	return experiments.EnvConfig{}
+}
+
+type runner func() error
+
+func runners() map[string]runner {
+	out := os.Stdout
+	return map[string]runner{
+		"fig2": func() error {
+			r, err := experiments.Fig2(experiments.Fig2Opts{Env: env()})
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"fig4": func() error {
+			r := experiments.Fig4(experiments.Fig4Opts{})
+			if err := r.UploadTable().Render(out); err != nil {
+				return err
+			}
+			return r.DownloadTable().Render(out)
+		},
+		"fig7a": func() error {
+			opts := experiments.Fig7Opts{Env: env()}
+			if *quick {
+				opts.Inputs = 2
+			}
+			r, err := experiments.Fig7a(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"fig7b": func() error {
+			opts := experiments.Fig7Opts{Env: env()}
+			if *quick {
+				opts.Inputs = 2
+				opts.Sizes = []int{200, 400}
+			}
+			r, err := experiments.Fig7b(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"fig8a": func() error {
+			opts := experiments.Fig8Opts{Env: env()}
+			if *quick {
+				opts.MaxSets = 150
+			}
+			r, err := experiments.Fig8a(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"fig8b": func() error {
+			opts := experiments.Fig8Opts{Env: env()}
+			if *quick {
+				opts.TrackCounts = []int{20, 50}
+				opts.Repeats = 5
+			}
+			r, err := experiments.Fig8b(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"fig9": func() error {
+			r, err := experiments.Fig9(experiments.Fig9Opts{Env: env()})
+			if err != nil {
+				return err
+			}
+			if err := r.Table().Render(out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "timeline (first cloud call and first iterations):")
+			listing := r.TimelineListing
+			if len(listing) > 2500 {
+				listing = listing[:2500] + "…\n"
+			}
+			fmt.Fprint(out, listing)
+			return nil
+		},
+		"fig10": func() error {
+			opts := experiments.Fig10Opts{Env: env()}
+			if *quick {
+				opts.Batches, opts.PerBatch, opts.WindowsPerInput = 2, 4, 12
+				opts.Leads = []int{15, 45}
+			}
+			r, err := experiments.Fig10(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"fig11": func() error {
+			opts := experiments.Fig11Opts{Env: env()}
+			if *quick {
+				opts.InputsPerClass = 5
+			}
+			r, err := experiments.Fig11(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+		"table1": func() error {
+			opts := experiments.Table1Opts{Env: env()}
+			if *quick {
+				opts.Batches, opts.PerBatch = 2, 4
+				opts.WindowsPerInput, opts.NormalInputs = 12, 8
+			}
+			r, err := experiments.Table1(opts)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(out)
+		},
+	}
+}
+
+// order lists experiments in paper order for "all".
+var order = []string{"fig2", "fig4", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "fig11", "table1"}
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: emap-exp [-quick] [experiment ...]\nexperiments: %v or all\n", order)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = order
+	}
+	rs := runners()
+	for _, name := range names {
+		run, ok := rs[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "emap-exp: unknown experiment %q (have %v)\n", name, order)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := run(); err != nil {
+			fmt.Fprintf(os.Stderr, "emap-exp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

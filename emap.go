@@ -1,0 +1,192 @@
+// Package emap is the public API of the EMAP reproduction: a
+// cloud-edge hybrid framework for EEG monitoring and cross-correlation
+// based real-time anomaly prediction (Prabakaran et al., DAC 2020).
+//
+// The framework runs in three stages (paper Fig. 3):
+//
+//  1. Signal Acquisition — sample EEG at 256 Hz, bandpass 11–40 Hz with
+//     a 100-tap FIR, transmit one-second windows;
+//  2. Cloud Search — cross-correlate the window against every labelled
+//     signal-set in a mega-database with an exponential sliding window
+//     (Algorithm 1) and return the top-100 matches;
+//  3. Edge Tracking — follow the matches against subsequent windows
+//     with the cheap area-between-curves similarity (Algorithm 2),
+//     estimate the anomaly probability P_A = N(AS)/N(F), and predict.
+//
+// # Quick start
+//
+//	gen := emap.NewGenerator(42)
+//	store, _ := emap.BuildMDB(gen.TrainingRecordings(4, 2))
+//	sess, _ := emap.NewSession(store, emap.Config{})
+//	input := gen.SeizureInput(0, 30, 25) // 30 s before onset
+//	report, _ := sess.Process(input, 0)
+//	fmt.Println(report.Decision, report.PATrace)
+//
+// Everything underneath — the EEG synthesiser that substitutes the
+// paper's public corpora, the document store that substitutes MongoDB,
+// the link models, the wire protocol and the experiment drivers — lives
+// in internal/ packages; this package re-exports the surface a
+// downstream user needs. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured results.
+package emap
+
+import (
+	"emap/internal/core"
+	"emap/internal/dataset"
+	"emap/internal/mdb"
+	"emap/internal/netsim"
+	"emap/internal/search"
+	"emap/internal/synth"
+	"emap/internal/track"
+)
+
+// Re-exported core types. The aliases keep one canonical definition in
+// the internal packages while giving users a single import.
+type (
+	// Class is a recording's clinical label.
+	Class = synth.Class
+	// Recording is a single-channel EEG recording in µV.
+	Recording = synth.Recording
+	// Store is the mega-database of labelled signal-sets.
+	Store = mdb.Store
+	// BuildConfig parameterises MDB construction.
+	BuildConfig = mdb.BuildConfig
+	// Config assembles the framework's parameters.
+	Config = core.Config
+	// Session is one monitoring run over a recording.
+	Session = core.Session
+	// Report is a session's outcome.
+	Report = core.Report
+	// SearchParams configures the cloud search (Algorithm 1).
+	SearchParams = search.Params
+	// SearchResult is a cloud search outcome.
+	SearchResult = search.Result
+	// TrackParams configures edge tracking (Algorithm 2).
+	TrackParams = track.Params
+	// PredictorParams configures the anomaly decision rule.
+	PredictorParams = track.PredictorParams
+	// Link models a communication platform.
+	Link = netsim.Link
+	// Corpus is an emulated public EEG corpus.
+	Corpus = dataset.Corpus
+	// GeneratorConfig parameterises the EEG synthesiser.
+	GeneratorConfig = synth.Config
+	// InstanceOpts controls drawing a recording from an archetype.
+	InstanceOpts = synth.InstanceOpts
+)
+
+// The four signal classes.
+const (
+	Normal         = synth.Normal
+	Seizure        = synth.Seizure
+	Encephalopathy = synth.Encephalopathy
+	Stroke         = synth.Stroke
+)
+
+// BaseRate is the framework's sampling frequency in Hz.
+const BaseRate = synth.BaseRate
+
+// Generator produces deterministic synthetic EEG — the substitute for
+// the paper's five public corpora. It wraps synth.Generator with
+// workload helpers.
+type Generator struct {
+	*synth.Generator
+}
+
+// NewGenerator returns a generator with paper-default morphology
+// parameters, fully determined by seed.
+func NewGenerator(seed uint64) *Generator {
+	return &Generator{synth.NewGenerator(synth.Config{Seed: seed})}
+}
+
+// NewGeneratorConfig exposes the full synthesiser configuration.
+func NewGeneratorConfig(cfg GeneratorConfig) *Generator {
+	return &Generator{synth.NewGenerator(cfg)}
+}
+
+// TrainingRecordings draws a database population: instancesPerClass
+// recordings per anomaly class (and three times as many normal
+// recordings, mirroring the normal-dominated mix of public corpora)
+// for each of the given archetype indexes, with crops spread across
+// each canonical recording.
+func (g *Generator) TrainingRecordings(archetypes, instancesPerClass int) []*Recording {
+	if archetypes <= 0 {
+		archetypes = g.Archetypes()
+	}
+	var recs []*Recording
+	for _, class := range synth.Classes {
+		n := instancesPerClass
+		if class == Normal {
+			n *= 3
+		}
+		for arch := 0; arch < archetypes; arch++ {
+			for i := 0; i < n; i++ {
+				var rec *Recording
+				if class == Seizure {
+					off := synth.PreictalAt * 256
+					if n > 1 {
+						off += i * (synth.SeizureDur - synth.PreictalAt - 120) * 256 / (n - 1)
+					}
+					rec = g.Instance(class, arch, synth.InstanceOpts{
+						OffsetSamples: off, DurSeconds: 120})
+				} else {
+					off := 0
+					if n > 1 {
+						off = i * (synth.NormalDur - 90) * 256 / (n - 1)
+					}
+					rec = g.Instance(class, arch, synth.InstanceOpts{
+						OffsetSamples: off, DurSeconds: 90})
+				}
+				recs = append(recs, rec)
+			}
+		}
+	}
+	return recs
+}
+
+// BuildMDB constructs a mega-database from raw recordings using the
+// paper's pipeline: resample to 256 Hz, bandpass 11–40 Hz, slice into
+// 1000-sample signal-sets, label.
+func BuildMDB(recs []*Recording) (*Store, error) {
+	return mdb.Build(recs, mdb.DefaultBuildConfig())
+}
+
+// BuildMDBWithConfig constructs a mega-database with explicit
+// construction parameters.
+func BuildMDBWithConfig(recs []*Recording, cfg BuildConfig) (*Store, error) {
+	return mdb.Build(recs, cfg)
+}
+
+// BuildMDBFromCorpora emulates the paper's construction: draw
+// perCorpus recordings from each of the five emulated public corpora
+// (PhysioNet, TUH, UCI, BNCI, Zwoliński) at their native rates and
+// normalise them into one store.
+func BuildMDBFromCorpora(g *Generator, perCorpus int) (*Store, error) {
+	var recs []*Recording
+	for _, c := range dataset.Standard() {
+		recs = append(recs, c.Generate(g.Generator, perCorpus)...)
+	}
+	return BuildMDB(recs)
+}
+
+// Corpora returns the five emulated public corpora.
+func Corpora() []*Corpus { return dataset.Standard() }
+
+// NewSession prepares a monitoring session over a mega-database.
+// Zero-valued Config fields take the paper's defaults.
+func NewSession(store *Store, cfg Config) (*Session, error) {
+	return core.NewSession(store, cfg)
+}
+
+// NewSearcher returns a standalone cloud searcher (Algorithm 1 plus
+// the exhaustive baseline) over a store.
+func NewSearcher(store *Store, params SearchParams) *search.Searcher {
+	return search.NewSearcher(store, params)
+}
+
+// Platforms returns the six Fig. 4 communication platforms.
+func Platforms() []Link { return netsim.Platforms() }
+
+// PlatformByName returns a Fig. 4 platform by legend name (e.g.
+// "LTE").
+func PlatformByName(name string) (Link, error) { return netsim.ByName(name) }

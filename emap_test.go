@@ -1,0 +1,96 @@
+package emap_test
+
+import (
+	"testing"
+
+	"emap"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	gen := emap.NewGenerator(42)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumSets() == 0 {
+		t.Fatal("empty store")
+	}
+	sess, err := emap.NewSession(store, emap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := gen.SeizureInput(0, 30, 22)
+	rep, err := sess.Process(input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Decision {
+		t.Fatalf("quickstart missed the preictal input (PA %v)", rep.PATrace)
+	}
+	if rep.InitialOverhead <= 0 {
+		t.Fatal("no initial overhead recorded")
+	}
+}
+
+func TestNormalInputStaysQuiet(t *testing.T) {
+	gen := emap.NewGenerator(43)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := emap.NewSession(store, emap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TrainingRecordings stores normal crops sliding across the whole
+	// canonical; an input at offset 3000 is covered.
+	input := gen.Instance(emap.Normal, 1, emap.InstanceOpts{
+		OffsetSamples: 3000, DurSeconds: 20})
+	rep, err := sess.Process(input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows != 20 {
+		t.Fatalf("windows = %d", rep.Windows)
+	}
+}
+
+func TestCorporaConstruction(t *testing.T) {
+	gen := emap.NewGenerator(44)
+	store, err := emap.BuildMDBFromCorpora(gen, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store.NumRecords() != 15 { // 5 corpora × 3
+		t.Fatalf("records = %d, want 15", store.NumRecords())
+	}
+	normal, anomalous := store.LabelCounts()
+	if normal == 0 || anomalous == 0 {
+		t.Fatalf("labels: %d/%d", normal, anomalous)
+	}
+	if len(emap.Corpora()) != 5 {
+		t.Fatal("corpora count")
+	}
+}
+
+func TestPlatformLookup(t *testing.T) {
+	if len(emap.Platforms()) != 6 {
+		t.Fatal("platform count")
+	}
+	lte, err := emap.PlatformByName("LTE")
+	if err != nil || lte.Name != "LTE" {
+		t.Fatalf("LTE lookup: %+v, %v", lte, err)
+	}
+}
+
+func TestStandaloneSearcher(t *testing.T) {
+	gen := emap.NewGenerator(45)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := emap.NewSearcher(store, emap.SearchParams{})
+	if s.Params().Delta != 0.8 {
+		t.Fatalf("default δ = %g", s.Params().Delta)
+	}
+}

@@ -1,0 +1,64 @@
+// Multi-anomaly evaluation: run EMAP over batches of seizure,
+// encephalopathy and stroke inputs plus normal controls — a
+// miniaturised version of the paper's Table I showing that one
+// framework predicts multiple different brain anomalies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"emap"
+)
+
+const (
+	perClass = 8
+	windows  = 16
+)
+
+func main() {
+	gen := emap.NewGenerator(2020)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(4, 3))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mega-database: %d signal-sets\n\n", store.NumSets())
+	fmt.Println("class            detected/total")
+	fmt.Println("-------------------------------")
+
+	classes := []emap.Class{emap.Seizure, emap.Encephalopathy, emap.Stroke, emap.Normal}
+	for _, class := range classes {
+		detected := 0
+		for i := 0; i < perClass; i++ {
+			input := drawInput(gen, class, i)
+			sess, err := emap.NewSession(store, emap.Config{})
+			if err != nil {
+				log.Fatal(err)
+			}
+			report, err := sess.Process(input, windows)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if report.Decision {
+				detected++
+			}
+		}
+		note := ""
+		if class == emap.Normal {
+			note = "  (false positives)"
+		}
+		fmt.Printf("%-15s  %d/%d%s\n", class, detected, perClass, note)
+	}
+	fmt.Println("\npaper Table I: seizure ≈0.94, stroke ≈0.79, encephalopathy ≈0.73, FP ≈0.15")
+}
+
+// drawInput varies archetype, lead time and crop position per trial.
+func drawInput(gen *emap.Generator, class emap.Class, i int) *emap.Recording {
+	arch := i % 4
+	if class == emap.Seizure {
+		leads := []float64{15, 30, 45, 60}
+		return gen.SeizureInput(arch, leads[i%len(leads)], windows+2)
+	}
+	return gen.Instance(class, arch, emap.InstanceOpts{
+		OffsetSamples: 1500 + (i%5)*2200, DurSeconds: windows + 2})
+}

@@ -1,0 +1,97 @@
+package emap_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emap"
+	"emap/internal/dataset"
+	"emap/internal/experiments"
+	"emap/internal/mdb"
+)
+
+// TestFullPipelinePersistence exercises the complete offline tool-flow
+// across module boundaries: corpora → EDF files on disk → import →
+// MDB construction → snapshot on disk → reload → live session.
+func TestFullPipelinePersistence(t *testing.T) {
+	gen := emap.NewGeneratorConfig(emap.GeneratorConfig{Seed: 77, ArchetypesPerClass: 3})
+	dir := t.TempDir()
+
+	// Stage 1: each corpus exports its recordings as EDF-style files.
+	var all []string
+	for _, c := range emap.Corpora() {
+		recs := c.Generate(gen.Generator, 3)
+		paths, err := dataset.Export(filepath.Join(dir, c.Name), recs)
+		if err != nil {
+			t.Fatalf("export %s: %v", c.Name, err)
+		}
+		all = append(all, paths...)
+	}
+	if len(all) != 15 {
+		t.Fatalf("exported %d files, want 15", len(all))
+	}
+
+	// Stage 2: import everything back and build the MDB.
+	var imported []*emap.Recording
+	for _, c := range emap.Corpora() {
+		recs, err := dataset.Import(filepath.Join(dir, c.Name))
+		if err != nil {
+			t.Fatalf("import %s: %v", c.Name, err)
+		}
+		imported = append(imported, recs...)
+	}
+	store, err := emap.BuildMDB(imported)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage 3: persist the store and reload it (the emap-mdb →
+	// emap-cloud hand-off).
+	snap := filepath.Join(dir, "mdb.snap")
+	if err := store.SaveFile(snap); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mdb.LoadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSets() != store.NumSets() {
+		t.Fatalf("snapshot lost sets: %d vs %d", loaded.NumSets(), store.NumSets())
+	}
+
+	// Stage 4: a live session over the reloaded store.
+	sess, err := emap.NewSession(loaded, emap.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := gen.SeizureInput(0, 30, 15)
+	rep, err := sess.Process(input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Windows != 15 || rep.CloudCalls < 1 {
+		t.Fatalf("session over reloaded store: %d windows, %d calls", rep.Windows, rep.CloudCalls)
+	}
+}
+
+// TestExperimentTablesExportCSV checks the CSV path for re-plotting.
+func TestExperimentTablesExportCSV(t *testing.T) {
+	r := experiments.Fig4(experiments.Fig4Opts{})
+	var sb strings.Builder
+	if err := r.UploadTable().WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "# Fig. 4a") {
+		t.Fatalf("missing comment header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// 2 comments + 1 header + 6 platform rows.
+	if len(lines) != 9 {
+		t.Fatalf("CSV line count %d, want 9", len(lines))
+	}
+	if !strings.Contains(lines[2], "platform,") {
+		t.Fatalf("header row malformed: %q", lines[2])
+	}
+}

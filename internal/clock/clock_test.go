@@ -1,0 +1,109 @@
+package clock
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestActorAdvances(t *testing.T) {
+	c := New()
+	edge := c.Actor("edge")
+	end := edge.Do(time.Second, "sample", "t0")
+	if end != time.Second || edge.Now() != time.Second {
+		t.Fatalf("Do end = %v", end)
+	}
+	edge.Do(5*time.Millisecond, "filter", "")
+	if edge.Now() != time.Second+5*time.Millisecond {
+		t.Fatalf("actor time %v", edge.Now())
+	}
+}
+
+func TestActorsIndependent(t *testing.T) {
+	c := New()
+	edge := c.Actor("edge")
+	cloud := c.Actor("cloud")
+	edge.Do(time.Second, "sample", "")
+	if cloud.Now() != 0 {
+		t.Fatal("cloud advanced with edge")
+	}
+	cloud.WaitUntil(edge.Now())
+	cloud.Do(3*time.Second, "search", "")
+	// The edge keeps going while the cloud is busy.
+	edge.Do(time.Second, "sample", "")
+	if edge.Now() >= cloud.Now() {
+		t.Fatal("expected cloud to be ahead after its long search")
+	}
+}
+
+func TestWaitUntilNeverRewinds(t *testing.T) {
+	c := New()
+	a := c.Actor("a")
+	a.Do(2*time.Second, "x", "")
+	a.WaitUntil(time.Second)
+	if a.Now() != 2*time.Second {
+		t.Fatal("WaitUntil rewound the actor")
+	}
+}
+
+func TestActorIdentity(t *testing.T) {
+	c := New()
+	if c.Actor("edge") != c.Actor("edge") {
+		t.Fatal("Actor not memoised")
+	}
+}
+
+func TestNegativeDurationClamped(t *testing.T) {
+	c := New()
+	a := c.Actor("a")
+	a.Do(-5*time.Second, "x", "")
+	if a.Now() != 0 {
+		t.Fatal("negative duration advanced time")
+	}
+}
+
+func TestEventsSorted(t *testing.T) {
+	c := New()
+	edge := c.Actor("edge")
+	cloud := c.Actor("cloud")
+	edge.Do(time.Second, "sample", "")
+	cloud.Do(500*time.Millisecond, "boot", "")
+	edge.Do(time.Second, "sample", "")
+	evs := c.Events()
+	if len(evs) != 3 {
+		t.Fatalf("event count %d", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatal("events not sorted by start")
+		}
+	}
+	if c.End() != 2*time.Second {
+		t.Fatalf("End = %v", c.End())
+	}
+}
+
+func TestEventDuration(t *testing.T) {
+	e := Event{Start: time.Second, End: 3 * time.Second}
+	if e.Duration() != 2*time.Second {
+		t.Fatalf("Duration = %v", e.Duration())
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	c := New()
+	edge := c.Actor("edge")
+	edge.Do(time.Second, "sample", "window 0")
+	edge.Do(200*time.Microsecond, "upload", "256 samples")
+	var sb strings.Builder
+	if err := c.WriteTimeline(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "sample") || !strings.Contains(out, "upload") {
+		t.Fatalf("timeline missing events:\n%s", out)
+	}
+	if !strings.Contains(out, "window 0") {
+		t.Fatal("timeline missing detail")
+	}
+}

@@ -1,0 +1,233 @@
+// Package cloud implements the cloud tier of the EMAP framework as a
+// network service: it hosts the mega-database, answers each uploaded
+// one-second window with the top-K signal correlation set (Algorithm
+// 1), and attaches to every match the continuation samples the edge
+// needs for local tracking — the payload whose download time Fig. 4b
+// budgets at under 200 ms for 100 signals.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/search"
+)
+
+// Config parameterises the cloud service.
+type Config struct {
+	// Search configures Algorithm 1 (zero values take paper
+	// defaults).
+	Search search.Params
+	// HorizonSeconds is the continuation horizon sent per match
+	// (default 8 s).
+	HorizonSeconds float64
+	// BaseRate is the sampling rate (default 256 Hz).
+	BaseRate float64
+	// Logger receives per-connection diagnostics; nil disables
+	// logging.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.HorizonSeconds <= 0 {
+		c.HorizonSeconds = 8
+	}
+	if c.BaseRate <= 0 {
+		c.BaseRate = 256
+	}
+	return c
+}
+
+// Metrics counts server activity (all fields atomic).
+type Metrics struct {
+	Connections atomic.Int64
+	Requests    atomic.Int64
+	Errors      atomic.Int64
+}
+
+// Server is the cloud tier.
+type Server struct {
+	cfg      Config
+	store    *mdb.Store
+	searcher *search.Searcher
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	conns    map[net.Conn]struct{}
+
+	// Metrics exposes request counters.
+	Metrics Metrics
+}
+
+// NewServer returns a server over the given mega-database.
+func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
+	if store == nil || store.NumSets() == 0 {
+		return nil, errors.New("cloud: mega-database is empty")
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		store:    store,
+		searcher: search.NewSearcher(store, cfg.Search),
+		conns:    make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Serve accepts connections until the listener is closed.
+func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.listener = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.HandleConn(conn)
+	}
+}
+
+// Close stops the accept loop and terminates active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	if s.listener != nil {
+		return s.listener.Close()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// HandleConn serves one edge connection: a loop of Upload→CorrSet
+// exchanges (plus Ping/Pong liveness probes).
+func (s *Server) HandleConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	s.Metrics.Connections.Add(1)
+	for {
+		typ, payload, err := proto.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				s.Metrics.Errors.Add(1)
+				s.logf("cloud: read: %v", err)
+			}
+			return
+		}
+		switch typ {
+		case proto.TypePing:
+			if err := proto.WriteFrame(conn, proto.TypePong, nil); err != nil {
+				return
+			}
+		case proto.TypeUpload:
+			s.Metrics.Requests.Add(1)
+			upload, err := proto.DecodeUpload(payload)
+			if err != nil {
+				s.Metrics.Errors.Add(1)
+				s.reply(conn, nil, &proto.ErrorMsg{Code: 400, Text: err.Error()})
+				continue
+			}
+			corrSet, serr := s.Search(upload)
+			if serr != nil {
+				s.Metrics.Errors.Add(1)
+				s.reply(conn, nil, &proto.ErrorMsg{Code: 500, Text: serr.Error()})
+				continue
+			}
+			s.reply(conn, corrSet, nil)
+		default:
+			s.Metrics.Errors.Add(1)
+			s.reply(conn, nil, &proto.ErrorMsg{Code: 400, Text: fmt.Sprintf("unexpected message type %d", typ)})
+		}
+	}
+}
+
+func (s *Server) reply(conn net.Conn, corrSet *proto.CorrSet, errMsg *proto.ErrorMsg) {
+	var err error
+	if errMsg != nil {
+		err = proto.WriteFrame(conn, proto.TypeError, proto.EncodeError(errMsg))
+	} else {
+		err = proto.WriteFrame(conn, proto.TypeCorrSet, proto.EncodeCorrSet(corrSet))
+	}
+	if err != nil {
+		s.logf("cloud: write: %v", err)
+	}
+}
+
+// Search answers one upload: run Algorithm 1 and assemble the
+// correlation set with continuation samples.
+func (s *Server) Search(upload *proto.Upload) (*proto.CorrSet, error) {
+	window := proto.Dequantize(upload.Samples, upload.Scale)
+	res, err := s.searcher.Algorithm1(window)
+	if err != nil {
+		return nil, err
+	}
+	horizon := int(s.cfg.HorizonSeconds * s.cfg.BaseRate)
+	sets := s.store.Sets()
+	out := &proto.CorrSet{Seq: upload.Seq}
+	for _, m := range res.Matches {
+		if m.SetID < 0 || m.SetID >= len(sets) {
+			continue
+		}
+		set := sets[m.SetID]
+		// Send from the matched offset forward, clipped to the end
+		// of the parent recording.
+		n := horizon
+		var samples []float64
+		for n >= len(window) {
+			if win, ok := s.store.Window(set, m.Beta, n); ok {
+				samples = win
+				break
+			}
+			n -= len(window)
+		}
+		if samples == nil {
+			continue
+		}
+		counts, scale := proto.Quantize(samples)
+		out.Entries = append(out.Entries, proto.CorrEntry{
+			SetID:     int32(m.SetID),
+			Omega:     float32(m.Omega),
+			Beta:      int32(m.Beta),
+			Anomalous: set.Anomalous,
+			Class:     uint8(set.Class),
+			Archetype: uint16(set.Archetype),
+			Scale:     scale,
+			Samples:   counts,
+		})
+	}
+	return out, nil
+}

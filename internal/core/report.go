@@ -1,0 +1,71 @@
+package core
+
+import (
+	"time"
+
+	"emap/internal/clock"
+	"emap/internal/synth"
+)
+
+// IterStat records one tracking iteration of a session.
+type IterStat struct {
+	// Window is the input window index.
+	Window int
+	// At is the simulated time when the iteration began.
+	At time.Duration
+	// Tracked reports whether a tracker was live this window.
+	Tracked bool
+	// PA is the estimated anomaly probability after the step.
+	PA float64
+	// Remaining, Eliminated and Expired summarise the step.
+	Remaining, Eliminated, Expired int
+	// CloudCallIssued reports that this iteration launched a
+	// background cloud search.
+	CloudCallIssued bool
+	// TrackCost is the simulated edge time spent tracking.
+	TrackCost time.Duration
+}
+
+// Report is the outcome of Session.Process.
+type Report struct {
+	// Input names the processed recording; Class is its ground
+	// truth.
+	Input string
+	Class synth.Class
+	// Windows is the number of one-second windows consumed.
+	Windows int
+	// CloudCalls counts correlation sets adopted by the edge.
+	CloudCalls int
+	// InitialOverhead is Δ_initial (Eq. 4): upload + search +
+	// download for the first cloud call.
+	InitialOverhead time.Duration
+	// Iters holds one entry per window after the initial call.
+	Iters []IterStat
+	// PATrace is the predictor's observed P_A trajectory.
+	PATrace []float64
+	// FinalPA and Rise summarise the trajectory.
+	FinalPA, Rise float64
+	// Decision is the predictor's verdict: anomaly or not.
+	Decision bool
+	// Timeline is the simulated event trace (Fig. 9).
+	Timeline []clock.Event
+}
+
+// Correct reports whether the decision matches the recording's ground
+// truth.
+func (r *Report) Correct() bool {
+	return r.Decision == r.Class.Anomalous()
+}
+
+// MaxTrackCost returns the largest simulated per-iteration tracking
+// cost — the quantity that must stay under one second for real-time
+// operation (paper §V-C).
+func (r *Report) MaxTrackCost() time.Duration {
+	var max time.Duration
+	for _, it := range r.Iters {
+		if it.TrackCost > max {
+			max = it.TrackCost
+		}
+	}
+	return max
+}

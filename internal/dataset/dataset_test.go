@@ -1,0 +1,203 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"emap/internal/synth"
+)
+
+func testGen() *synth.Generator {
+	return synth.NewGenerator(synth.Config{Seed: 7, ArchetypesPerClass: 4})
+}
+
+func TestStandardCorpora(t *testing.T) {
+	cs := Standard()
+	if len(cs) != 5 {
+		t.Fatalf("corpus count %d, want 5 (paper refs [21]-[25])", len(cs))
+	}
+	names := map[string]bool{}
+	for _, c := range cs {
+		if names[c.Name] {
+			t.Fatalf("duplicate corpus %q", c.Name)
+		}
+		names[c.Name] = true
+		if c.Rate <= 0 || c.DurSeconds <= 0 {
+			t.Fatalf("corpus %q has invalid rate/duration", c.Name)
+		}
+		if len(c.ClassMix) == 0 {
+			t.Fatalf("corpus %q has empty class mix", c.Name)
+		}
+	}
+	// Rates must differ so the resampling path is exercised.
+	rates := map[float64]bool{}
+	for _, c := range cs {
+		rates[c.Rate] = true
+	}
+	if len(rates) < 4 {
+		t.Fatalf("corpora share too many rates: %v", rates)
+	}
+}
+
+func TestByName(t *testing.T) {
+	c, err := ByName("tuh")
+	if err != nil || c.Name != "tuh" {
+		t.Fatalf("ByName(tuh) = %v, %v", c, err)
+	}
+	if _, err := ByName("nonexistent"); err == nil {
+		t.Fatal("unknown corpus should error")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	c, _ := ByName("physionet")
+	a := c.Generate(testGen(), 6)
+	b := c.Generate(testGen(), 6)
+	if len(a) != 6 || len(b) != 6 {
+		t.Fatalf("lengths %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Class != b[i].Class || a[i].Archetype != b[i].Archetype {
+			t.Fatalf("recording %d differs between runs", i)
+		}
+		if len(a[i].Samples) != len(b[i].Samples) {
+			t.Fatalf("recording %d length differs", i)
+		}
+		for j := range a[i].Samples {
+			if a[i].Samples[j] != b[i].Samples[j] {
+				t.Fatalf("recording %d sample %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestGenerateNativeRate(t *testing.T) {
+	g := testGen()
+	for _, c := range Standard() {
+		recs := c.Generate(g, 2)
+		for _, rec := range recs {
+			if rec.Rate != c.Rate {
+				t.Fatalf("%s produced rate %g, want %g", c.Name, rec.Rate, c.Rate)
+			}
+			wantLen := int(c.DurSeconds * c.Rate)
+			if math.Abs(float64(len(rec.Samples)-wantLen)) > 2 {
+				t.Fatalf("%s length %d, want ≈%d", c.Name, len(rec.Samples), wantLen)
+			}
+		}
+	}
+}
+
+func TestGenerateClassMixRespected(t *testing.T) {
+	g := testGen()
+	c, _ := ByName("bnci") // normal-only corpus
+	for _, rec := range c.Generate(g, 10) {
+		if rec.Class != synth.Normal {
+			t.Fatalf("bnci produced %v", rec.Class)
+		}
+	}
+	tuh, _ := ByName("tuh")
+	seen := map[synth.Class]int{}
+	for _, rec := range tuh.Generate(g, 60) {
+		seen[rec.Class]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("tuh should mix ≥3 classes, saw %v", seen)
+	}
+}
+
+func TestOnsetAnnotationPolicy(t *testing.T) {
+	g := testGen()
+	phys, _ := ByName("physionet")
+	foundOnset := false
+	for _, rec := range phys.Generate(g, 20) {
+		if rec.Class == synth.Seizure && rec.Onset >= 0 {
+			foundOnset = true
+		}
+	}
+	if !foundOnset {
+		t.Fatal("physionet seizures should carry onsets")
+	}
+	zw, _ := ByName("zwolinski")
+	for _, rec := range zw.Generate(g, 20) {
+		if rec.Onset != -1 {
+			t.Fatalf("zwolinski recording %s has onset %d, want -1 (coarse labels)", rec.ID, rec.Onset)
+		}
+	}
+}
+
+func TestGenerateIDsCarryCorpus(t *testing.T) {
+	g := testGen()
+	c, _ := ByName("uci")
+	for _, rec := range c.Generate(g, 3) {
+		if len(rec.ID) < 4 || rec.ID[:4] != "uci/" {
+			t.Fatalf("recording ID %q missing corpus prefix", rec.ID)
+		}
+	}
+}
+
+func TestExportImportRoundTrip(t *testing.T) {
+	g := testGen()
+	c, _ := ByName("physionet")
+	recs := c.Generate(g, 4)
+	dir := t.TempDir()
+	paths, err := Export(dir, recs)
+	if err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	if len(paths) != 4 {
+		t.Fatalf("exported %d files", len(paths))
+	}
+	got, err := Import(dir)
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("imported %d recordings", len(got))
+	}
+	for i, rec := range got {
+		orig := recs[i]
+		if rec.Class != orig.Class || rec.Archetype != orig.Archetype || rec.Onset != orig.Onset {
+			t.Fatalf("metadata mismatch: %+v vs %+v", rec, orig)
+		}
+		if rec.Rate != orig.Rate {
+			t.Fatalf("rate mismatch: %g vs %g", rec.Rate, orig.Rate)
+		}
+		if len(rec.Samples) < len(orig.Samples) {
+			t.Fatalf("lost samples: %d < %d", len(rec.Samples), len(orig.Samples))
+		}
+		// Quantisation error bound: one digital count.
+		var maxErr float64
+		for j := range orig.Samples {
+			if e := math.Abs(rec.Samples[j] - orig.Samples[j]); e > maxErr {
+				maxErr = e
+			}
+		}
+		if maxErr > 0.1 { // generous: range ±~200 µV / 65535 counts ≈ 0.006
+			t.Fatalf("round-trip error %g µV too large", maxErr)
+		}
+	}
+}
+
+func TestImportErrors(t *testing.T) {
+	if _, err := Import("/nonexistent-dir-xyz"); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestParseMeta(t *testing.T) {
+	class, arch, onset, err := parseMeta("class=stroke;arch=2;onset=-1")
+	if err != nil || class != synth.Stroke || arch != 2 || onset != -1 {
+		t.Fatalf("parseMeta = %v %d %d %v", class, arch, onset, err)
+	}
+	if _, _, _, err := parseMeta("class=bogus"); err == nil {
+		t.Fatal("bad class should error")
+	}
+	if _, _, _, err := parseMeta("arch=xyz"); err == nil {
+		t.Fatal("bad arch should error")
+	}
+	// Unknown keys and empty segments are ignored.
+	class, _, _, err = parseMeta("foo=bar;;class=seizure")
+	if err != nil || class != synth.Seizure {
+		t.Fatalf("tolerant parse failed: %v %v", class, err)
+	}
+}

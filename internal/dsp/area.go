@@ -1,0 +1,62 @@
+package dsp
+
+// AreaBetween returns the area between the curves of two signals,
+// paper Eq. 3:
+//
+//	A(A_N, B_M) = Σ_{i} |A(N,i) − B(M,i)|
+//
+// summed over the common length. It is the lightweight similarity used
+// by the edge-tracking stage (Algorithm 2): ~4× cheaper than the
+// normalized cross-correlation because it needs no multiplications or
+// square roots.
+func AreaBetween(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var acc float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		acc += d
+	}
+	return acc
+}
+
+// AreaBetweenCapped is AreaBetween with early exit once the running sum
+// exceeds cap. The edge tracker only needs to know whether the area
+// crosses δ_A, so it can abandon clearly-dissimilar signals early; this
+// is part of the measured Fig. 8(b) advantage.
+func AreaBetweenCapped(a, b []float64, cap float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var acc float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		acc += d
+		if acc > cap {
+			return acc
+		}
+	}
+	return acc
+}
+
+// MeanAbsDeviation returns AreaBetween(a, b) divided by the common
+// length: the average per-sample µV gap between two curves.
+func MeanAbsDeviation(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	return AreaBetween(a[:n], b[:n]) / float64(n)
+}

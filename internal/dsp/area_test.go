@@ -1,0 +1,144 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"emap/internal/rng"
+)
+
+func TestAreaBetweenBasic(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{2, 0, 3}
+	if got := AreaBetween(a, b); got != 3 {
+		t.Fatalf("AreaBetween = %g, want 3", got)
+	}
+}
+
+func TestAreaBetweenIdentity(t *testing.T) {
+	r := rng.New(1)
+	xs := randSignal(r, 256)
+	if got := AreaBetween(xs, xs); got != 0 {
+		t.Fatalf("AreaBetween(x,x) = %g, want 0", got)
+	}
+}
+
+func TestAreaBetweenUnequalLengths(t *testing.T) {
+	a := []float64{1, 2, 3, 100}
+	b := []float64{1, 2, 3}
+	if got := AreaBetween(a, b); got != 0 {
+		t.Fatalf("truncated AreaBetween = %g, want 0", got)
+	}
+}
+
+// Metric axioms: non-negativity, symmetry, triangle inequality.
+func TestAreaMetricAxioms(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(128)
+		a, b, c := randSignal(r, n), randSignal(r, n), randSignal(r, n)
+		dab, dba := AreaBetween(a, b), AreaBetween(b, a)
+		dac, dcb := AreaBetween(a, c), AreaBetween(c, b)
+		if dab < 0 {
+			return false
+		}
+		if math.Abs(dab-dba) > 1e-9 {
+			return false
+		}
+		return dab <= dac+dcb+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAreaBetweenCappedEarlyExit(t *testing.T) {
+	a := make([]float64, 256)
+	b := make([]float64, 256)
+	for i := range a {
+		a[i] = 100
+	}
+	got := AreaBetweenCapped(a, b, 900)
+	if got <= 900 {
+		t.Fatalf("capped area %g should exceed the cap", got)
+	}
+	// Must still agree with the uncapped value when under the cap.
+	small := []float64{1, 1, 1}
+	zero := []float64{0, 0, 0}
+	if AreaBetweenCapped(small, zero, 900) != AreaBetween(small, zero) {
+		t.Fatal("capped/uncapped mismatch below cap")
+	}
+}
+
+// Property: capped result equals exact result whenever the exact result
+// is within the cap, and exceeds the cap otherwise.
+func TestAreaCappedProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 8 + r.Intn(256)
+		a, b := randSignal(r, n), randSignal(r, n)
+		cap := r.Range(0, 2000)
+		exact := AreaBetween(a, b)
+		capped := AreaBetweenCapped(a, b, cap)
+		if exact <= cap {
+			return math.Abs(capped-exact) < 1e-9
+		}
+		return capped > cap
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAbsDeviation(t *testing.T) {
+	a := []float64{0, 0, 0, 0}
+	b := []float64{1, -1, 1, -1}
+	if got := MeanAbsDeviation(a, b); got != 1 {
+		t.Fatalf("MeanAbsDeviation = %g, want 1", got)
+	}
+	if got := MeanAbsDeviation(nil, nil); got != 0 {
+		t.Fatalf("empty MeanAbsDeviation = %g, want 0", got)
+	}
+}
+
+// Relationship used to calibrate δ_A ≈ 900 ↔ δ = 0.8 (Fig. 8a): for
+// jointly-Gaussian signals the expected area grows as √(1−ρ).
+func TestAreaCorrelationMonotonicity(t *testing.T) {
+	r := rng.New(42)
+	base := randSignal(r, 256)
+	prevArea := 0.0
+	for _, noise := range []float64{0.5, 2, 5, 10} {
+		noisy := make([]float64, len(base))
+		for i, v := range base {
+			noisy[i] = v + r.Norm(0, noise)
+		}
+		area := AreaBetween(base, noisy)
+		if area <= prevArea {
+			t.Fatalf("area not increasing with noise: %g after %g", area, prevArea)
+		}
+		prevArea = area
+	}
+}
+
+func BenchmarkAreaBetween256(b *testing.B) {
+	r := rng.New(1)
+	x := randSignal(r, 256)
+	y := randSignal(r, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AreaBetween(x, y)
+	}
+}
+
+func BenchmarkAreaBetweenCapped256(b *testing.B) {
+	r := rng.New(1)
+	x := randSignal(r, 256)
+	y := randSignal(r, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = AreaBetweenCapped(x, y, 900)
+	}
+}

@@ -1,0 +1,245 @@
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FIR is a finite impulse response filter, the H(z) of paper Eq. 1:
+//
+//	H(z) = Σ_{n=0}^{taps-1} h(n)·z^{-n}
+//
+// The zero value is unusable; construct filters with DesignBandpass,
+// DesignLowpass, DesignHighpass or NewFIR.
+type FIR struct {
+	taps []float64
+}
+
+// NewFIR wraps explicit tap coefficients as a filter. The coefficient
+// slice is copied.
+func NewFIR(taps []float64) (*FIR, error) {
+	if len(taps) == 0 {
+		return nil, errors.New("dsp: FIR needs at least one tap")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t}, nil
+}
+
+// Taps returns a copy of the filter coefficients.
+func (f *FIR) Taps() []float64 {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Len returns the number of taps.
+func (f *FIR) Len() int { return len(f.taps) }
+
+// sinc is the unnormalised sinc function sin(x)/x with sinc(0)=1.
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-12 {
+		return 1
+	}
+	return math.Sin(x) / x
+}
+
+// DesignLowpass designs an n-tap windowed-sinc lowpass filter with the
+// given cutoff frequency (Hz) at the given sample rate (Hz).
+func DesignLowpass(n int, cutoffHz, sampleRate float64, window WindowFunc) (*FIR, error) {
+	if err := checkDesign(n, sampleRate, cutoffHz); err != nil {
+		return nil, err
+	}
+	if window == nil {
+		window = Hamming
+	}
+	w := window(n)
+	fc := cutoffHz / sampleRate // normalised cutoff in cycles/sample
+	m := float64(n-1) / 2
+	taps := make([]float64, n)
+	for i := range taps {
+		x := float64(i) - m
+		taps[i] = 2 * fc * sinc(2*math.Pi*fc*x) * w[i]
+	}
+	normalizeDC(taps)
+	return &FIR{taps: taps}, nil
+}
+
+// DesignHighpass designs an n-tap windowed-sinc highpass filter by
+// spectral inversion of the complementary lowpass. n must be odd so the
+// filter has a well-defined centre tap.
+func DesignHighpass(n int, cutoffHz, sampleRate float64, window WindowFunc) (*FIR, error) {
+	if n%2 == 0 {
+		return nil, errors.New("dsp: highpass design requires an odd tap count")
+	}
+	lp, err := DesignLowpass(n, cutoffHz, sampleRate, window)
+	if err != nil {
+		return nil, err
+	}
+	taps := lp.taps
+	for i := range taps {
+		taps[i] = -taps[i]
+	}
+	taps[(n-1)/2] += 1
+	return &FIR{taps: taps}, nil
+}
+
+// DesignBandpass designs an n-tap windowed-sinc bandpass filter passing
+// [lowHz, highHz]. The paper's acquisition stage uses
+// DesignBandpass(100, 11, 40, 256, Hamming): a 100-tap filter passing
+// 11–40 Hz at a 256 Hz sample rate.
+//
+// The passband centre gain is normalised to unity so filtered EEG keeps
+// its physical µV scale.
+func DesignBandpass(n int, lowHz, highHz, sampleRate float64, window WindowFunc) (*FIR, error) {
+	if err := checkDesign(n, sampleRate, lowHz); err != nil {
+		return nil, err
+	}
+	if highHz <= lowHz {
+		return nil, fmt.Errorf("dsp: bandpass needs lowHz < highHz, got %g >= %g", lowHz, highHz)
+	}
+	if highHz >= sampleRate/2 {
+		return nil, fmt.Errorf("dsp: highHz %g must be below Nyquist %g", highHz, sampleRate/2)
+	}
+	if window == nil {
+		window = Hamming
+	}
+	w := window(n)
+	f1 := lowHz / sampleRate
+	f2 := highHz / sampleRate
+	m := float64(n-1) / 2
+	taps := make([]float64, n)
+	for i := range taps {
+		x := float64(i) - m
+		taps[i] = (2*f2*sinc(2*math.Pi*f2*x) - 2*f1*sinc(2*math.Pi*f1*x)) * w[i]
+	}
+	// Normalise the gain at the geometric centre of the passband to 1.
+	centre := math.Sqrt(lowHz * highHz)
+	f := &FIR{taps: taps}
+	gain := f.GainAt(centre, sampleRate)
+	if gain > 1e-12 {
+		for i := range taps {
+			taps[i] /= gain
+		}
+	}
+	return f, nil
+}
+
+func checkDesign(n int, sampleRate, cutoffHz float64) error {
+	switch {
+	case n < 3:
+		return fmt.Errorf("dsp: filter needs at least 3 taps, got %d", n)
+	case sampleRate <= 0:
+		return fmt.Errorf("dsp: sample rate must be positive, got %g", sampleRate)
+	case cutoffHz <= 0:
+		return fmt.Errorf("dsp: cutoff must be positive, got %g", cutoffHz)
+	case cutoffHz >= sampleRate/2:
+		return fmt.Errorf("dsp: cutoff %g must be below Nyquist %g", cutoffHz, sampleRate/2)
+	}
+	return nil
+}
+
+// normalizeDC scales taps so that the DC gain is exactly zero-safe: it
+// is used by the lowpass design to set Σh = 1.
+func normalizeDC(taps []float64) {
+	var sum float64
+	for _, t := range taps {
+		sum += t
+	}
+	if math.Abs(sum) < 1e-12 {
+		return
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+}
+
+// GainAt returns the magnitude response |H(e^{j2πf/fs})| at freqHz.
+func (f *FIR) GainAt(freqHz, sampleRate float64) float64 {
+	omega := 2 * math.Pi * freqHz / sampleRate
+	var re, im float64
+	for n, h := range f.taps {
+		re += h * math.Cos(omega*float64(n))
+		im -= h * math.Sin(omega*float64(n))
+	}
+	return math.Hypot(re, im)
+}
+
+// Apply filters the whole signal causally, treating samples before the
+// start as zero (paper: B(N,k) = Σ_{i=0}^{99} H_i · I(N,k−i)). The
+// result has the same length as the input.
+func (f *FIR) Apply(signal []float64) []float64 {
+	out := make([]float64, len(signal))
+	f.ApplyTo(out, signal)
+	return out
+}
+
+// ApplyTo filters signal into dst, which must be at least as long as
+// signal. It allows callers in the real-time loop to reuse buffers.
+func (f *FIR) ApplyTo(dst, signal []float64) {
+	taps := f.taps
+	for k := range signal {
+		var acc float64
+		n := len(taps)
+		if k+1 < n {
+			n = k + 1
+		}
+		for i := 0; i < n; i++ {
+			acc += taps[i] * signal[k-i]
+		}
+		dst[k] = acc
+	}
+}
+
+// Stream is stateful per-sample filtering for continuous acquisition:
+// the edge sensor pushes samples one second at a time, and filter
+// history must carry across block boundaries.
+type Stream struct {
+	fir  *FIR
+	hist []float64 // circular history of the last len(taps)-1 inputs
+	pos  int
+}
+
+// NewStream returns a streaming filter over f with zeroed history.
+func (f *FIR) NewStream() *Stream {
+	return &Stream{fir: f, hist: make([]float64, f.Len())}
+}
+
+// Next filters a single sample, updating internal history.
+func (s *Stream) Next(x float64) float64 {
+	s.hist[s.pos] = x
+	taps := s.fir.taps
+	var acc float64
+	idx := s.pos
+	for i := 0; i < len(taps); i++ {
+		acc += taps[i] * s.hist[idx]
+		idx--
+		if idx < 0 {
+			idx = len(s.hist) - 1
+		}
+	}
+	s.pos++
+	if s.pos == len(s.hist) {
+		s.pos = 0
+	}
+	return acc
+}
+
+// NextBlock filters a block of samples in order, returning a freshly
+// allocated output block of the same length.
+func (s *Stream) NextBlock(block []float64) []float64 {
+	out := make([]float64, len(block))
+	for i, x := range block {
+		out[i] = s.Next(x)
+	}
+	return out
+}
+
+// Reset clears the filter history.
+func (s *Stream) Reset() {
+	for i := range s.hist {
+		s.hist[i] = 0
+	}
+	s.pos = 0
+}

@@ -1,0 +1,244 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+// paperFilter returns the paper's acquisition filter: 100 taps,
+// 11–40 Hz passband at 256 Hz.
+func paperFilter(t *testing.T) *FIR {
+	t.Helper()
+	f, err := DesignBandpass(100, 11, 40, 256, Hamming)
+	if err != nil {
+		t.Fatalf("DesignBandpass: %v", err)
+	}
+	return f
+}
+
+func TestBandpassTapCount(t *testing.T) {
+	f := paperFilter(t)
+	if f.Len() != 100 {
+		t.Fatalf("tap count = %d, want 100", f.Len())
+	}
+}
+
+func TestBandpassPassband(t *testing.T) {
+	f := paperFilter(t)
+	for _, hz := range []float64{15, 20, 25, 30, 35} {
+		g := f.GainAt(hz, 256)
+		if g < 0.85 || g > 1.15 {
+			t.Errorf("gain at %g Hz = %g, want ≈1", hz, g)
+		}
+	}
+}
+
+func TestBandpassStopband(t *testing.T) {
+	f := paperFilter(t)
+	for _, hz := range []float64{0.5, 2, 5, 55, 70, 100, 120} {
+		g := f.GainAt(hz, 256)
+		if g > 0.05 { // ≥26 dB attenuation well outside the band
+			t.Errorf("gain at %g Hz = %g, want < 0.05", hz, g)
+		}
+	}
+}
+
+func TestBandpassDCBlocked(t *testing.T) {
+	f := paperFilter(t)
+	var sum float64
+	for _, h := range f.Taps() {
+		sum += h
+	}
+	if math.Abs(sum) > 5e-3 { // better than -46 dB
+		t.Fatalf("DC gain Σh = %g, want ≈0", sum)
+	}
+}
+
+func TestBandpassLinearPhase(t *testing.T) {
+	// Windowed-sinc designs are symmetric → linear phase.
+	f := paperFilter(t)
+	taps := f.Taps()
+	n := len(taps)
+	for i := 0; i < n/2; i++ {
+		if math.Abs(taps[i]-taps[n-1-i]) > 1e-12 {
+			t.Fatalf("taps not symmetric at %d: %g vs %g", i, taps[i], taps[n-1-i])
+		}
+	}
+}
+
+func TestBandpassSinusoidAmplitude(t *testing.T) {
+	f := paperFilter(t)
+	const fs = 256.0
+	n := 2048
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = 10 * math.Sin(2*math.Pi*20*float64(i)/fs)
+	}
+	out := f.Apply(in)
+	// Measure steady-state amplitude after the transient.
+	var peak float64
+	for _, v := range out[200:] {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak < 8.5 || peak > 11.5 {
+		t.Fatalf("passband sinusoid amplitude %g, want ≈10", peak)
+	}
+}
+
+func TestBandpassRejectsSlowDrift(t *testing.T) {
+	f := paperFilter(t)
+	const fs = 256.0
+	n := 2048
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = 50 * math.Sin(2*math.Pi*1*float64(i)/fs) // 1 Hz drift
+	}
+	out := f.Apply(in)
+	var peak float64
+	for _, v := range out[200:] {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak > 2 {
+		t.Fatalf("1 Hz drift leaked through with amplitude %g", peak)
+	}
+}
+
+func TestDesignErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"too few taps", func() error { _, err := DesignBandpass(2, 11, 40, 256, nil); return err }},
+		{"negative rate", func() error { _, err := DesignBandpass(100, 11, 40, -1, nil); return err }},
+		{"low >= high", func() error { _, err := DesignBandpass(100, 40, 11, 256, nil); return err }},
+		{"above nyquist", func() error { _, err := DesignBandpass(100, 11, 130, 256, nil); return err }},
+		{"zero cutoff lowpass", func() error { _, err := DesignLowpass(51, 0, 256, nil); return err }},
+		{"even highpass", func() error { _, err := DesignHighpass(50, 20, 256, nil); return err }},
+		{"empty fir", func() error { _, err := NewFIR(nil); return err }},
+	}
+	for _, c := range cases {
+		if c.fn() == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestLowpassDCGain(t *testing.T) {
+	f, err := DesignLowpass(63, 30, 256, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := f.GainAt(0, 256); math.Abs(g-1) > 1e-9 {
+		t.Fatalf("lowpass DC gain = %g, want 1", g)
+	}
+	if g := f.GainAt(100, 256); g > 0.02 {
+		t.Fatalf("lowpass gain at 100 Hz = %g, want ≈0", g)
+	}
+}
+
+func TestHighpassResponse(t *testing.T) {
+	f, err := DesignHighpass(63, 30, 256, Hamming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := f.GainAt(0, 256); g > 0.02 {
+		t.Fatalf("highpass DC gain = %g, want ≈0", g)
+	}
+	if g := f.GainAt(100, 256); math.Abs(g-1) > 0.05 {
+		t.Fatalf("highpass gain at 100 Hz = %g, want ≈1", g)
+	}
+}
+
+func TestApplyLinearity(t *testing.T) {
+	f := paperFilter(t)
+	a := []float64{1, -2, 3, 4, -5, 6, 0, 2, -1, 7}
+	b := []float64{0, 1, -1, 2, -2, 3, -3, 4, -4, 5}
+	sum := make([]float64, len(a))
+	for i := range a {
+		sum[i] = 2*a[i] + 3*b[i]
+	}
+	fa, fb, fsum := f.Apply(a), f.Apply(b), f.Apply(sum)
+	for i := range fsum {
+		want := 2*fa[i] + 3*fb[i]
+		if math.Abs(fsum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at %d: %g vs %g", i, fsum[i], want)
+		}
+	}
+}
+
+func TestStreamMatchesApply(t *testing.T) {
+	f := paperFilter(t)
+	in := make([]float64, 1000)
+	for i := range in {
+		in[i] = math.Sin(0.3*float64(i)) + 0.5*math.Cos(1.7*float64(i))
+	}
+	whole := f.Apply(in)
+	s := f.NewStream()
+	// Push in uneven blocks to exercise history carry-over.
+	var streamed []float64
+	for _, blk := range [][]float64{in[:100], in[100:256], in[256:700], in[700:]} {
+		streamed = append(streamed, s.NextBlock(blk)...)
+	}
+	for i := range whole {
+		if math.Abs(whole[i]-streamed[i]) > 1e-9 {
+			t.Fatalf("stream diverged from batch at %d: %g vs %g", i, whole[i], streamed[i])
+		}
+	}
+}
+
+func TestStreamReset(t *testing.T) {
+	f := paperFilter(t)
+	s := f.NewStream()
+	first := s.NextBlock([]float64{1, 2, 3, 4, 5})
+	s.Reset()
+	second := s.NextBlock([]float64{1, 2, 3, 4, 5})
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("reset did not clear history at %d", i)
+		}
+	}
+}
+
+func TestApplyToReuse(t *testing.T) {
+	f := paperFilter(t)
+	in := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	dst := make([]float64, len(in))
+	f.ApplyTo(dst, in)
+	want := f.Apply(in)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("ApplyTo mismatch at %d", i)
+		}
+	}
+}
+
+func BenchmarkApply256(b *testing.B) {
+	f, _ := DesignBandpass(100, 11, 40, 256, Hamming)
+	in := make([]float64, 256)
+	for i := range in {
+		in[i] = math.Sin(0.5 * float64(i))
+	}
+	dst := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ApplyTo(dst, in)
+	}
+}
+
+func BenchmarkStream256(b *testing.B) {
+	f, _ := DesignBandpass(100, 11, 40, 256, Hamming)
+	s := f.NewStream()
+	in := make([]float64, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, x := range in {
+			_ = s.Next(x)
+		}
+	}
+}

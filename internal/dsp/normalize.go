@@ -1,0 +1,123 @@
+package dsp
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	mu := Mean(xs)
+	var acc float64
+	for _, x := range xs {
+		d := x - mu
+		acc += d * d
+	}
+	return acc / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// RMS returns the root mean square of xs.
+func RMS(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, x := range xs {
+		acc += x * x
+	}
+	return math.Sqrt(acc / float64(len(xs)))
+}
+
+// Energy returns Σx².
+func Energy(xs []float64) float64 {
+	var acc float64
+	for _, x := range xs {
+		acc += x * x
+	}
+	return acc
+}
+
+// ZNormalize returns a copy of xs with the mean removed and scaled to
+// unit Euclidean norm. A constant (zero-variance) input yields the zero
+// vector. Cross-correlating two z-normalised windows produces the
+// Pearson correlation in [-1, 1], the ω used throughout the paper.
+func ZNormalize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	ZNormalizeTo(out, xs)
+	return out
+}
+
+// ZNormalizeTo writes the z-normalised xs into dst (len(dst) must be at
+// least len(xs)). It reports the centred norm so callers can detect
+// degenerate constant windows (norm == 0).
+func ZNormalizeTo(dst, xs []float64) float64 {
+	mu := Mean(xs)
+	var norm float64
+	for _, x := range xs {
+		d := x - mu
+		norm += d * d
+	}
+	norm = math.Sqrt(norm)
+	if norm < 1e-12 {
+		for i := range xs {
+			dst[i] = 0
+		}
+		return 0
+	}
+	inv := 1 / norm
+	for i, x := range xs {
+		dst[i] = (x - mu) * inv
+	}
+	return norm
+}
+
+// Scale multiplies every element of xs by k in place and returns xs.
+func Scale(xs []float64, k float64) []float64 {
+	for i := range xs {
+		xs[i] *= k
+	}
+	return xs
+}
+
+// Clamp16 quantises x to the nearest value representable by a signed
+// 16-bit ADC count, saturating at the rails. The paper's sensor head
+// samples with 16-bit resolution; this models that quantisation.
+func Clamp16(x float64) int16 {
+	r := math.Round(x)
+	switch {
+	case r > math.MaxInt16:
+		return math.MaxInt16
+	case r < math.MinInt16:
+		return math.MinInt16
+	}
+	return int16(r)
+}
+
+// Quantize16 returns xs quantised through a 16-bit ADC with the given
+// µV-per-count resolution, then converted back to µV. It models the
+// edge sensor's acquisition path.
+func Quantize16(xs []float64, uvPerCount float64) []float64 {
+	if uvPerCount <= 0 {
+		uvPerCount = 1
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(Clamp16(x/uvPerCount)) * uvPerCount
+	}
+	return out
+}

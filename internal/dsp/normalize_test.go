@@ -1,0 +1,120 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"emap/internal/rng"
+)
+
+func TestMeanStd(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g, want 5", got)
+	}
+	if got := Std(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Std = %g, want 2", got)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 || Std(nil) != 0 || RMS(nil) != 0 {
+		t.Fatal("empty-slice statistics should be 0")
+	}
+}
+
+func TestZNormalizeProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 4 + r.Intn(256)
+		xs := randSignal(r, n)
+		z := ZNormalize(xs)
+		var sum, norm float64
+		for _, v := range z {
+			sum += v
+			norm += v * v
+		}
+		return math.Abs(sum) < 1e-9 && math.Abs(norm-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	z := ZNormalize([]float64{7, 7, 7, 7})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("constant input should normalise to zero vector, got %v", z)
+		}
+	}
+}
+
+func TestZNormalizeToReturnsNorm(t *testing.T) {
+	xs := []float64{1, -1, 1, -1}
+	dst := make([]float64, 4)
+	norm := ZNormalizeTo(dst, xs)
+	if math.Abs(norm-2) > 1e-12 {
+		t.Fatalf("centred norm = %g, want 2", norm)
+	}
+	if ZNormalizeTo(dst, []float64{3, 3}) != 0 {
+		t.Fatal("constant input should report zero norm")
+	}
+}
+
+func TestRMSAndEnergy(t *testing.T) {
+	xs := []float64{3, 4}
+	if got := Energy(xs); got != 25 {
+		t.Fatalf("Energy = %g, want 25", got)
+	}
+	if got := RMS(xs); math.Abs(got-math.Sqrt(12.5)) > 1e-12 {
+		t.Fatalf("RMS = %g", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	xs := []float64{1, 2, 3}
+	Scale(xs, 2)
+	if xs[0] != 2 || xs[1] != 4 || xs[2] != 6 {
+		t.Fatalf("Scale result %v", xs)
+	}
+}
+
+func TestClamp16Saturation(t *testing.T) {
+	if Clamp16(1e9) != math.MaxInt16 {
+		t.Fatal("positive saturation failed")
+	}
+	if Clamp16(-1e9) != math.MinInt16 {
+		t.Fatal("negative saturation failed")
+	}
+	if Clamp16(12.4) != 12 || Clamp16(12.6) != 13 {
+		t.Fatal("rounding failed")
+	}
+}
+
+func TestQuantize16RoundTrip(t *testing.T) {
+	xs := []float64{0.05, -0.12, 1.0, 100.3, -99.8}
+	q := Quantize16(xs, 0.1)
+	for i, v := range q {
+		if math.Abs(v-xs[i]) > 0.05+1e-12 {
+			t.Fatalf("quantisation error at %d: %g vs %g", i, v, xs[i])
+		}
+	}
+	// Degenerate resolution falls back to 1 µV/count.
+	q = Quantize16([]float64{2.4}, 0)
+	if q[0] != 2 {
+		t.Fatalf("fallback resolution produced %g", q[0])
+	}
+}
+
+// Quantisation noise must be small relative to EEG amplitudes: the
+// 16-bit path must not meaningfully perturb correlations.
+func TestQuantize16PreservesCorrelation(t *testing.T) {
+	r := rng.New(4)
+	xs := randSignal(r, 256)
+	q := Quantize16(xs, 0.05)
+	if p := Pearson(xs, q); p < 0.9999 {
+		t.Fatalf("quantisation destroyed correlation: %g", p)
+	}
+}

@@ -1,0 +1,72 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resample converts signal from fromRate to toRate using linear
+// interpolation, with an anti-aliasing lowpass applied first when
+// downsampling. It is used while constructing the mega-database: the
+// paper's five corpora arrive at different native rates (160–512 Hz)
+// and are all brought to the 256 Hz base frequency.
+func Resample(signal []float64, fromRate, toRate float64) ([]float64, error) {
+	if fromRate <= 0 || toRate <= 0 {
+		return nil, fmt.Errorf("dsp: rates must be positive (from=%g to=%g)", fromRate, toRate)
+	}
+	if len(signal) == 0 {
+		return nil, nil
+	}
+	src := signal
+	if toRate < fromRate {
+		// Anti-alias: cut at 90% of the target Nyquist.
+		cut := 0.45 * toRate
+		lp, err := DesignLowpass(63, cut, fromRate, Hamming)
+		if err != nil {
+			return nil, err
+		}
+		filtered := lp.Apply(signal)
+		// Compensate the causal filter's group delay of (taps-1)/2
+		// samples so resampled features stay time-aligned.
+		delay := (lp.Len() - 1) / 2
+		src = make([]float64, len(signal))
+		copy(src, filtered[min(delay, len(filtered)):])
+		for i := len(filtered) - delay; i >= 0 && i < len(src); i++ {
+			src[i] = filtered[len(filtered)-1]
+		}
+	}
+	outLen := int(math.Round(float64(len(src)) * toRate / fromRate))
+	if outLen < 1 {
+		outLen = 1
+	}
+	out := make([]float64, outLen)
+	ratio := fromRate / toRate
+	for j := range out {
+		t := float64(j) * ratio
+		i := int(t)
+		if i >= len(src)-1 {
+			out[j] = src[len(src)-1]
+			continue
+		}
+		frac := t - float64(i)
+		out[j] = src[i]*(1-frac) + src[i+1]*frac
+	}
+	return out, nil
+}
+
+// MustResample is Resample for callers with statically valid rates; it
+// panics on error.
+func MustResample(signal []float64, fromRate, toRate float64) []float64 {
+	out, err := Resample(signal, fromRate, toRate)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"emap/internal/rng"
+)
+
+func TestResampleIdentity(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	out, err := Resample(xs, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(xs) {
+		t.Fatalf("identity resample length %d", len(out))
+	}
+	for i := range out {
+		if math.Abs(out[i]-xs[i]) > 1e-12 {
+			t.Fatalf("identity resample changed sample %d", i)
+		}
+	}
+}
+
+func TestResampleLength(t *testing.T) {
+	cases := []struct {
+		n        int
+		from, to float64
+		want     int
+	}{
+		{512, 512, 256, 256},
+		{160, 160, 256, 256},
+		{1000, 500, 256, 512},
+		{173, 173, 256, 256},
+	}
+	for _, c := range cases {
+		out, err := Resample(make([]float64, c.n), c.from, c.to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != c.want {
+			t.Fatalf("Resample(%d, %g→%g) length = %d, want %d", c.n, c.from, c.to, len(out), c.want)
+		}
+	}
+}
+
+func TestResampleUpsamplePreservesSinusoid(t *testing.T) {
+	const from, to = 128.0, 256.0
+	n := 512
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = math.Sin(2 * math.Pi * 10 * float64(i) / from)
+	}
+	out, err := Resample(in, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against the ideal 256 Hz sinusoid, skipping edges.
+	var maxErr float64
+	for i := 10; i < len(out)-10; i++ {
+		want := math.Sin(2 * math.Pi * 10 * float64(i) / to)
+		if e := math.Abs(out[i] - want); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.05 {
+		t.Fatalf("upsample error %g too large", maxErr)
+	}
+}
+
+func TestResampleDownsampleKeepsBandContent(t *testing.T) {
+	const from, to = 512.0, 256.0
+	n := 2048
+	in := make([]float64, n)
+	for i := range in {
+		in[i] = math.Sin(2 * math.Pi * 20 * float64(i) / from)
+	}
+	out, err := Resample(in, from, to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 20 Hz tone is far below the 128 Hz target Nyquist and must
+	// survive with near-unity amplitude in steady state.
+	var peak float64
+	for _, v := range out[200 : len(out)-10] {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak < 0.85 || peak > 1.1 {
+		t.Fatalf("downsampled tone amplitude %g, want ≈1", peak)
+	}
+}
+
+func TestResampleDCInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		level := r.Range(-50, 50)
+		n := 160 + r.Intn(512)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = level
+		}
+		out, err := Resample(in, 512, 256)
+		if err != nil {
+			return false
+		}
+		// Skip the filter transient at the head.
+		for _, v := range out[40:] {
+			if math.Abs(v-level) > math.Abs(level)*0.02+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	if _, err := Resample([]float64{1}, 0, 256); err == nil {
+		t.Fatal("zero fromRate should error")
+	}
+	if _, err := Resample([]float64{1}, 256, -1); err == nil {
+		t.Fatal("negative toRate should error")
+	}
+	out, err := Resample(nil, 256, 128)
+	if err != nil || out != nil {
+		t.Fatal("empty input should return nil, nil")
+	}
+}
+
+func TestMustResamplePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustResample should panic on bad rates")
+		}
+	}()
+	MustResample([]float64{1}, -1, 256)
+}
+
+func BenchmarkResampleDown(b *testing.B) {
+	r := rng.New(1)
+	in := randSignal(r, 5120)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Resample(in, 512, 256)
+	}
+}

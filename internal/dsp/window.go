@@ -1,0 +1,62 @@
+// Package dsp implements the signal-processing substrate of the EMAP
+// reproduction: FIR bandpass design and filtering (paper Eq. 1), the
+// normalized cross-correlation similarity (Eq. 2), the area-between-
+// curves similarity (Eq. 3), sliding-window statistics used by the
+// cloud search, and sample-rate conversion used while constructing the
+// mega-database.
+//
+// The paper targets single-channel EEG sampled at 256 Hz with 16-bit
+// resolution; all routines here operate on float64 slices in microvolts
+// and are allocation-conscious so they can run inside the per-second
+// real-time loop of the edge device.
+package dsp
+
+import "math"
+
+// WindowFunc generates an n-point window. Implementations must return a
+// slice of exactly n coefficients.
+type WindowFunc func(n int) []float64
+
+// Hamming returns the n-point Hamming window, the default window for
+// the paper's 100-tap bandpass filter (≈53 dB stopband attenuation).
+func Hamming(n int) []float64 {
+	return cosineWindow(n, 0.54, 0.46, 0)
+}
+
+// Hann returns the n-point Hann window.
+func Hann(n int) []float64 {
+	return cosineWindow(n, 0.5, 0.5, 0)
+}
+
+// Blackman returns the n-point Blackman window (higher attenuation,
+// wider transition band than Hamming).
+func Blackman(n int) []float64 {
+	return cosineWindow(n, 0.42, 0.5, 0.08)
+}
+
+// Rectangular returns the n-point rectangular (boxcar) window.
+func Rectangular(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// cosineWindow evaluates a0 - a1·cos(2πk/(n-1)) + a2·cos(4πk/(n-1)).
+func cosineWindow(n int, a0, a1, a2 float64) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	den := float64(n - 1)
+	for k := range w {
+		x := 2 * math.Pi * float64(k) / den
+		w[k] = a0 - a1*math.Cos(x) + a2*math.Cos(2*x)
+	}
+	return w
+}

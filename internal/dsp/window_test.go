@@ -1,0 +1,63 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWindowLengths(t *testing.T) {
+	for _, w := range []WindowFunc{Hamming, Hann, Blackman, Rectangular} {
+		for _, n := range []int{1, 2, 63, 100} {
+			if got := len(w(n)); got != n {
+				t.Fatalf("window length %d, want %d", got, n)
+			}
+		}
+	}
+	if Hamming(0) != nil {
+		t.Fatal("zero-length window should be nil")
+	}
+}
+
+func TestWindowSymmetry(t *testing.T) {
+	for name, w := range map[string]WindowFunc{"hamming": Hamming, "hann": Hann, "blackman": Blackman} {
+		win := w(101)
+		for i := 0; i < 50; i++ {
+			if math.Abs(win[i]-win[100-i]) > 1e-12 {
+				t.Fatalf("%s window asymmetric at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestWindowPeakAtCentre(t *testing.T) {
+	win := Hamming(101)
+	if math.Abs(win[50]-1) > 1e-12 {
+		t.Fatalf("Hamming centre = %g, want 1", win[50])
+	}
+	if win[0] >= win[50] {
+		t.Fatal("Hamming edges should be below centre")
+	}
+}
+
+func TestHannEdgesZero(t *testing.T) {
+	win := Hann(64)
+	if math.Abs(win[0]) > 1e-12 || math.Abs(win[63]) > 1e-12 {
+		t.Fatalf("Hann edges = %g, %g, want 0", win[0], win[63])
+	}
+}
+
+func TestRectangularAllOnes(t *testing.T) {
+	for _, v := range Rectangular(10) {
+		if v != 1 {
+			t.Fatal("rectangular window not flat")
+		}
+	}
+}
+
+func TestSingleTapWindow(t *testing.T) {
+	for _, w := range []WindowFunc{Hamming, Hann, Blackman} {
+		if got := w(1)[0]; got != 1 {
+			t.Fatalf("1-point window = %g, want 1", got)
+		}
+	}
+}

@@ -1,0 +1,361 @@
+// Package edf implements a compact EDF-style binary container for EEG
+// recordings.
+//
+// The paper's tool-flow reads the public corpora through pyedflib; this
+// reproduction has no EDF files, but the on-disk pipeline is preserved:
+// dataset emulators export recordings into this format and the MDB
+// construction pipeline reads them back, exercising the same concerns
+// as real EDF — fixed headers, per-signal scaling from physical units
+// (µV) to 16-bit digital counts, and record-interleaved sample layout.
+//
+// The format (versioned, little-endian):
+//
+//	header:  magic "EMAPEDF1" | patientID | recordingID | startTime
+//	         | recordDur | numRecords | numSignals
+//	per-sig: label | physDim | physMin | physMax | samplesPerRecord
+//	data:    numRecords × (for each signal: samplesPerRecord × int16)
+//
+// Like real EDF, amplitude resolution is bounded by the 16-bit digital
+// range over [PhysMin, PhysMax].
+package edf
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Magic identifies the container format and version.
+const Magic = "EMAPEDF1"
+
+const (
+	idLen    = 80
+	labelLen = 32
+	dimLen   = 8
+
+	digMin = -32768
+	digMax = 32767
+)
+
+// ErrBadMagic is returned when the input does not start with Magic.
+var ErrBadMagic = errors.New("edf: bad magic (not an EMAP EDF file)")
+
+// Signal is one channel of a recording.
+type Signal struct {
+	// Label names the channel (e.g. "Fp1-F7").
+	Label string
+	// PhysDim is the physical dimension, typically "uV".
+	PhysDim string
+	// SampleRate is the channel's sampling frequency in Hz. It must
+	// yield an integral number of samples per data record.
+	SampleRate float64
+	// PhysMin and PhysMax bound the physical range mapped onto the
+	// 16-bit digital range. If both are zero, Write derives them
+	// from the data with 5% headroom.
+	PhysMin, PhysMax float64
+	// Samples holds the waveform in physical units.
+	Samples []float64
+}
+
+// File is a parsed or to-be-written container.
+type File struct {
+	// PatientID and RecordingID are free-form identification fields
+	// (≤80 bytes each); the dataset emulators store class metadata
+	// here, as real corpora store annotations.
+	PatientID   string
+	RecordingID string
+	// StartTime is the recording start.
+	StartTime time.Time
+	// RecordDur is the duration of one data record in seconds
+	// (default 1 s).
+	RecordDur float64
+	// Signals holds one entry per channel.
+	Signals []*Signal
+}
+
+// Write serialises f to w.
+func Write(w io.Writer, f *File) error {
+	if len(f.Signals) == 0 {
+		return errors.New("edf: file has no signals")
+	}
+	recordDur := f.RecordDur
+	if recordDur <= 0 {
+		recordDur = 1
+	}
+	type sigPlan struct {
+		spr              int // samples per record
+		physMin, physMax float64
+	}
+	plans := make([]sigPlan, len(f.Signals))
+	numRecords := 0
+	for i, s := range f.Signals {
+		if s.SampleRate <= 0 {
+			return fmt.Errorf("edf: signal %d (%q) has non-positive sample rate", i, s.Label)
+		}
+		sprF := s.SampleRate * recordDur
+		spr := int(math.Round(sprF))
+		if spr < 1 || math.Abs(sprF-float64(spr)) > 1e-9 {
+			return fmt.Errorf("edf: signal %d rate %g Hz not integral per %g s record", i, s.SampleRate, recordDur)
+		}
+		lo, hi := s.PhysMin, s.PhysMax
+		if lo == 0 && hi == 0 {
+			lo, hi = dataRange(s.Samples)
+		}
+		if hi <= lo {
+			return fmt.Errorf("edf: signal %d has invalid physical range [%g, %g]", i, lo, hi)
+		}
+		plans[i] = sigPlan{spr: spr, physMin: lo, physMax: hi}
+		if nr := (len(s.Samples) + spr - 1) / spr; nr > numRecords {
+			numRecords = nr
+		}
+	}
+	if numRecords == 0 {
+		return errors.New("edf: no samples to write")
+	}
+
+	if _, err := w.Write([]byte(Magic)); err != nil {
+		return err
+	}
+	if err := writeFixedString(w, f.PatientID, idLen); err != nil {
+		return err
+	}
+	if err := writeFixedString(w, f.RecordingID, idLen); err != nil {
+		return err
+	}
+	hdr := []any{
+		f.StartTime.Unix(),
+		recordDur,
+		int32(numRecords),
+		int32(len(f.Signals)),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i, s := range f.Signals {
+		if err := writeFixedString(w, s.Label, labelLen); err != nil {
+			return err
+		}
+		dim := s.PhysDim
+		if dim == "" {
+			dim = "uV"
+		}
+		if err := writeFixedString(w, dim, dimLen); err != nil {
+			return err
+		}
+		for _, v := range []any{plans[i].physMin, plans[i].physMax, int32(plans[i].spr)} {
+			if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Data records, signal-interleaved like EDF.
+	buf := make([]byte, 0, 4096)
+	for rec := 0; rec < numRecords; rec++ {
+		buf = buf[:0]
+		for i, s := range f.Signals {
+			p := plans[i]
+			scale := float64(digMax-digMin) / (p.physMax - p.physMin)
+			for k := 0; k < p.spr; k++ {
+				idx := rec*p.spr + k
+				var x float64
+				if idx < len(s.Samples) {
+					x = s.Samples[idx]
+				} else if len(s.Samples) > 0 {
+					x = s.Samples[len(s.Samples)-1] // pad with last value
+				}
+				d := math.Round((x - p.physMin) * scale)
+				d += digMin
+				if d > digMax {
+					d = digMax
+				} else if d < digMin {
+					d = digMin
+				}
+				buf = binary.LittleEndian.AppendUint16(buf, uint16(int16(d)))
+			}
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses a container from r. Padded samples beyond the original
+// length are retained (callers know their intended durations).
+func Read(r io.Reader) (*File, error) {
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("edf: reading magic: %w", err)
+	}
+	if string(magic) != Magic {
+		return nil, ErrBadMagic
+	}
+	patient, err := readFixedString(r, idLen)
+	if err != nil {
+		return nil, err
+	}
+	recording, err := readFixedString(r, idLen)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		startUnix  int64
+		recordDur  float64
+		numRecords int32
+		numSignals int32
+	)
+	for _, v := range []any{&startUnix, &recordDur, &numRecords, &numSignals} {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("edf: reading header: %w", err)
+		}
+	}
+	if numRecords < 1 || numSignals < 1 || numSignals > 4096 {
+		return nil, fmt.Errorf("edf: implausible header (records=%d signals=%d)", numRecords, numSignals)
+	}
+	if recordDur <= 0 {
+		return nil, fmt.Errorf("edf: non-positive record duration %g", recordDur)
+	}
+
+	f := &File{
+		PatientID:   patient,
+		RecordingID: recording,
+		StartTime:   time.Unix(startUnix, 0).UTC(),
+		RecordDur:   recordDur,
+		Signals:     make([]*Signal, numSignals),
+	}
+	type sigPlan struct {
+		spr              int
+		physMin, physMax float64
+	}
+	plans := make([]sigPlan, numSignals)
+	for i := range f.Signals {
+		label, err := readFixedString(r, labelLen)
+		if err != nil {
+			return nil, err
+		}
+		dim, err := readFixedString(r, dimLen)
+		if err != nil {
+			return nil, err
+		}
+		var (
+			physMin, physMax float64
+			spr              int32
+		)
+		for _, v := range []any{&physMin, &physMax, &spr} {
+			if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+				return nil, fmt.Errorf("edf: reading signal header %d: %w", i, err)
+			}
+		}
+		if spr < 1 || spr > 1<<20 {
+			return nil, fmt.Errorf("edf: implausible samples-per-record %d", spr)
+		}
+		if physMax <= physMin {
+			return nil, fmt.Errorf("edf: signal %d invalid physical range [%g, %g]", i, physMin, physMax)
+		}
+		plans[i] = sigPlan{spr: int(spr), physMin: physMin, physMax: physMax}
+		f.Signals[i] = &Signal{
+			Label:      label,
+			PhysDim:    dim,
+			SampleRate: float64(spr) / recordDur,
+			PhysMin:    physMin,
+			PhysMax:    physMax,
+			Samples:    make([]float64, 0, int(spr)*int(numRecords)),
+		}
+	}
+
+	raw := make([]byte, 0)
+	for rec := int32(0); rec < numRecords; rec++ {
+		for i, s := range f.Signals {
+			p := plans[i]
+			need := p.spr * 2
+			if cap(raw) < need {
+				raw = make([]byte, need)
+			}
+			raw = raw[:need]
+			if _, err := io.ReadFull(r, raw); err != nil {
+				return nil, fmt.Errorf("edf: truncated data record %d: %w", rec, err)
+			}
+			scale := (p.physMax - p.physMin) / float64(digMax-digMin)
+			for k := 0; k < p.spr; k++ {
+				d := int16(binary.LittleEndian.Uint16(raw[2*k:]))
+				s.Samples = append(s.Samples, (float64(d)-digMin)*scale+p.physMin)
+			}
+		}
+	}
+	return f, nil
+}
+
+// WriteFile serialises f to the named file.
+func WriteFile(path string, f *File) error {
+	out, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := Write(out, f); err != nil {
+		out.Close()
+		return err
+	}
+	return out.Close()
+}
+
+// ReadFile parses the named container file.
+func ReadFile(path string) (*File, error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	return Read(in)
+}
+
+// Resolution returns the physical value of one digital count for the
+// signal's range: the quantisation step of the stored data.
+func (s *Signal) Resolution() float64 {
+	return (s.PhysMax - s.PhysMin) / float64(digMax-digMin)
+}
+
+func dataRange(xs []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) { // empty
+		return -1, 1
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	return lo - 0.05*span, hi + 0.05*span
+}
+
+func writeFixedString(w io.Writer, s string, n int) error {
+	buf := make([]byte, n)
+	copy(buf, s)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFixedString(r io.Reader, n int) (string, error) {
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("edf: reading string field: %w", err)
+	}
+	end := len(buf)
+	for end > 0 && buf[end-1] == 0 {
+		end--
+	}
+	return string(buf[:end]), nil
+}

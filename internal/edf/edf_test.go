@@ -1,0 +1,250 @@
+package edf
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"emap/internal/rng"
+)
+
+func sine(n int, amp, freq, rate float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = amp * math.Sin(2*math.Pi*freq*float64(i)/rate)
+	}
+	return xs
+}
+
+func roundTrip(t *testing.T, f *File) *File {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	return got
+}
+
+func TestRoundTripBasic(t *testing.T) {
+	f := &File{
+		PatientID:   "patient-007",
+		RecordingID: "class=seizure;arch=3",
+		StartTime:   time.Unix(1700000000, 0).UTC(),
+		RecordDur:   1,
+		Signals: []*Signal{{
+			Label:      "C3-P3",
+			SampleRate: 256,
+			Samples:    sine(2560, 50, 10, 256),
+		}},
+	}
+	got := roundTrip(t, f)
+	if got.PatientID != f.PatientID || got.RecordingID != f.RecordingID {
+		t.Fatalf("IDs mangled: %q %q", got.PatientID, got.RecordingID)
+	}
+	if !got.StartTime.Equal(f.StartTime) {
+		t.Fatalf("start time %v != %v", got.StartTime, f.StartTime)
+	}
+	s := got.Signals[0]
+	if s.Label != "C3-P3" || s.PhysDim != "uV" || s.SampleRate != 256 {
+		t.Fatalf("signal header mangled: %+v", s)
+	}
+	if len(s.Samples) != 2560 {
+		t.Fatalf("sample count %d, want 2560", len(s.Samples))
+	}
+	res := s.Resolution()
+	for i, v := range s.Samples {
+		if math.Abs(v-f.Signals[0].Samples[i]) > res {
+			t.Fatalf("sample %d error %g exceeds resolution %g", i, v-f.Signals[0].Samples[i], res)
+		}
+	}
+}
+
+func TestRoundTripMultiChannel(t *testing.T) {
+	f := &File{
+		RecordDur: 1,
+		Signals: []*Signal{
+			{Label: "ch1", SampleRate: 256, Samples: sine(512, 30, 12, 256)},
+			{Label: "ch2", SampleRate: 128, Samples: sine(256, 80, 4, 128)},
+			{Label: "ch3", SampleRate: 512, Samples: sine(1024, 10, 40, 512)},
+		},
+	}
+	got := roundTrip(t, f)
+	if len(got.Signals) != 3 {
+		t.Fatalf("signal count %d", len(got.Signals))
+	}
+	for i, s := range got.Signals {
+		want := f.Signals[i]
+		if s.SampleRate != want.SampleRate {
+			t.Fatalf("signal %d rate %g, want %g", i, s.SampleRate, want.SampleRate)
+		}
+		if len(s.Samples) != len(want.Samples) {
+			t.Fatalf("signal %d length %d, want %d", i, len(s.Samples), len(want.Samples))
+		}
+	}
+}
+
+func TestPaddingToRecordBoundary(t *testing.T) {
+	// 300 samples at 256 Hz with 1 s records → 2 records, padded to 512.
+	f := &File{Signals: []*Signal{{Label: "x", SampleRate: 256, Samples: sine(300, 20, 5, 256)}}}
+	got := roundTrip(t, f)
+	if len(got.Signals[0].Samples) != 512 {
+		t.Fatalf("padded length %d, want 512", len(got.Signals[0].Samples))
+	}
+	// Padding repeats the final value.
+	last := got.Signals[0].Samples[299]
+	for i := 300; i < 512; i++ {
+		if math.Abs(got.Signals[0].Samples[i]-last) > got.Signals[0].Resolution() {
+			t.Fatalf("padding at %d = %g, want %g", i, got.Signals[0].Samples[i], last)
+		}
+	}
+}
+
+func TestQuantisationErrorBound(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 64 + r.Intn(512)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.Norm(0, 40)
+		}
+		in := &File{Signals: []*Signal{{Label: "q", SampleRate: 64, Samples: xs}}}
+		var buf bytes.Buffer
+		if err := Write(&buf, in); err != nil {
+			return false
+		}
+		out, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		res := out.Signals[0].Resolution()
+		for i := range xs {
+			if math.Abs(out.Signals[0].Samples[i]-xs[i]) > res {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitPhysicalRangeClamps(t *testing.T) {
+	f := &File{Signals: []*Signal{{
+		Label: "clip", SampleRate: 4, PhysMin: -10, PhysMax: 10,
+		Samples: []float64{-100, -10, 0, 10, 100, 0, 0, 0},
+	}}}
+	got := roundTrip(t, f)
+	s := got.Signals[0]
+	if s.Samples[0] < -10.01 || s.Samples[4] > 10.01 {
+		t.Fatalf("clamping failed: %v", s.Samples[:5])
+	}
+}
+
+func TestWriteErrors(t *testing.T) {
+	var buf bytes.Buffer
+	cases := []struct {
+		name string
+		f    *File
+	}{
+		{"no signals", &File{}},
+		{"zero rate", &File{Signals: []*Signal{{Label: "x", Samples: []float64{1}}}}},
+		{"fractional spr", &File{Signals: []*Signal{{Label: "x", SampleRate: 0.3, Samples: []float64{1}}}}},
+		{"bad range", &File{Signals: []*Signal{{Label: "x", SampleRate: 1, PhysMin: 5, PhysMax: 5, Samples: []float64{1}}}}},
+		{"no samples", &File{Signals: []*Signal{{Label: "x", SampleRate: 1}}}},
+	}
+	for _, c := range cases {
+		if err := Write(&buf, c.f); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("NOTEDF00garbage")); err != ErrBadMagic {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	if _, err := Read(strings.NewReader("EM")); err == nil {
+		t.Fatal("short magic should error")
+	}
+	// Truncate a valid file mid-data.
+	f := &File{Signals: []*Signal{{Label: "x", SampleRate: 256, Samples: sine(2560, 20, 8, 256)}}}
+	var buf bytes.Buffer
+	if err := Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	if _, err := Read(bytes.NewReader(full[:len(full)-100])); err == nil {
+		t.Fatal("truncated file should error")
+	}
+	if _, err := Read(bytes.NewReader(full[:200])); err == nil {
+		t.Fatal("header-only file should error")
+	}
+}
+
+func TestFileRoundTripOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "rec.emapedf")
+	f := &File{
+		PatientID: "p1",
+		Signals:   []*Signal{{Label: "Fz", SampleRate: 256, Samples: sine(512, 25, 20, 256)}},
+	}
+	if err := WriteFile(path, f); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if got.PatientID != "p1" || len(got.Signals[0].Samples) != 512 {
+		t.Fatal("disk round trip mangled data")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.edf")); err == nil {
+		t.Fatal("missing file should error")
+	}
+}
+
+func TestLongIDsTruncated(t *testing.T) {
+	long := strings.Repeat("x", 200)
+	f := &File{
+		PatientID: long,
+		Signals:   []*Signal{{Label: long, SampleRate: 2, Samples: []float64{1, 2}}},
+	}
+	got := roundTrip(t, f)
+	if len(got.PatientID) != 80 {
+		t.Fatalf("patient ID length %d, want 80", len(got.PatientID))
+	}
+	if len(got.Signals[0].Label) != 32 {
+		t.Fatalf("label length %d, want 32", len(got.Signals[0].Label))
+	}
+}
+
+func BenchmarkWrite10s(b *testing.B) {
+	f := &File{Signals: []*Signal{{Label: "x", SampleRate: 256, Samples: sine(2560, 20, 8, 256)}}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		_ = Write(&buf, f)
+	}
+}
+
+func BenchmarkRead10s(b *testing.B) {
+	f := &File{Signals: []*Signal{{Label: "x", SampleRate: 256, Samples: sine(2560, 20, 8, 256)}}}
+	var buf bytes.Buffer
+	_ = Write(&buf, f)
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Read(bytes.NewReader(data))
+	}
+}

@@ -1,0 +1,90 @@
+// Package edge implements the edge tier of the EMAP framework: the
+// protocol client that talks to the cloud service, and the Device that
+// runs the full acquisition → upload → download → track → predict loop
+// on streaming EEG, exactly as a wearable sensor node would.
+package edge
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"emap/internal/proto"
+)
+
+// Client is a synchronous protocol client. It is safe for concurrent
+// use; requests are serialised (the protocol is request/response).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint32
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	return &Client{conn: conn}
+}
+
+// Dial connects to a cloud service address.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("edge: dialing cloud: %w", err)
+	}
+	return NewClient(conn), nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn.Close()
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := proto.WriteFrame(c.conn, proto.TypePing, nil); err != nil {
+		return err
+	}
+	typ, _, err := proto.ReadFrame(c.conn)
+	if err != nil {
+		return err
+	}
+	if typ != proto.TypePong {
+		return fmt.Errorf("edge: expected pong, got type %d", typ)
+	}
+	return nil
+}
+
+// Search uploads a filtered one-second window and returns the cloud's
+// signal correlation set.
+func (c *Client) Search(window []float64) (*proto.CorrSet, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	counts, scale := proto.Quantize(window)
+	payload := proto.EncodeUpload(&proto.Upload{Seq: c.seq, Scale: scale, Samples: counts})
+	if err := proto.WriteFrame(c.conn, proto.TypeUpload, payload); err != nil {
+		return nil, fmt.Errorf("edge: upload: %w", err)
+	}
+	typ, resp, err := proto.ReadFrame(c.conn)
+	if err != nil {
+		return nil, fmt.Errorf("edge: awaiting correlation set: %w", err)
+	}
+	switch typ {
+	case proto.TypeCorrSet:
+		return proto.DecodeCorrSet(resp)
+	case proto.TypeError:
+		em, derr := proto.DecodeError(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
+	default:
+		return nil, errors.New("edge: unexpected response type")
+	}
+}

@@ -1,0 +1,286 @@
+package edge
+
+import (
+	"fmt"
+
+	"emap/internal/dsp"
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/search"
+	"emap/internal/synth"
+	"emap/internal/track"
+)
+
+// recClass converts a wire class code back to a synth.Class, mapping
+// unknown codes to Normal.
+func recClass(code uint8) synth.Class {
+	c := synth.Class(code)
+	for _, known := range synth.Classes {
+		if c == known {
+			return c
+		}
+	}
+	return synth.Normal
+}
+
+// Config parameterises a Device. Zero values select paper defaults.
+type Config struct {
+	// BaseRate is the sampling frequency (default 256 Hz).
+	BaseRate float64
+	// WindowLen is the acquisition slot in samples (default 256).
+	WindowLen int
+	// FilterTaps, LowHz, HighHz define the acquisition bandpass
+	// (defaults 100, 11, 40).
+	FilterTaps    int
+	LowHz, HighHz float64
+	// Track configures the local tracker (Algorithm 2 defaults).
+	Track track.Params
+	// Predict configures the anomaly decision.
+	Predict track.PredictorParams
+	// RecallMargin triggers a background refresh this many windows
+	// before the downloaded horizon runs out (default 2).
+	RecallMargin int
+	// WarmupWindows lets the filter settle before the first upload
+	// (default 1).
+	WarmupWindows int
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.BaseRate <= 0 {
+		c.BaseRate = 256
+	}
+	if c.WindowLen <= 0 {
+		c.WindowLen = 256
+	}
+	if c.FilterTaps <= 0 {
+		c.FilterTaps = 100
+	}
+	if c.LowHz <= 0 {
+		c.LowHz = 11
+	}
+	if c.HighHz <= 0 {
+		c.HighHz = 40
+	}
+	if c.RecallMargin <= 0 {
+		c.RecallMargin = 2
+	}
+	if c.WarmupWindows < 0 {
+		c.WarmupWindows = 0
+	} else if c.WarmupWindows == 0 {
+		c.WarmupWindows = 1
+	}
+	return c, nil
+}
+
+// Status summarises one acquisition slot.
+type Status struct {
+	// Window is the slot index (0-based).
+	Window int
+	// Tracking reports whether a correlation set is live.
+	Tracking bool
+	// PA is the current anomaly probability estimate.
+	PA float64
+	// Remaining is N(F).
+	Remaining int
+	// CloudCalled reports that this slot issued a cloud search.
+	CloudCalled bool
+	// Anomalous is the predictor's current decision.
+	Anomalous bool
+}
+
+// Device is the edge node: it consumes raw samples one second at a
+// time and maintains tracking state between cloud refreshes.
+//
+// Downloaded correlation sets are materialised into a local throwaway
+// mini-MDB (one record per downloaded entry) so the same track.Tracker
+// used in-process drives the distributed deployment.
+type Device struct {
+	cfg       Config
+	client    *Client
+	stream    *dsp.Stream
+	tracker   *track.Tracker
+	predictor *track.Predictor
+
+	window     int
+	lastAdopt  int // window at which the live set was adopted
+	refreshing chan adoptable
+	pending    bool
+}
+
+type adoptable struct {
+	store   *mdb.Store
+	matches []search.Match
+	seq     int // window the search ran against
+	err     error
+}
+
+// NewDevice returns a device speaking to the given cloud client.
+func NewDevice(client *Client, cfg Config) (*Device, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	fir, err := dsp.DesignBandpass(cfg.FilterTaps, cfg.LowHz, cfg.HighHz, cfg.BaseRate, dsp.Hamming)
+	if err != nil {
+		return nil, fmt.Errorf("edge: designing filter: %w", err)
+	}
+	return &Device{
+		cfg:        cfg,
+		client:     client,
+		stream:     fir.NewStream(),
+		predictor:  track.NewPredictor(cfg.Predict),
+		refreshing: make(chan adoptable, 1),
+	}, nil
+}
+
+// Predictor exposes the accumulated anomaly decision state.
+func (d *Device) Predictor() *track.Predictor { return d.predictor }
+
+// PushSecond consumes one acquisition slot of raw samples (WindowLen
+// of them) and advances the pipeline.
+func (d *Device) PushSecond(raw []float64) (Status, error) {
+	if len(raw) != d.cfg.WindowLen {
+		return Status{}, fmt.Errorf("edge: slot must be %d samples, got %d", d.cfg.WindowLen, len(raw))
+	}
+	st := Status{Window: d.window}
+	filtered := d.stream.NextBlock(raw)
+	defer func() { d.window++ }()
+
+	if d.window < d.cfg.WarmupWindows {
+		return st, nil
+	}
+
+	// Adopt a completed background refresh.
+	select {
+	case a := <-d.refreshing:
+		d.pending = false
+		if a.err == nil {
+			tr := track.NewTracker(a.store, a.matches, d.trackParams(a.store, len(a.matches)))
+			tr.Skip(d.window - a.seq - 1)
+			d.tracker = tr
+			d.lastAdopt = d.window
+		}
+	default:
+	}
+
+	if d.tracker == nil {
+		if !d.pending {
+			// First call is synchronous: nothing to track yet.
+			if err := d.refreshNow(filtered); err != nil {
+				return st, err
+			}
+			st.CloudCalled = true
+		}
+		return st, nil
+	}
+
+	step := d.tracker.Step(filtered)
+	// P_A is only an estimate while signals are being tracked; an
+	// empty set (horizon exhausted, refresh in flight) carries no
+	// information and must not poison the predictor's trajectory.
+	if step.Remaining > 0 {
+		d.predictor.Observe(step.PA)
+	}
+	st.Tracking = true
+	st.PA = step.PA
+	st.Remaining = step.Remaining
+	st.Anomalous = d.predictor.Anomalous()
+
+	needRecall := step.NeedsCloud ||
+		(d.tracker.HorizonLeft() >= 0 && d.tracker.HorizonLeft() <= d.cfg.RecallMargin)
+	if needRecall && !d.pending {
+		d.pending = true
+		st.CloudCalled = true
+		go d.refreshAsync(append([]float64(nil), filtered...), d.window)
+	}
+	return st, nil
+}
+
+// trackParams derives local tracking parameters: the horizon matches
+// the downloaded data length so the proactive recall margin fires
+// before the set starves, and the tracking threshold H is capped at
+// half the downloaded set so sparse correlation sets do not demand a
+// cloud call every iteration.
+func (d *Device) trackParams(local *mdb.Store, matches int) track.Params {
+	p := d.cfg.Track
+	if p.WindowLen == 0 {
+		p.WindowLen = d.cfg.WindowLen
+	}
+	h := p.TrackThreshold
+	if h == 0 {
+		h = track.DefaultParams().TrackThreshold
+	}
+	if limit := matches / 2; limit < h {
+		h = limit
+	}
+	if h < 2 {
+		h = 2
+	}
+	p.TrackThreshold = h
+	if p.HorizonWindows == 0 {
+		maxLen := 0
+		for _, id := range local.RecordIDs() {
+			if rec, ok := local.Record(id); ok && len(rec.Samples) > maxLen {
+				maxLen = len(rec.Samples)
+			}
+		}
+		if h := maxLen/p.WindowLen - 1; h > 0 {
+			p.HorizonWindows = h
+		}
+	}
+	return p
+}
+
+// refreshNow performs a synchronous search and adopts it immediately.
+func (d *Device) refreshNow(window []float64) error {
+	store, matches, err := d.fetch(window)
+	if err != nil {
+		return err
+	}
+	d.tracker = track.NewTracker(store, matches, d.trackParams(store, len(matches)))
+	d.lastAdopt = d.window
+	return nil
+}
+
+// refreshAsync performs a background search; PushSecond adopts the
+// result on a later slot, mirroring Fig. 9's overlap of tracking and
+// cloud search.
+func (d *Device) refreshAsync(window []float64, seq int) {
+	store, matches, err := d.fetch(window)
+	d.refreshing <- adoptable{store: store, matches: matches, seq: seq, err: err}
+}
+
+// fetch round-trips one search and materialises the response into a
+// local mini-MDB: one record per entry, one signal-set spanning it.
+func (d *Device) fetch(window []float64) (*mdb.Store, []search.Match, error) {
+	corrSet, err := d.client.Search(window)
+	if err != nil {
+		return nil, nil, err
+	}
+	store := mdb.NewStore()
+	matches := make([]search.Match, 0, len(corrSet.Entries))
+	for i, e := range corrSet.Entries {
+		samples := proto.Dequantize(e.Samples, e.Scale)
+		if len(samples) < d.cfg.WindowLen {
+			continue
+		}
+		rec := &mdb.Record{
+			ID:        fmt.Sprintf("dl-%d-%d", corrSet.Seq, i),
+			Class:     recClass(e.Class),
+			Archetype: int(e.Archetype),
+			Onset:     -1,
+			Samples:   samples,
+		}
+		anomalous := e.Anomalous
+		n, err := store.Insert(rec, len(samples), func(int) bool { return anomalous })
+		if err != nil || n == 0 {
+			continue
+		}
+		matches = append(matches, search.Match{
+			SetID: store.NumSets() - 1,
+			Omega: float64(e.Omega),
+			Beta:  0, // downloaded samples begin at the matched offset
+		})
+	}
+	return store, matches, nil
+}

@@ -1,0 +1,270 @@
+package edge
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"emap/internal/cloud"
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/synth"
+)
+
+// buildStore assembles the shared test MDB.
+func buildStore(t testing.TB) (*mdb.Store, *synth.Generator) {
+	t.Helper()
+	g := synth.NewGenerator(synth.Config{Seed: 51, ArchetypesPerClass: 3})
+	var recs []*synth.Recording
+	for arch := 0; arch < 3; arch++ {
+		for i := 0; i < 4; i++ {
+			recs = append(recs,
+				g.Instance(synth.Normal, arch, synth.InstanceOpts{
+					OffsetSamples: i * 2000, DurSeconds: 90}),
+				g.Instance(synth.Seizure, arch, synth.InstanceOpts{
+					OffsetSamples: synth.PreictalAt*256 + i*2000, DurSeconds: 120}),
+			)
+		}
+	}
+	store, err := mdb.Build(recs, mdb.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, g
+}
+
+// pipePair wires a client directly to an in-process server over
+// net.Pipe.
+func pipePair(t testing.TB, store *mdb.Store) *Client {
+	t.Helper()
+	srv, err := cloud.NewServer(store, cloud.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	go srv.HandleConn(sConn)
+	t.Cleanup(func() { cConn.Close() })
+	return NewClient(cConn)
+}
+
+func TestPingPong(t *testing.T) {
+	store, _ := buildStore(t)
+	client := pipePair(t, store)
+	if err := client.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+}
+
+func TestSearchOverPipe(t *testing.T) {
+	store, g := buildStore(t)
+	client := pipePair(t, store)
+	dev, err := NewDevice(client, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 2500, DurSeconds: 20, NoArtifacts: true})
+	tracked := 0
+	for k := 0; k+256 <= len(input.Samples); k += 256 {
+		st, err := dev.PushSecond(input.Samples[k : k+256])
+		if err != nil {
+			t.Fatalf("slot %d: %v", st.Window, err)
+		}
+		if st.Tracking {
+			tracked++
+			if st.Remaining == 0 && st.PA != 0 {
+				t.Fatalf("inconsistent status: %+v", st)
+			}
+		}
+	}
+	if tracked == 0 {
+		t.Fatal("device never tracked anything")
+	}
+}
+
+func TestDistributedPrediction(t *testing.T) {
+	store, g := buildStore(t)
+	client := pipePair(t, store)
+	dev, err := NewDevice(client, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := g.SeizureInput(0, 30, 28)
+	for k := 0; k+256 <= len(input.Samples); k += 256 {
+		if _, err := dev.PushSecond(input.Samples[k : k+256]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Background refreshes may land between slots; allow a beat.
+	time.Sleep(50 * time.Millisecond)
+	if !dev.Predictor().Anomalous() {
+		t.Fatalf("distributed pipeline missed the preictal input (PA %v)", dev.Predictor().History())
+	}
+}
+
+func TestDeviceOverTCP(t *testing.T) {
+	store, g := buildStore(t)
+	srv, err := cloud.NewServer(store, cloud.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+
+	client, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if err := client.Ping(); err != nil {
+		t.Fatalf("ping over TCP: %v", err)
+	}
+
+	dev, err := NewDevice(client, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := g.Instance(synth.Normal, 1, synth.InstanceOpts{
+		OffsetSamples: 2500, DurSeconds: 12, NoArtifacts: true})
+	for k := 0; k+256 <= len(input.Samples); k += 256 {
+		if _, err := dev.PushSecond(input.Samples[k : k+256]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.Metrics.Requests.Load() == 0 {
+		t.Fatal("server saw no requests")
+	}
+}
+
+func TestServerRejectsGarbageFrame(t *testing.T) {
+	store, _ := buildStore(t)
+	srv, err := cloud.NewServer(store, cloud.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	go srv.HandleConn(sConn)
+	defer cConn.Close()
+	// A malformed Upload payload must produce a protocol error reply.
+	if err := proto.WriteFrame(cConn, proto.TypeUpload, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := proto.ReadFrame(cConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != proto.TypeError {
+		t.Fatalf("expected error reply, got type %d", typ)
+	}
+	em, err := proto.DecodeError(payload)
+	if err != nil || em.Code != 400 {
+		t.Fatalf("error reply: %+v, %v", em, err)
+	}
+	if srv.Metrics.Errors.Load() == 0 {
+		t.Fatal("error not counted")
+	}
+}
+
+func TestServerRejectsUnknownType(t *testing.T) {
+	store, _ := buildStore(t)
+	srv, _ := cloud.NewServer(store, cloud.Config{})
+	cConn, sConn := net.Pipe()
+	go srv.HandleConn(sConn)
+	defer cConn.Close()
+	if err := proto.WriteFrame(cConn, proto.MsgType(99), nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := proto.ReadFrame(cConn)
+	if err != nil || typ != proto.TypeError {
+		t.Fatalf("unknown type reply: %d, %v", typ, err)
+	}
+}
+
+func TestClientSurvivesCloudDeath(t *testing.T) {
+	store, g := buildStore(t)
+	srv, _ := cloud.NewServer(store, cloud.Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	client, err := Dial(l.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dev, err := NewDevice(client, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the cloud mid-session: PushSecond must surface an error,
+	// not hang or panic.
+	srv.Close()
+	time.Sleep(20 * time.Millisecond)
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 2500, DurSeconds: 4, NoArtifacts: true})
+	var lastErr error
+	for k := 0; k+256 <= len(input.Samples); k += 256 {
+		if _, err := dev.PushSecond(input.Samples[k : k+256]); err != nil {
+			lastErr = err
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("dead cloud produced no error")
+	}
+	if !strings.Contains(lastErr.Error(), "edge:") {
+		t.Fatalf("error lacks context: %v", lastErr)
+	}
+}
+
+func TestNewServerRejectsEmptyStore(t *testing.T) {
+	if _, err := cloud.NewServer(nil, cloud.Config{}); err == nil {
+		t.Fatal("nil store should error")
+	}
+	if _, err := cloud.NewServer(mdb.NewStore(), cloud.Config{}); err == nil {
+		t.Fatal("empty store should error")
+	}
+}
+
+func TestDeviceRejectsBadSlot(t *testing.T) {
+	store, _ := buildStore(t)
+	client := pipePair(t, store)
+	dev, err := NewDevice(client, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev.PushSecond(make([]float64, 100)); err == nil {
+		t.Fatal("short slot should error")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Fatal("dial to a closed port should error")
+	}
+}
+
+func TestCorrSetEntriesCarryContinuations(t *testing.T) {
+	store, g := buildStore(t)
+	srv, _ := cloud.NewServer(store, cloud.Config{HorizonSeconds: 4})
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 2500, DurSeconds: 6, NoArtifacts: true})
+	counts, scale := proto.Quantize(input.Samples[1024:1280])
+	corrSet, err := srv.Search(&proto.Upload{Seq: 1, Scale: scale, Samples: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corrSet.Entries) == 0 {
+		t.Skip("no matches for this window")
+	}
+	for _, e := range corrSet.Entries {
+		if len(e.Samples) < 256 {
+			t.Fatalf("entry %d carries only %d samples", e.SetID, len(e.Samples))
+		}
+	}
+}

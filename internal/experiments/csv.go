@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the table's rows as CSV (headers first), so figure
+// data can be re-plotted outside Go. The Title/Caption rows are
+// prefixed with '#' as comments.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+			return err
+		}
+	}
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "# %s\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"emap/internal/synth"
+)
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(Fig2Opts{Env: QuickEnv()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 6 (iterations 0..5)", len(r.Points))
+	}
+	// The paper's shape: P_A starts well below 1 (anomalous inputs
+	// initially retrieve many normal signals) and rises as tracking
+	// eliminates them.
+	if r.FirstPA() > 0.8 {
+		t.Fatalf("initial P_A %.2f too high — no normal retrieval mix", r.FirstPA())
+	}
+	if r.LastPA() <= r.FirstPA() {
+		t.Fatalf("P_A did not rise: %.2f -> %.2f", r.FirstPA(), r.LastPA())
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig. 2") {
+		t.Fatal("table missing title")
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	r := Fig4(Fig4Opts{})
+	if len(r.Platforms) != 6 {
+		t.Fatalf("platforms = %d", len(r.Platforms))
+	}
+	// 4G-class constraint: LTE uploads 256 samples in < 1000 µs.
+	if v, ok := r.upload256("LTE"); !ok || v >= 1000 {
+		t.Fatalf("LTE 256-sample upload = %v µs", v)
+	}
+	if v, ok := r.upload256("HSPA"); !ok || v < 1000 {
+		t.Fatalf("HSPA should exceed 1 ms, got %v µs", v)
+	}
+	// Download constraint: 100 signals < 200 ms on LTE.
+	if v, ok := r.download100("LTE"); !ok || v >= 200 {
+		t.Fatalf("LTE 100-signal download = %v ms", v)
+	}
+	// Monotonicity along the sample axis.
+	for i := range r.Platforms {
+		for j := 1; j < len(r.SampleCounts); j++ {
+			if r.UploadMicros[i][j] < r.UploadMicros[i][j-1] {
+				t.Fatalf("upload times not monotone for %s", r.Platforms[i])
+			}
+		}
+	}
+	var sb strings.Builder
+	if err := r.UploadTable().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DownloadTable().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig7aShape(t *testing.T) {
+	r, err := Fig7a(Fig7Opts{Env: QuickEnv(), Inputs: 2, Alphas: []float64{0.001, 0.004, 0.015}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d", len(r.Points))
+	}
+	// Evaluations must fall as α grows.
+	if r.Points[2].Evaluations >= r.Points[0].Evaluations {
+		t.Fatalf("evaluations not decreasing with α: %v vs %v",
+			r.Points[0].Evaluations, r.Points[2].Evaluations)
+	}
+	// At and below the paper's α = 0.004 operating point, retrieval
+	// quality must hold; beyond it, degradation is the expected
+	// shape (why the paper pins α there).
+	for _, p := range r.Points {
+		if p.Alpha <= 0.004 && p.Hits > 0 && p.AvgOmega < 0.8 {
+			t.Fatalf("avg ω %.3f at α=%g", p.AvgOmega, p.Alpha)
+		}
+	}
+}
+
+func TestFig7bShape(t *testing.T) {
+	r, err := Fig7b(Fig7Opts{Env: QuickEnv(), Inputs: 2, Sizes: []int{200, 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	for _, p := range r.Points {
+		if p.SpeedupEvals < 3 {
+			t.Fatalf("speedup only %.1f× at %d sets", p.SpeedupEvals, p.Sets)
+		}
+	}
+	if r.MeanSpeedup() < 3 {
+		t.Fatalf("mean speedup %.1f×", r.MeanSpeedup())
+	}
+}
+
+func TestFig8aShape(t *testing.T) {
+	r, err := Fig8a(Fig8Opts{Env: QuickEnv(), MaxSets: 150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Match counts must fall as δ rises and as δ_A falls.
+	for i := 1; i < len(r.Deltas); i++ {
+		if r.CorrCounts[i] > r.CorrCounts[i-1] {
+			t.Fatal("correlation matches not decreasing with δ")
+		}
+	}
+	for i := 1; i < len(r.Areas); i++ {
+		if r.AreaCounts[i] < r.AreaCounts[i-1] {
+			t.Fatal("area matches not increasing with δ_A")
+		}
+	}
+	// The δ = 0.8 equivalent must land in the paper's vicinity.
+	if r.EquivalentArea < 400 || r.EquivalentArea > 1200 {
+		t.Fatalf("equivalent δ_A = %.0f outside the sweep", r.EquivalentArea)
+	}
+}
+
+func TestFig8bShape(t *testing.T) {
+	r, err := Fig8b(Fig8Opts{Env: QuickEnv(), TrackCounts: []int{20, 50}, Repeats: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no points")
+	}
+	// The re-correlation tracker must cost measurably more.
+	if r.MeanRatio() < 1.5 {
+		t.Fatalf("corr/area ratio only %.2f×", r.MeanRatio())
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(Fig9Opts{Env: QuickEnv(), Seconds: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Δ_initial must decompose into upload + search + download and
+	// land in the paper's few-second band under the scaled cost
+	// model.
+	if r.InitialOverhead <= 0 {
+		t.Fatal("no initial overhead recorded")
+	}
+	sum := r.UploadTime + r.SearchTime + r.DownloadTime
+	if sum != r.InitialOverhead {
+		t.Fatalf("Δ_initial %v ≠ Δ_EC+Δ_CS+Δ_CE %v", r.InitialOverhead, sum)
+	}
+	if r.SearchTime < r.UploadTime || r.SearchTime < r.DownloadTime {
+		t.Fatal("Δ_CS should dominate the initial overhead")
+	}
+	if r.CloudCalls < 2 {
+		t.Fatalf("cloud calls = %d, expected periodic recalls", r.CloudCalls)
+	}
+	if !strings.Contains(r.TimelineListing, "search") {
+		t.Fatal("timeline missing search events")
+	}
+}
+
+func TestFig10QuickShape(t *testing.T) {
+	r, err := Fig10(Fig10Opts{
+		Env: QuickEnv(), Batches: 2, PerBatch: 4, Leads: []int{15, 45},
+		WindowsPerInput: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Accuracy) != 2 || len(r.Accuracy[0]) != 2 {
+		t.Fatalf("accuracy matrix %dx%d", len(r.Accuracy), len(r.Accuracy[0]))
+	}
+	if r.EMAPAverage < 0.5 {
+		t.Fatalf("EMAP seizure accuracy %.2f too low even at quick size", r.EMAPAverage)
+	}
+	if r.BaselineAverage <= 0 {
+		t.Fatalf("baseline accuracy %.2f", r.BaselineAverage)
+	}
+}
+
+func TestTable1QuickShape(t *testing.T) {
+	r, err := Table1(Table1Opts{
+		Env: QuickEnv(), Batches: 2, PerBatch: 4,
+		WindowsPerInput: 12, NormalInputs: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Average) != 3 {
+		t.Fatalf("anomaly rows = %d", len(r.Average))
+	}
+	// Seizure must be the best-predicted anomaly, as in Table I.
+	if r.Average[0] < r.Average[1] && r.Average[0] < r.Average[2] {
+		t.Fatalf("seizure accuracy %.2f not leading (%v)", r.Average[0], r.Average)
+	}
+	if len(r.BaselineAcc) != 4 {
+		t.Fatalf("baseline columns = %d", len(r.BaselineAcc))
+	}
+	var sb strings.Builder
+	if err := r.Table().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "N.A.") {
+		t.Fatal("table missing N.A. markers for seizure-specific baselines")
+	}
+}
+
+func TestFig11QuickShape(t *testing.T) {
+	r, err := Fig11(Fig11Opts{Env: QuickEnv(), InputsPerClass: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) == 0 {
+		t.Fatal("no retrievable inputs")
+	}
+	// Fidelity: Algorithm 1's mean must be close to exhaustive's.
+	if loss := r.MeanExhaustive - r.MeanAlgorithm1; loss > 0.05 {
+		t.Fatalf("mean quality loss %.4f too large", loss)
+	}
+}
+
+func TestEnvDefaults(t *testing.T) {
+	cfg := EnvConfig{}.withDefaults()
+	if cfg.Seed != 2020 || cfg.Archetypes != 8 || cfg.Instances != 3 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if len(cfg.Classes) != 4 {
+		t.Fatalf("classes: %v", cfg.Classes)
+	}
+}
+
+func TestEnvBuilds(t *testing.T) {
+	env, err := NewEnv(QuickEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Store.NumSets() == 0 {
+		t.Fatal("empty store")
+	}
+	normal, anomalous := env.Store.LabelCounts()
+	if normal == 0 || anomalous == 0 {
+		t.Fatalf("labels: %d/%d", normal, anomalous)
+	}
+	rec := env.Input(synth.Normal, 0, 0, 10, 0)
+	wins := env.Windows(rec)
+	if len(wins) != 10 {
+		t.Fatalf("windows = %d", len(wins))
+	}
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"emap/internal/netsim"
+)
+
+// Fig4Result reproduces the paper's Fig. 4: analytic transmission
+// times across the six communication platforms — (a) upload time in µs
+// for varying sample counts, (b) download time in ms for varying
+// signal counts.
+type Fig4Result struct {
+	Platforms []string
+	// SampleCounts and UploadMicros[i][j] give Fig. 4a (platform i,
+	// count j).
+	SampleCounts []int
+	UploadMicros [][]float64
+	// SignalCounts and DownloadMillis give Fig. 4b.
+	SignalCounts   []int
+	DownloadMillis [][]float64
+	// SliceSamples is the per-signal payload used for Fig. 4b.
+	SliceSamples int
+}
+
+// Fig4Opts parameterises the sweep (zero values take the paper's
+// axes).
+type Fig4Opts struct {
+	SampleCounts []int
+	SignalCounts []int
+	SliceSamples int
+}
+
+func (o Fig4Opts) withDefaults() Fig4Opts {
+	if len(o.SampleCounts) == 0 {
+		o.SampleCounts = []int{20, 40, 60, 100, 200, 256, 300, 400}
+	}
+	if len(o.SignalCounts) == 0 {
+		o.SignalCounts = []int{20, 50, 100, 150, 200, 300, 400}
+	}
+	if o.SliceSamples <= 0 {
+		o.SliceSamples = 1000
+	}
+	return o
+}
+
+// Fig4 computes the transmission-time curves.
+func Fig4(opts Fig4Opts) *Fig4Result {
+	opts = opts.withDefaults()
+	platforms := netsim.Platforms()
+	r := &Fig4Result{
+		SampleCounts: opts.SampleCounts,
+		SignalCounts: opts.SignalCounts,
+		SliceSamples: opts.SliceSamples,
+	}
+	for _, p := range platforms {
+		r.Platforms = append(r.Platforms, p.Name)
+		ups := make([]float64, len(opts.SampleCounts))
+		for j, n := range opts.SampleCounts {
+			ups[j] = float64(p.UploadSamplesTime(n)) / float64(time.Microsecond)
+		}
+		r.UploadMicros = append(r.UploadMicros, ups)
+		downs := make([]float64, len(opts.SignalCounts))
+		for j, n := range opts.SignalCounts {
+			downs[j] = float64(p.DownloadSignalsTime(n, opts.SliceSamples)) / float64(time.Millisecond)
+		}
+		r.DownloadMillis = append(r.DownloadMillis, downs)
+	}
+	return r
+}
+
+// UploadTable renders Fig. 4a.
+func (r *Fig4Result) UploadTable() *Table {
+	t := &Table{
+		Title:   "Fig. 4a — Upload time [µs] vs number of samples transmitted",
+		Caption: "constraint: 256 samples under 1000 µs on 4G-class links",
+		Headers: append([]string{"platform"}, intHeaders(r.SampleCounts)...),
+	}
+	for i, name := range r.Platforms {
+		row := []string{name}
+		for _, v := range r.UploadMicros[i] {
+			row = append(row, fmt.Sprintf("%.0f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// DownloadTable renders Fig. 4b.
+func (r *Fig4Result) DownloadTable() *Table {
+	t := &Table{
+		Title:   "Fig. 4b — Download time [ms] vs number of signals transmitted",
+		Caption: fmt.Sprintf("per-signal payload: %d samples; constraint: 100 signals under 200 ms", r.SliceSamples),
+		Headers: append([]string{"platform"}, intHeaders(r.SignalCounts)...),
+	}
+	for i, name := range r.Platforms {
+		row := []string{name}
+		for _, v := range r.DownloadMillis[i] {
+			row = append(row, fmt.Sprintf("%.1f", v))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func intHeaders(xs []int) []string {
+	out := make([]string, len(xs))
+	for i, v := range xs {
+		out[i] = fmt.Sprint(v)
+	}
+	return out
+}
+
+// upload256 returns the platform's 256-sample upload time in µs (shape
+// checks).
+func (r *Fig4Result) upload256(platform string) (float64, bool) {
+	for i, name := range r.Platforms {
+		if name != platform {
+			continue
+		}
+		for j, n := range r.SampleCounts {
+			if n == 256 {
+				return r.UploadMicros[i][j], true
+			}
+		}
+	}
+	return 0, false
+}
+
+// download100 returns the platform's 100-signal download time in ms.
+func (r *Fig4Result) download100(platform string) (float64, bool) {
+	for i, name := range r.Platforms {
+		if name != platform {
+			continue
+		}
+		for j, n := range r.SignalCounts {
+			if n == 100 {
+				return r.DownloadMillis[i][j], true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,152 @@
+// Package fft provides a hand-rolled radix-2 fast Fourier transform
+// and spectral helpers. It is the substrate behind the band-power EEG
+// features used by the state-of-the-art baseline predictors that
+// Table I compares EMAP against (the paper's references [13], [18]):
+// those techniques extract delta/theta/alpha/beta band powers from each
+// EEG window before classification.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// NextPow2 returns the smallest power of two >= n (and >= 1).
+func NextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// IsPow2 reports whether n is a positive power of two.
+func IsPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// FFT computes the in-place decimation-in-time radix-2 FFT of x.
+// len(x) must be a power of two.
+func FFT(x []complex128) error {
+	return transform(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// scaling. len(x) must be a power of two.
+func IFFT(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if !IsPow2(n) {
+		return fmt.Errorf("fft: length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length)
+		if !inverse {
+			ang = -ang
+		}
+		wl := cmplx.Exp(complex(0, ang))
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length >> 1
+			for j := 0; j < half; j++ {
+				u := x[i+j]
+				v := x[i+j+half] * w
+				x[i+j] = u + v
+				x[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+	return nil
+}
+
+// RealFFT returns the FFT of a real signal zero-padded to the next
+// power of two, along with the padded length.
+func RealFFT(signal []float64) ([]complex128, int) {
+	n := NextPow2(len(signal))
+	x := make([]complex128, n)
+	for i, v := range signal {
+		x[i] = complex(v, 0)
+	}
+	_ = FFT(x) // length is a power of two by construction
+	return x, n
+}
+
+// PowerSpectrum returns the one-sided power spectral estimate of
+// signal: |X[k]|²/N for k in [0, N/2]. The signal is zero-padded to a
+// power of two.
+func PowerSpectrum(signal []float64) []float64 {
+	x, n := RealFFT(signal)
+	half := n/2 + 1
+	out := make([]float64, half)
+	for k := 0; k < half; k++ {
+		m := cmplx.Abs(x[k])
+		out[k] = m * m / float64(n)
+	}
+	return out
+}
+
+// BandPower integrates the power spectrum of signal over the half-open
+// band [loHz, hiHz) given the sample rate. Half-open bounds make
+// adjacent clinical bands (delta/theta/alpha/beta) disjoint, so their
+// powers partition the spectrum. It returns 0 for degenerate inputs.
+func BandPower(signal []float64, sampleRate, loHz, hiHz float64) float64 {
+	if len(signal) == 0 || sampleRate <= 0 || hiHz <= loHz {
+		return 0
+	}
+	ps := PowerSpectrum(signal)
+	n := (len(ps) - 1) * 2
+	binHz := sampleRate / float64(n)
+	var acc float64
+	for k, p := range ps {
+		f := float64(k) * binHz
+		if f >= loHz && f < hiHz {
+			acc += p
+		}
+	}
+	return acc
+}
+
+// Goertzel evaluates the signal power at a single frequency using the
+// Goertzel algorithm — cheaper than a full FFT when only a handful of
+// frequencies are needed, as on the resource-constrained edge node.
+func Goertzel(signal []float64, sampleRate, freqHz float64) float64 {
+	n := len(signal)
+	if n == 0 || sampleRate <= 0 {
+		return 0
+	}
+	k := math.Round(float64(n) * freqHz / sampleRate)
+	w := 2 * math.Pi * k / float64(n)
+	coeff := 2 * math.Cos(w)
+	var s0, s1, s2 float64
+	for _, x := range signal {
+		s0 = x + coeff*s1 - s2
+		s2 = s1
+		s1 = s0
+	}
+	power := s1*s1 + s2*s2 - coeff*s1*s2
+	return power / float64(n)
+}

@@ -1,0 +1,238 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"emap/internal/rng"
+)
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 255: 256, 256: 256, 257: 512}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 1024} {
+		if !IsPow2(n) {
+			t.Errorf("IsPow2(%d) = false", n)
+		}
+	}
+	for _, n := range []int{0, -4, 3, 257} {
+		if IsPow2(n) {
+			t.Errorf("IsPow2(%d) = true", n)
+		}
+	}
+}
+
+func TestFFTRejectsNonPow2(t *testing.T) {
+	if err := FFT(make([]complex128, 3)); err == nil {
+		t.Fatal("FFT of length 3 should error")
+	}
+	if err := FFT(nil); err != nil {
+		t.Fatalf("FFT(nil) should be a no-op, got %v", err)
+	}
+}
+
+func TestFFTImpulse(t *testing.T) {
+	x := make([]complex128, 8)
+	x[0] = 1
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse FFT bin %d = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	const n = 256
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(math.Sin(2*math.Pi*16*float64(i)/n), 0)
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	// Energy should concentrate at bins 16 and n-16.
+	for k := range x {
+		mag := cmplx.Abs(x[k])
+		if k == 16 || k == n-16 {
+			if math.Abs(mag-n/2) > 1e-9 {
+				t.Fatalf("bin %d magnitude %g, want %d", k, mag, n/2)
+			}
+		} else if mag > 1e-9 {
+			t.Fatalf("leakage at bin %d: %g", k, mag)
+		}
+	}
+}
+
+func TestIFFTRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 << (3 + r.Intn(6))
+		x := make([]complex128, n)
+		orig := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.Norm(0, 5), r.Norm(0, 5))
+			orig[i] = x[i]
+		}
+		if FFT(x) != nil || IFFT(x) != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFFTLinearity(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const n = 64
+		a := make([]complex128, n)
+		b := make([]complex128, n)
+		sum := make([]complex128, n)
+		for i := 0; i < n; i++ {
+			a[i] = complex(r.Norm(0, 1), 0)
+			b[i] = complex(r.Norm(0, 1), 0)
+			sum[i] = 2*a[i] + 3*b[i]
+		}
+		_ = FFT(a)
+		_ = FFT(b)
+		_ = FFT(sum)
+		for i := 0; i < n; i++ {
+			if cmplx.Abs(sum[i]-(2*a[i]+3*b[i])) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseval(t *testing.T) {
+	r := rng.New(9)
+	const n = 512
+	x := make([]complex128, n)
+	var timeEnergy float64
+	for i := range x {
+		v := r.Norm(0, 3)
+		x[i] = complex(v, 0)
+		timeEnergy += v * v
+	}
+	if err := FFT(x); err != nil {
+		t.Fatal(err)
+	}
+	var freqEnergy float64
+	for _, v := range x {
+		freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+	}
+	freqEnergy /= n
+	if math.Abs(timeEnergy-freqEnergy) > 1e-6*timeEnergy {
+		t.Fatalf("Parseval violated: %g vs %g", timeEnergy, freqEnergy)
+	}
+}
+
+func TestBandPowerSinusoid(t *testing.T) {
+	const fs = 256.0
+	n := 1024
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = math.Sin(2 * math.Pi * 10 * float64(i) / fs)
+	}
+	inBand := BandPower(sig, fs, 8, 12)
+	outBand := BandPower(sig, fs, 20, 40)
+	if inBand <= 0 {
+		t.Fatal("in-band power should be positive")
+	}
+	if outBand > inBand*0.01 {
+		t.Fatalf("out-of-band power %g vs in-band %g", outBand, inBand)
+	}
+}
+
+func TestBandPowerDegenerate(t *testing.T) {
+	if BandPower(nil, 256, 1, 10) != 0 {
+		t.Fatal("empty signal should give 0")
+	}
+	if BandPower([]float64{1, 2}, 0, 1, 10) != 0 {
+		t.Fatal("zero rate should give 0")
+	}
+	if BandPower([]float64{1, 2}, 256, 10, 1) != 0 {
+		t.Fatal("inverted band should give 0")
+	}
+}
+
+func TestGoertzelMatchesFFTBin(t *testing.T) {
+	const fs = 256.0
+	n := 256
+	sig := make([]float64, n)
+	for i := range sig {
+		sig[i] = 2 * math.Sin(2*math.Pi*24*float64(i)/fs)
+	}
+	g := Goertzel(sig, fs, 24)
+	// The on-bin power of A·sin is A²/4·N per one-sided bin pair; just
+	// verify Goertzel finds large power on-tone and tiny power off-tone.
+	off := Goertzel(sig, fs, 60)
+	if g < 100*off {
+		t.Fatalf("Goertzel discrimination weak: on=%g off=%g", g, off)
+	}
+}
+
+func TestGoertzelDegenerate(t *testing.T) {
+	if Goertzel(nil, 256, 10) != 0 {
+		t.Fatal("empty signal should give 0")
+	}
+	if Goertzel([]float64{1}, 0, 10) != 0 {
+		t.Fatal("zero rate should give 0")
+	}
+}
+
+func TestPowerSpectrumLength(t *testing.T) {
+	ps := PowerSpectrum(make([]float64, 300)) // pads to 512
+	if len(ps) != 257 {
+		t.Fatalf("spectrum length %d, want 257", len(ps))
+	}
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	r := rng.New(1)
+	x := make([]complex128, 1024)
+	for i := range x {
+		x[i] = complex(r.Norm(0, 1), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = FFT(x)
+	}
+}
+
+func BenchmarkGoertzel256(b *testing.B) {
+	r := rng.New(1)
+	sig := make([]float64, 256)
+	for i := range sig {
+		sig[i] = r.Norm(0, 1)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Goertzel(sig, 256, 10)
+	}
+}

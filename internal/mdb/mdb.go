@@ -1,0 +1,263 @@
+// Package mdb implements the mega-database (MDB) of the EMAP paper: a
+// store of pre-processed EEG recordings sliced into labelled
+// signal-sets that the cloud search scans in parallel.
+//
+// The paper hosts the MDB in MongoDB via pymongo; this package is the
+// stdlib substitute. It provides the operations the framework actually
+// uses — insert, label queries, shard-parallel full scans, and
+// snapshot persistence — with the same access pattern.
+//
+// # Signal-sets as views
+//
+// Paper §V-B slices every recording into signal-sets of 1000 samples.
+// Taken literally, a tracked signal-set would be exhausted after three
+// one-second tracking iterations (3×256 < 1000 < 4×256), contradicting
+// the paper's "transmit to the cloud every five iterations". The MDB
+// therefore stores each signal-set as a *view* (record ID, start,
+// length) into its parent recording, and the edge tracker follows the
+// parent recording past the slice end; a tracked signal dies only when
+// its recording ends. Slice labelling still follows the paper exactly.
+package mdb
+
+import (
+	"fmt"
+	"sync"
+
+	"emap/internal/dsp"
+	"emap/internal/synth"
+)
+
+// SignalSet is the unit of cloud search: a labelled window into a
+// stored recording (paper: S_P with attribute A(S_P)).
+type SignalSet struct {
+	// ID is unique within one store.
+	ID int
+	// RecordID names the parent recording.
+	RecordID string
+	// Start is the slice's offset within the parent recording.
+	Start int
+	// Length is the slice length in samples (paper: 1000).
+	Length int
+	// Anomalous is the paper's A(S_P): true for anomalous slices.
+	Anomalous bool
+	// Class is the clinical class of the parent recording; the
+	// search algorithms only ever read Anomalous, but experiments
+	// report per-class statistics.
+	Class synth.Class
+	// Archetype is the synth archetype of the parent recording
+	// (evaluation bookkeeping only).
+	Archetype int
+}
+
+// Record is a stored recording after MDB pre-processing: bandpass
+// filtered and resampled to the 256 Hz base rate.
+type Record struct {
+	ID        string
+	Class     synth.Class
+	Archetype int
+	// Onset is the ictal onset sample at the base rate, or -1.
+	Onset int
+	// Samples is the processed waveform (µV, 256 Hz).
+	Samples []float64
+
+	stats *dsp.SlidingStats
+}
+
+// Stats returns the recording's sliding-window statistics, used by the
+// search to normalise windows in O(1).
+func (r *Record) Stats() *dsp.SlidingStats { return r.stats }
+
+// Store is the mega-database. It is safe for concurrent readers; all
+// mutation happens through Insert before searching begins.
+type Store struct {
+	mu      sync.RWMutex
+	records map[string]*Record
+	order   []string // insertion order of record IDs
+	sets    []*SignalSet
+}
+
+// NewStore returns an empty mega-database.
+func NewStore() *Store {
+	return &Store{records: make(map[string]*Record)}
+}
+
+// Insert adds a processed recording and slices it into signal-sets of
+// sliceLen samples (non-overlapping, per paper Fig. 3 "Signal
+// Slicing"). labelFn decides A(S_P) for a slice given its start
+// offset. Insert returns the number of signal-sets created.
+func (s *Store) Insert(rec *Record, sliceLen int, labelFn func(start int) bool) (int, error) {
+	if rec == nil || rec.ID == "" {
+		return 0, fmt.Errorf("mdb: record must have an ID")
+	}
+	if sliceLen < 1 {
+		return 0, fmt.Errorf("mdb: slice length %d invalid", sliceLen)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.records[rec.ID]; dup {
+		return 0, fmt.Errorf("mdb: duplicate record ID %q", rec.ID)
+	}
+	rec.stats = dsp.NewSlidingStats(rec.Samples)
+	s.records[rec.ID] = rec
+	s.order = append(s.order, rec.ID)
+
+	created := 0
+	for start := 0; start+sliceLen <= len(rec.Samples); start += sliceLen {
+		anomalous := false
+		if labelFn != nil {
+			anomalous = labelFn(start)
+		}
+		s.sets = append(s.sets, &SignalSet{
+			ID:        len(s.sets),
+			RecordID:  rec.ID,
+			Start:     start,
+			Length:    sliceLen,
+			Anomalous: anomalous,
+			Class:     rec.Class,
+			Archetype: rec.Archetype,
+		})
+		created++
+	}
+	return created, nil
+}
+
+// Record returns the recording with the given ID.
+func (s *Store) Record(id string) (*Record, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.records[id]
+	return r, ok
+}
+
+// Sets returns all signal-sets in insertion order. The returned slice
+// is shared; callers must not mutate it.
+func (s *Store) Sets() []*SignalSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.sets
+}
+
+// NumSets returns the number of signal-sets.
+func (s *Store) NumSets() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sets)
+}
+
+// NumRecords returns the number of stored recordings.
+func (s *Store) NumRecords() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.records)
+}
+
+// LabelCounts returns the number of normal and anomalous signal-sets.
+func (s *Store) LabelCounts() (normal, anomalous int) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, set := range s.sets {
+		if set.Anomalous {
+			anomalous++
+		} else {
+			normal++
+		}
+	}
+	return normal, anomalous
+}
+
+// SetsByLabel returns the signal-sets with the given label.
+func (s *Store) SetsByLabel(anomalous bool) []*SignalSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*SignalSet
+	for _, set := range s.sets {
+		if set.Anomalous == anomalous {
+			out = append(out, set)
+		}
+	}
+	return out
+}
+
+// Shards partitions the signal-sets into k contiguous shards for
+// parallel scanning (paper: "to enable the search algorithm to quickly
+// search through the complete database in parallel").
+func (s *Store) Shards(k int) [][]*SignalSet {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if k < 1 {
+		k = 1
+	}
+	n := len(s.sets)
+	if k > n {
+		k = n
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([][]*SignalSet, 0, k)
+	for i := 0; i < k; i++ {
+		lo := i * n / k
+		hi := (i + 1) * n / k
+		if lo < hi {
+			out = append(out, s.sets[lo:hi])
+		}
+	}
+	return out
+}
+
+// Window reads n samples of the signal-set's parent recording starting
+// at the given offset *relative to the slice start*. Offsets may run
+// past the slice end (view semantics, see the package comment); ok is
+// false once the window would run past the end of the recording.
+func (s *Store) Window(set *SignalSet, offset, n int) ([]float64, bool) {
+	s.mu.RLock()
+	rec, exists := s.records[set.RecordID]
+	s.mu.RUnlock()
+	if !exists {
+		return nil, false
+	}
+	abs := set.Start + offset
+	if abs < 0 || abs+n > len(rec.Samples) {
+		return nil, false
+	}
+	return rec.Samples[abs : abs+n], true
+}
+
+// TotalSamples returns the total number of stored samples across all
+// recordings.
+func (s *Store) TotalSamples() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	total := 0
+	for _, r := range s.records {
+		total += len(r.Samples)
+	}
+	return total
+}
+
+// SubsetSets returns a store sharing this store's recordings but
+// exposing only the first n signal-sets. It is used by experiments
+// that sweep the search-space size (Fig. 7b) without rebuilding
+// recordings. The subset is read-only by convention.
+func (s *Store) SubsetSets(n int) *Store {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n > len(s.sets) {
+		n = len(s.sets)
+	}
+	if n < 0 {
+		n = 0
+	}
+	sub := &Store{records: s.records, order: s.order}
+	sub.sets = s.sets[:n]
+	return sub
+}
+
+// RecordIDs returns the stored recording IDs in insertion order.
+func (s *Store) RecordIDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}

@@ -1,0 +1,110 @@
+package mdb
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"emap/internal/dsp"
+	"emap/internal/synth"
+)
+
+// snapshot is the gob wire form of a Store. SlidingStats are derived
+// data and rebuilt on load.
+type snapshot struct {
+	Version int
+	Records []recordSnap
+	Sets    []SignalSet
+}
+
+type recordSnap struct {
+	ID        string
+	Class     int
+	Archetype int
+	Onset     int
+	Samples   []float64
+}
+
+const snapshotVersion = 1
+
+// Save serialises the store to w (gob). The paper persists its MDB in
+// MongoDB; a snapshot file plays that role here so cmd/emap-mdb can
+// build once and the cloud server can load at startup.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	snap := snapshot{Version: snapshotVersion}
+	for _, id := range s.order {
+		r := s.records[id]
+		snap.Records = append(snap.Records, recordSnap{
+			ID:        r.ID,
+			Class:     int(r.Class),
+			Archetype: r.Archetype,
+			Onset:     r.Onset,
+			Samples:   r.Samples,
+		})
+	}
+	for _, set := range s.sets {
+		snap.Sets = append(snap.Sets, *set)
+	}
+	s.mu.RUnlock()
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// Load deserialises a store previously written by Save.
+func Load(r io.Reader) (*Store, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("mdb: decoding snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("mdb: snapshot version %d unsupported (want %d)", snap.Version, snapshotVersion)
+	}
+	s := NewStore()
+	for _, rs := range snap.Records {
+		rec := &Record{
+			ID:        rs.ID,
+			Class:     synth.Class(rs.Class),
+			Archetype: rs.Archetype,
+			Onset:     rs.Onset,
+			Samples:   rs.Samples,
+		}
+		rec.stats = dsp.NewSlidingStats(rec.Samples)
+		if _, dup := s.records[rec.ID]; dup {
+			return nil, fmt.Errorf("mdb: snapshot has duplicate record %q", rec.ID)
+		}
+		s.records[rec.ID] = rec
+		s.order = append(s.order, rec.ID)
+	}
+	for i := range snap.Sets {
+		set := snap.Sets[i]
+		if _, ok := s.records[set.RecordID]; !ok {
+			return nil, fmt.Errorf("mdb: signal-set %d references missing record %q", set.ID, set.RecordID)
+		}
+		s.sets = append(s.sets, &set)
+	}
+	return s, nil
+}
+
+// SaveFile writes the store snapshot to the named file.
+func (s *Store) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a store snapshot from the named file.
+func LoadFile(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

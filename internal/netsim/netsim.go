@@ -1,0 +1,135 @@
+// Package netsim models the communication platforms of the paper's
+// Fig. 4: six cellular/WiMAX generations with distinct uplink and
+// downlink rates. The paper's transmission-time plots are analytic
+// serialization-delay curves (bits ÷ link rate, adapted from its
+// refs. [19][20]); TransferTime reproduces them exactly, and
+// ThrottledConn imposes the same arithmetic on a real net.Conn so the
+// TCP deployment of cmd/emap-cloud / cmd/emap-edge experiences the
+// modelled link.
+package netsim
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// Link is one communication platform.
+type Link struct {
+	// Name is the platform name as in Fig. 4's legend.
+	Name string
+	// UplinkMbps and DownlinkMbps are sustained data rates in
+	// megabits per second (10^6 bits/s).
+	UplinkMbps   float64
+	DownlinkMbps float64
+	// LatencyMs is an optional one-way latency per message. The
+	// paper's Fig. 4 model is pure serialization delay (zero
+	// latency); a nonzero value makes the TCP deployment more
+	// realistic.
+	LatencyMs float64
+}
+
+// Platforms returns the six platforms of Fig. 4 in legend order. The
+// rates are sustained real-world figures chosen so the paper's two
+// design constraints hold in the same way they hold in Fig. 4: one
+// 256-sample upload stays under 1 ms on 4G-class links (and exceeds it
+// on HSPA), and a 100-signal download stays under 200 ms on everything
+// but the slowest platform.
+func Platforms() []Link {
+	return []Link{
+		{Name: "HSPA", UplinkMbps: 2.8, DownlinkMbps: 7.2},
+		{Name: "HSPA+", UplinkMbps: 5.8, DownlinkMbps: 21},
+		{Name: "LTE", UplinkMbps: 25, DownlinkMbps: 75},
+		{Name: "LTE-A", UplinkMbps: 150, DownlinkMbps: 300},
+		{Name: "WiMax Release 1", UplinkMbps: 10, DownlinkMbps: 30},
+		{Name: "WiMax Release 2", UplinkMbps: 60, DownlinkMbps: 120},
+	}
+}
+
+// ByName returns the platform with the given name.
+func ByName(name string) (Link, error) {
+	for _, l := range Platforms() {
+		if l.Name == name {
+			return l, nil
+		}
+	}
+	return Link{}, fmt.Errorf("netsim: unknown platform %q", name)
+}
+
+// transferTime returns the serialization delay of n bytes at rate
+// Mbps plus the link latency.
+func (l Link) transferTime(bytes int, mbps float64) time.Duration {
+	if mbps <= 0 || bytes <= 0 {
+		return time.Duration(l.LatencyMs * float64(time.Millisecond))
+	}
+	seconds := float64(bytes*8) / (mbps * 1e6)
+	return time.Duration(seconds*float64(time.Second)) +
+		time.Duration(l.LatencyMs*float64(time.Millisecond))
+}
+
+// UploadTime returns the edge→cloud transfer time for a payload of the
+// given size (Fig. 4a, Δ_EC of Eq. 4).
+func (l Link) UploadTime(bytes int) time.Duration {
+	return l.transferTime(bytes, l.UplinkMbps)
+}
+
+// DownloadTime returns the cloud→edge transfer time for a payload of
+// the given size (Fig. 4b, Δ_CE of Eq. 4).
+func (l Link) DownloadTime(bytes int) time.Duration {
+	return l.transferTime(bytes, l.DownlinkMbps)
+}
+
+// SampleBytes is the wire size of one EEG sample (16-bit resolution,
+// paper §V-A).
+const SampleBytes = 2
+
+// SignalSetBytes returns the wire size of one downloaded signal entry:
+// sampleCount 16-bit samples plus a fixed metadata header (IDs, ω, β,
+// label).
+func SignalSetBytes(sampleCount int) int {
+	const header = 24
+	return header + sampleCount*SampleBytes
+}
+
+// UploadSamplesTime returns the Fig. 4a quantity: the time to upload
+// n 16-bit samples.
+func (l Link) UploadSamplesTime(n int) time.Duration {
+	return l.UploadTime(n * SampleBytes)
+}
+
+// DownloadSignalsTime returns the Fig. 4b quantity: the time to
+// download n signal entries of sampleCount samples each.
+func (l Link) DownloadSignalsTime(n, sampleCount int) time.Duration {
+	return l.DownloadTime(n * SignalSetBytes(sampleCount))
+}
+
+// ThrottledConn wraps a net.Conn so that writes incur the link's
+// serialization delay at the given rate. Each endpoint throttles its
+// own writes: the edge wraps with the uplink rate, the cloud with the
+// downlink rate.
+type ThrottledConn struct {
+	net.Conn
+	link Link
+	mbps float64
+}
+
+// ThrottleUplink wraps conn so writes are paced at the link's uplink
+// rate (use on the edge side).
+func ThrottleUplink(conn net.Conn, link Link) *ThrottledConn {
+	return &ThrottledConn{Conn: conn, link: link, mbps: link.UplinkMbps}
+}
+
+// ThrottleDownlink wraps conn so writes are paced at the link's
+// downlink rate (use on the cloud side).
+func ThrottleDownlink(conn net.Conn, link Link) *ThrottledConn {
+	return &ThrottledConn{Conn: conn, link: link, mbps: link.DownlinkMbps}
+}
+
+// Write delays for the modelled serialization time, then forwards to
+// the underlying connection.
+func (t *ThrottledConn) Write(p []byte) (int, error) {
+	if d := t.link.transferTime(len(p), t.mbps); d > 0 {
+		time.Sleep(d)
+	}
+	return t.Conn.Write(p)
+}

@@ -1,0 +1,152 @@
+package netsim
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPlatformsStable(t *testing.T) {
+	ps := Platforms()
+	if len(ps) != 6 {
+		t.Fatalf("platform count %d, want 6 (Fig. 4 legend)", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, l := range ps {
+		if seen[l.Name] {
+			t.Fatalf("duplicate platform %q", l.Name)
+		}
+		seen[l.Name] = true
+		if l.UplinkMbps <= 0 || l.DownlinkMbps <= 0 {
+			t.Fatalf("%s has non-positive rates", l.Name)
+		}
+		if l.DownlinkMbps < l.UplinkMbps {
+			t.Fatalf("%s downlink slower than uplink", l.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	l, err := ByName("LTE")
+	if err != nil || l.Name != "LTE" {
+		t.Fatalf("ByName(LTE) = %+v, %v", l, err)
+	}
+	if _, err := ByName("5G"); err == nil {
+		t.Fatal("unknown platform should error")
+	}
+}
+
+// Paper constraint (§V-A): one time-step of 256 16-bit samples must
+// upload in under 1 ms on 4G-class platforms.
+func TestUploadConstraint4G(t *testing.T) {
+	for _, name := range []string{"LTE", "LTE-A", "WiMax Release 2"} {
+		l, _ := ByName(name)
+		if d := l.UploadSamplesTime(256); d >= time.Millisecond {
+			t.Errorf("%s uploads 256 samples in %v, want < 1ms", name, d)
+		}
+	}
+	// ...and the pre-4G platform exceeds it, as Fig. 4a shows.
+	hspa, _ := ByName("HSPA")
+	if d := hspa.UploadSamplesTime(256); d < time.Millisecond {
+		t.Errorf("HSPA uploads 256 samples in %v, expected ≥ 1ms", d)
+	}
+}
+
+// Paper constraint (§V-C): the 100-signal correlation set must
+// download in under 200 ms for real-time operation.
+func TestDownloadConstraint(t *testing.T) {
+	for _, name := range []string{"LTE", "LTE-A", "WiMax Release 1", "WiMax Release 2", "HSPA+"} {
+		l, _ := ByName(name)
+		if d := l.DownloadSignalsTime(100, 1000); d >= 200*time.Millisecond {
+			t.Errorf("%s downloads 100 signals in %v, want < 200ms", name, d)
+		}
+	}
+	hspa, _ := ByName("HSPA")
+	if d := hspa.DownloadSignalsTime(100, 1000); d <= 100*time.Millisecond {
+		t.Errorf("HSPA downloads 100 signals in %v, expected to be the straggler", d)
+	}
+}
+
+func TestTransferTimeLinearInSize(t *testing.T) {
+	l, _ := ByName("LTE")
+	d1 := l.UploadTime(1000)
+	d2 := l.UploadTime(2000)
+	if d2 != 2*d1 {
+		t.Fatalf("serialization not linear: %v vs %v", d1, d2)
+	}
+}
+
+func TestTransferTimeOrdering(t *testing.T) {
+	// Faster platforms must never be slower for the same payload.
+	lte, _ := ByName("LTE")
+	ltea, _ := ByName("LTE-A")
+	if ltea.UploadTime(4096) >= lte.UploadTime(4096) {
+		t.Fatal("LTE-A should upload faster than LTE")
+	}
+}
+
+func TestLatencyAdds(t *testing.T) {
+	l := Link{Name: "x", UplinkMbps: 8, DownlinkMbps: 8, LatencyMs: 10}
+	d := l.UploadTime(1000) // 1000 B = 8000 bits at 8 Mbps = 1 ms + 10 ms
+	want := 11 * time.Millisecond
+	if d != want {
+		t.Fatalf("latency not added: %v, want %v", d, want)
+	}
+}
+
+func TestDegenerateTransfers(t *testing.T) {
+	l := Link{Name: "x", UplinkMbps: 8, DownlinkMbps: 8}
+	if l.UploadTime(0) != 0 {
+		t.Fatal("zero bytes should take zero time on a zero-latency link")
+	}
+	broken := Link{Name: "b"}
+	if broken.UploadTime(100) != 0 {
+		t.Fatal("zero-rate link should degrade to latency only")
+	}
+}
+
+func TestSignalSetBytes(t *testing.T) {
+	if got := SignalSetBytes(1000); got != 2024 {
+		t.Fatalf("SignalSetBytes(1000) = %d, want 2024", got)
+	}
+}
+
+func TestThrottledConnPacesWrites(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	slow := Link{Name: "slow", UplinkMbps: 0.8, DownlinkMbps: 0.8} // 1 kB ≈ 10 ms
+	tc := ThrottleUplink(a, slow)
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1024)
+		total := 0
+		for total < 1024 {
+			n, err := b.Read(buf[total:])
+			if err != nil {
+				break
+			}
+			total += n
+		}
+		close(done)
+	}()
+	startT := time.Now()
+	if _, err := tc.Write(make([]byte, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if elapsed := time.Since(startT); elapsed < 8*time.Millisecond {
+		t.Fatalf("throttled write completed in %v, want ≥ ~10ms", elapsed)
+	}
+}
+
+func TestThrottleDownlinkUsesDownRate(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	l := Link{Name: "asym", UplinkMbps: 1, DownlinkMbps: 100}
+	up := ThrottleUplink(a, l)
+	down := ThrottleDownlink(a, l)
+	if up.mbps == down.mbps {
+		t.Fatal("uplink and downlink throttles should differ for an asymmetric link")
+	}
+}

@@ -1,0 +1,367 @@
+// Package proto defines the binary wire protocol between the EMAP edge
+// device and the cloud service: framed, versioned, CRC-protected
+// messages carrying one-second EEG uploads (edge→cloud) and signal
+// correlation sets (cloud→edge).
+//
+// Samples travel as 16-bit counts with a per-message µV scale factor,
+// matching the paper's 16-bit acquisition resolution and the Fig. 4
+// payload arithmetic (2 bytes per sample).
+//
+// Frame layout (little-endian):
+//
+//	magic   uint16  0xE3A7
+//	version uint8   1
+//	type    uint8   message type
+//	length  uint32  payload byte count
+//	payload [length]byte
+//	crc     uint32  IEEE CRC-32 of payload
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Protocol constants.
+const (
+	Magic   uint16 = 0xE3A7
+	Version uint8  = 1
+
+	// MaxPayload bounds a frame's payload; larger frames are
+	// rejected as corrupt before allocation.
+	MaxPayload = 16 << 20
+)
+
+// MsgType identifies a message.
+type MsgType uint8
+
+// The protocol's message types.
+const (
+	TypeUpload  MsgType = 1 // edge→cloud: one-second filtered window
+	TypeCorrSet MsgType = 2 // cloud→edge: signal correlation set T
+	TypeError   MsgType = 3 // either direction: failure report
+	TypePing    MsgType = 4 // liveness probe
+	TypePong    MsgType = 5 // liveness reply
+)
+
+// Protocol errors.
+var (
+	ErrBadMagic   = errors.New("proto: bad frame magic")
+	ErrBadVersion = errors.New("proto: unsupported protocol version")
+	ErrBadCRC     = errors.New("proto: payload CRC mismatch")
+	ErrTooLarge   = errors.New("proto: frame exceeds MaxPayload")
+)
+
+// Upload is the edge→cloud message: the bandpass-filtered one-second
+// input window I_N (paper §V-A).
+type Upload struct {
+	// Seq numbers the time-step N.
+	Seq uint32
+	// Scale is the µV value of one count.
+	Scale float32
+	// Samples is the window as 16-bit counts.
+	Samples []int16
+}
+
+// CorrEntry is one element of the signal correlation set: the paper's
+// [S, ω, β] plus the continuation samples the edge needs for tracking.
+type CorrEntry struct {
+	// SetID is the signal-set's ID in the cloud MDB.
+	SetID int32
+	// Omega is the retrieval correlation.
+	Omega float32
+	// Beta is the matched offset within the signal-set.
+	Beta int32
+	// Anomalous is the slice label A(S_P).
+	Anomalous bool
+	// Class and Archetype carry evaluation metadata.
+	Class     uint8
+	Archetype uint16
+	// Scale is the µV value of one count of Samples.
+	Scale float32
+	// Samples is the recording content from the matched offset
+	// forward (the tracking horizon).
+	Samples []int16
+}
+
+// CorrSet is the cloud→edge response to an Upload.
+type CorrSet struct {
+	// Seq echoes the Upload's sequence number.
+	Seq uint32
+	// Entries is the top-K correlation set, descending ω.
+	Entries []CorrEntry
+}
+
+// ErrorMsg reports a failure to the peer.
+type ErrorMsg struct {
+	Code uint16
+	Text string
+}
+
+// WriteFrame writes one frame with the given type and payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	if len(payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint16(hdr[0:], Magic)
+	hdr[2] = Version
+	hdr[3] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(crc[:])
+	return err
+}
+
+// ReadFrame reads one frame, validating magic, version, size and CRC.
+func ReadFrame(r io.Reader) (MsgType, []byte, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, nil, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != Magic {
+		return 0, nil, ErrBadMagic
+	}
+	if hdr[2] != Version {
+		return 0, nil, fmt.Errorf("%w: %d", ErrBadVersion, hdr[2])
+	}
+	t := MsgType(hdr[3])
+	n := binary.LittleEndian.Uint32(hdr[4:])
+	if n > MaxPayload {
+		return 0, nil, ErrTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, fmt.Errorf("proto: truncated payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return 0, nil, fmt.Errorf("proto: truncated CRC: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(payload) {
+		return 0, nil, ErrBadCRC
+	}
+	return t, payload, nil
+}
+
+// appendUint helpers keep the encoders readable.
+func appendU16(b []byte, v uint16) []byte { return binary.LittleEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendF32(b []byte, v float32) []byte {
+	return binary.LittleEndian.AppendUint32(b, math.Float32bits(v))
+}
+func appendSamples(b []byte, s []int16) []byte {
+	b = appendU32(b, uint32(len(s)))
+	for _, v := range s {
+		b = appendU16(b, uint16(v))
+	}
+	return b
+}
+
+// reader is a bounds-checked little-endian cursor.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return false
+	}
+	return true
+}
+
+func (r *reader) u8() uint8 {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) f32() float32 { return math.Float32frombits(r.u32()) }
+
+func (r *reader) samples() []int16 {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > MaxPayload/2 || !r.need(2*n) {
+		if r.err == nil {
+			r.err = io.ErrUnexpectedEOF
+		}
+		return nil
+	}
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(r.b[r.off:]))
+		r.off += 2
+	}
+	return out
+}
+
+// EncodeUpload serialises an Upload payload.
+func EncodeUpload(u *Upload) []byte {
+	b := make([]byte, 0, 12+2*len(u.Samples))
+	b = appendU32(b, u.Seq)
+	b = appendF32(b, u.Scale)
+	return appendSamples(b, u.Samples)
+}
+
+// DecodeUpload parses an Upload payload.
+func DecodeUpload(payload []byte) (*Upload, error) {
+	r := &reader{b: payload}
+	u := &Upload{Seq: r.u32(), Scale: r.f32()}
+	u.Samples = r.samples()
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decoding Upload: %w", r.err)
+	}
+	return u, nil
+}
+
+// EncodeCorrSet serialises a CorrSet payload.
+func EncodeCorrSet(c *CorrSet) []byte {
+	size := 8
+	for _, e := range c.Entries {
+		size += 20 + 2*len(e.Samples)
+	}
+	b := make([]byte, 0, size)
+	b = appendU32(b, c.Seq)
+	b = appendU32(b, uint32(len(c.Entries)))
+	for _, e := range c.Entries {
+		b = appendU32(b, uint32(e.SetID))
+		b = appendF32(b, e.Omega)
+		b = appendU32(b, uint32(e.Beta))
+		flag := byte(0)
+		if e.Anomalous {
+			flag = 1
+		}
+		b = append(b, flag, e.Class)
+		b = appendU16(b, e.Archetype)
+		b = appendF32(b, e.Scale)
+		b = appendSamples(b, e.Samples)
+	}
+	return b
+}
+
+// DecodeCorrSet parses a CorrSet payload.
+func DecodeCorrSet(payload []byte) (*CorrSet, error) {
+	r := &reader{b: payload}
+	c := &CorrSet{Seq: r.u32()}
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || n > 1<<20) {
+		return nil, fmt.Errorf("proto: implausible entry count %d", n)
+	}
+	for i := 0; i < n && r.err == nil; i++ {
+		e := CorrEntry{
+			SetID: int32(r.u32()),
+			Omega: r.f32(),
+			Beta:  int32(r.u32()),
+		}
+		e.Anomalous = r.u8() != 0
+		e.Class = r.u8()
+		e.Archetype = r.u16()
+		e.Scale = r.f32()
+		e.Samples = r.samples()
+		if r.err == nil {
+			c.Entries = append(c.Entries, e)
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decoding CorrSet: %w", r.err)
+	}
+	return c, nil
+}
+
+// EncodeError serialises an ErrorMsg payload.
+func EncodeError(e *ErrorMsg) []byte {
+	b := make([]byte, 0, 6+len(e.Text))
+	b = appendU16(b, e.Code)
+	b = appendU32(b, uint32(len(e.Text)))
+	return append(b, e.Text...)
+}
+
+// DecodeError parses an ErrorMsg payload.
+func DecodeError(payload []byte) (*ErrorMsg, error) {
+	r := &reader{b: payload}
+	e := &ErrorMsg{Code: r.u16()}
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || !r.need(n)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decoding Error: %w", r.err)
+	}
+	e.Text = string(r.b[r.off : r.off+n])
+	return e, nil
+}
+
+// Quantize converts µV samples to 16-bit counts, returning the counts
+// and the scale used (chosen so the extreme value maps near the rail).
+func Quantize(samples []float64) ([]int16, float32) {
+	var peak float64
+	for _, v := range samples {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	scale := peak / 32000
+	if scale <= 0 {
+		scale = 1.0 / 32000
+	}
+	out := make([]int16, len(samples))
+	for i, v := range samples {
+		q := math.Round(v / scale)
+		if q > math.MaxInt16 {
+			q = math.MaxInt16
+		} else if q < math.MinInt16 {
+			q = math.MinInt16
+		}
+		out[i] = int16(q)
+	}
+	return out, float32(scale)
+}
+
+// Dequantize converts 16-bit counts back to µV.
+func Dequantize(counts []int16, scale float32) []float64 {
+	out := make([]float64, len(counts))
+	s := float64(scale)
+	for i, v := range counts {
+		out[i] = float64(v) * s
+	}
+	return out
+}

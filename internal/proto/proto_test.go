@@ -1,0 +1,286 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"emap/internal/rng"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("hello emap")
+	if err := WriteFrame(&buf, TypePing, payload); err != nil {
+		t.Fatal(err)
+	}
+	typ, got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypePing || !bytes.Equal(got, payload) {
+		t.Fatalf("frame mangled: type=%d payload=%q", typ, got)
+	}
+}
+
+func TestFrameEmptyPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypePong, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := ReadFrame(&buf)
+	if err != nil || typ != TypePong || len(payload) != 0 {
+		t.Fatalf("empty frame: %d %v %v", typ, payload, err)
+	}
+}
+
+func TestFrameCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeUpload, []byte("data!")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte{}, raw...)
+	bad[0] ^= 0xFF
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); err != ErrBadMagic {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	// Bad version.
+	bad = append([]byte{}, raw...)
+	bad[2] = 99
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version should error")
+	}
+	// Flipped payload bit → CRC mismatch.
+	bad = append([]byte{}, raw...)
+	bad[9] ^= 0x01
+	if _, _, err := ReadFrame(bytes.NewReader(bad)); err != ErrBadCRC {
+		t.Fatalf("corrupt payload error = %v", err)
+	}
+	// Truncation.
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+	if _, _, err := ReadFrame(bytes.NewReader(raw[:4])); err == nil {
+		t.Fatal("truncated header should error")
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypeUpload, make([]byte, MaxPayload+1)); err != ErrTooLarge {
+		t.Fatalf("oversize write error = %v", err)
+	}
+	// An adversarial header claiming a huge payload must be rejected.
+	hdr := []byte{0xA7, 0xE3, Version, byte(TypeUpload), 0xFF, 0xFF, 0xFF, 0xFF}
+	if _, _, err := ReadFrame(bytes.NewReader(hdr)); err != ErrTooLarge {
+		t.Fatalf("oversize read error = %v", err)
+	}
+}
+
+func TestUploadRoundTrip(t *testing.T) {
+	u := &Upload{Seq: 42, Scale: 0.05, Samples: []int16{0, 1, -1, 32767, -32768, 1234}}
+	got, err := DecodeUpload(EncodeUpload(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != u.Seq || got.Scale != u.Scale || len(got.Samples) != len(u.Samples) {
+		t.Fatalf("upload mangled: %+v", got)
+	}
+	for i := range u.Samples {
+		if got.Samples[i] != u.Samples[i] {
+			t.Fatalf("sample %d mangled", i)
+		}
+	}
+}
+
+func TestUploadDecodeErrors(t *testing.T) {
+	if _, err := DecodeUpload([]byte{1, 2}); err == nil {
+		t.Fatal("short upload should error")
+	}
+	// Claim more samples than present.
+	u := &Upload{Seq: 1, Scale: 1, Samples: []int16{1, 2, 3}}
+	raw := EncodeUpload(u)
+	raw[8] = 200 // inflate sample count
+	if _, err := DecodeUpload(raw); err == nil {
+		t.Fatal("inflated sample count should error")
+	}
+}
+
+func TestCorrSetRoundTrip(t *testing.T) {
+	c := &CorrSet{
+		Seq: 7,
+		Entries: []CorrEntry{
+			{SetID: 3, Omega: 0.91, Beta: 724, Anomalous: true, Class: 1, Archetype: 5, Scale: 0.01, Samples: []int16{5, -5, 100}},
+			{SetID: -1, Omega: 0.85, Beta: 0, Anomalous: false, Class: 0, Archetype: 0, Scale: 0.02, Samples: nil},
+		},
+	}
+	got, err := DecodeCorrSet(EncodeCorrSet(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 7 || len(got.Entries) != 2 {
+		t.Fatalf("corrset mangled: %+v", got)
+	}
+	e := got.Entries[0]
+	if e.SetID != 3 || e.Beta != 724 || !e.Anomalous || e.Class != 1 || e.Archetype != 5 {
+		t.Fatalf("entry mangled: %+v", e)
+	}
+	if math.Abs(float64(e.Omega)-0.91) > 1e-6 {
+		t.Fatalf("omega mangled: %g", e.Omega)
+	}
+	if got.Entries[1].SetID != -1 {
+		t.Fatalf("negative SetID mangled: %d", got.Entries[1].SetID)
+	}
+}
+
+func TestCorrSetDecodeErrors(t *testing.T) {
+	if _, err := DecodeCorrSet([]byte{1}); err == nil {
+		t.Fatal("short corrset should error")
+	}
+	c := &CorrSet{Seq: 1, Entries: []CorrEntry{{SetID: 1, Samples: []int16{1, 2}}}}
+	raw := EncodeCorrSet(c)
+	if _, err := DecodeCorrSet(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated corrset should error")
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	e := &ErrorMsg{Code: 500, Text: "search failed: flat input"}
+	got, err := DecodeError(EncodeError(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Code != 500 || got.Text != e.Text {
+		t.Fatalf("error mangled: %+v", got)
+	}
+	if _, err := DecodeError([]byte{1}); err == nil {
+		t.Fatal("short error should error")
+	}
+	bad := EncodeError(e)
+	bad[2] = 0xFF // inflate text length
+	if _, err := DecodeError(bad); err == nil {
+		t.Fatal("inflated text length should error")
+	}
+}
+
+// Property: arbitrary Upload messages survive frame + payload encoding.
+func TestUploadProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := r.Intn(512)
+		u := &Upload{Seq: uint32(r.Uint64()), Scale: float32(r.Range(0.001, 1))}
+		u.Samples = make([]int16, n)
+		for i := range u.Samples {
+			u.Samples[i] = int16(r.Uint64())
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, TypeUpload, EncodeUpload(u)); err != nil {
+			return false
+		}
+		typ, payload, err := ReadFrame(&buf)
+		if err != nil || typ != TypeUpload {
+			return false
+		}
+		got, err := DecodeUpload(payload)
+		if err != nil || got.Seq != u.Seq || len(got.Samples) != n {
+			return false
+		}
+		for i := range got.Samples {
+			if got.Samples[i] != u.Samples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	r := rng.New(5)
+	samples := make([]float64, 256)
+	for i := range samples {
+		samples[i] = r.Norm(0, 10)
+	}
+	counts, scale := Quantize(samples)
+	back := Dequantize(counts, scale)
+	for i := range samples {
+		if math.Abs(back[i]-samples[i]) > float64(scale) {
+			t.Fatalf("quantisation error at %d: %g", i, back[i]-samples[i])
+		}
+	}
+}
+
+func TestQuantizeDegenerate(t *testing.T) {
+	counts, scale := Quantize(make([]float64, 8))
+	if scale <= 0 {
+		t.Fatal("flat input must keep a positive scale")
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Fatal("flat input should quantise to zeros")
+		}
+	}
+	if got := Dequantize(nil, 1); len(got) != 0 {
+		t.Fatal("empty dequantize should be empty")
+	}
+}
+
+// Quantisation must preserve correlation structure: the cloud search
+// runs on dequantized uploads.
+func TestQuantizePreservesShape(t *testing.T) {
+	r := rng.New(9)
+	samples := make([]float64, 256)
+	for i := range samples {
+		samples[i] = r.Norm(0, 7)
+	}
+	counts, scale := Quantize(samples)
+	back := Dequantize(counts, scale)
+	var dot, na, nb float64
+	for i := range samples {
+		dot += samples[i] * back[i]
+		na += samples[i] * samples[i]
+		nb += back[i] * back[i]
+	}
+	if corr := dot / math.Sqrt(na*nb); corr < 0.99999 {
+		t.Fatalf("quantisation destroyed correlation: %g", corr)
+	}
+}
+
+func TestReadFrameEOF(t *testing.T) {
+	if _, _, err := ReadFrame(bytes.NewReader(nil)); err != io.EOF {
+		t.Fatalf("empty stream error = %v, want io.EOF", err)
+	}
+}
+
+func BenchmarkEncodeCorrSet100(b *testing.B) {
+	entries := make([]CorrEntry, 100)
+	for i := range entries {
+		entries[i] = CorrEntry{SetID: int32(i), Omega: 0.9, Samples: make([]int16, 2048)}
+	}
+	c := &CorrSet{Entries: entries}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = EncodeCorrSet(c)
+	}
+}
+
+func BenchmarkDecodeCorrSet100(b *testing.B) {
+	entries := make([]CorrEntry, 100)
+	for i := range entries {
+		entries[i] = CorrEntry{SetID: int32(i), Omega: 0.9, Samples: make([]int16, 2048)}
+	}
+	raw := EncodeCorrSet(&CorrSet{Entries: entries})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = DecodeCorrSet(raw)
+	}
+}

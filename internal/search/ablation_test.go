@@ -1,0 +1,91 @@
+package search
+
+import (
+	"testing"
+
+	"emap/internal/synth"
+)
+
+// Ablation: the paper-literal slice scan (β < Len(S)−Len(I)) leaves
+// the last 255 offsets of every slice unsearchable. Full-coverage
+// scanning must therefore never evaluate fewer offsets and never
+// retrieve a worse candidate set.
+func TestAblationPaperSliceScan(t *testing.T) {
+	f := newFixture(t, 4)
+	full := NewSearcher(f.store, Params{})
+	paper := NewSearcher(f.store, Params{PaperSliceScan: true})
+	for _, class := range []synth.Class{synth.Normal, synth.Seizure} {
+		input := f.input(class, 0)
+		rf, err := full.Exhaustive(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rp, err := paper.Exhaustive(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rp.Evaluated >= rf.Evaluated {
+			t.Fatalf("paper scan evaluated %d ≥ full scan %d", rp.Evaluated, rf.Evaluated)
+		}
+		// The dead zone is 255/1000 of each slice.
+		gap := float64(rf.Evaluated-rp.Evaluated) / float64(rf.Evaluated)
+		if gap < 0.15 || gap > 0.35 {
+			t.Fatalf("dead-zone fraction %.2f outside the expected ≈0.25", gap)
+		}
+		if len(rp.Matches) > len(rf.Matches) {
+			t.Fatalf("paper scan found more matches (%d) than full coverage (%d)",
+				len(rp.Matches), len(rf.Matches))
+		}
+	}
+}
+
+// Ablation: the envelope-driven skip must beat a naive constant-stride
+// subsampling at equal evaluation budget. A stride-k scan evaluates
+// ~1/k of offsets uniformly; Algorithm 1 spends the same budget
+// adaptively and must retrieve at least as many of the exhaustive
+// matches.
+func TestAblationAdaptiveVsConstantStride(t *testing.T) {
+	f := newFixture(t, 4)
+	s := NewSearcher(f.store, Params{})
+	input := f.input(synth.Normal, 1)
+	a1, err := s.Algorithm1(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := s.Exhaustive(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Matches) == 0 {
+		t.Skip("nothing retrievable")
+	}
+	// Constant stride with the same average budget.
+	stride := ex.Evaluated / a1.Evaluated
+	if stride < 2 {
+		t.Skipf("budget ratio %d too small for the comparison", stride)
+	}
+	strided := 0
+	zqMatches := map[int]bool{}
+	for _, m := range ex.Matches {
+		zqMatches[m.SetID] = true
+	}
+	// Count how many exhaustive-found sets a stride-k scan would hit:
+	// a peak of ±1 sample around β survives subsampling only if
+	// β mod stride lands within it.
+	for _, m := range ex.Matches {
+		lo := m.Beta - 1
+		hi := m.Beta + 1
+		for b := lo; b <= hi; b++ {
+			if b >= 0 && b%stride == 0 {
+				strided++
+				break
+			}
+		}
+	}
+	if len(a1.Matches) < strided {
+		t.Fatalf("adaptive skip (%d sets) worse than constant stride (%d of %d)",
+			len(a1.Matches), strided, len(ex.Matches))
+	}
+	t.Logf("budget 1/%d: adaptive %d vs constant-stride ≈%d of %d exhaustive matches",
+		stride, len(a1.Matches), strided, len(ex.Matches))
+}

@@ -1,0 +1,120 @@
+package search
+
+// Match is one retrieved candidate — the paper's SignalArray entry
+// [S, ω, β]: a signal-set, the normalized correlation at the matched
+// offset, and the offset itself.
+type Match struct {
+	// SetID identifies the matched signal-set within the store.
+	SetID int
+	// Omega is the normalized cross-correlation at Beta.
+	Omega float64
+	// Beta is the matched offset within the signal-set.
+	Beta int
+}
+
+// TopK is a bounded collection keeping the K matches with the largest
+// ω, implemented as a min-heap so insertion is O(log K) and the
+// smallest retained match is evicted first. Algorithm 1 keeps the
+// top-100 (paper: T = top-100 of SignalArray).
+type TopK struct {
+	k     int
+	items []Match // min-heap on Omega
+}
+
+// NewTopK returns a collector retaining at most k matches (k ≥ 1).
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		k = 1
+	}
+	return &TopK{k: k, items: make([]Match, 0, k)}
+}
+
+// Len returns the number of retained matches.
+func (t *TopK) Len() int { return len(t.items) }
+
+// Cap returns the retention bound K.
+func (t *TopK) Cap() int { return t.k }
+
+// Min returns the smallest retained ω, or -inf semantics via ok=false
+// when empty.
+func (t *TopK) Min() (float64, bool) {
+	if len(t.items) == 0 {
+		return 0, false
+	}
+	return t.items[0].Omega, true
+}
+
+// Push offers a match; it is retained if the collector is not full or
+// if it beats the current minimum.
+func (t *TopK) Push(m Match) {
+	if len(t.items) < t.k {
+		t.items = append(t.items, m)
+		t.up(len(t.items) - 1)
+		return
+	}
+	if m.Omega <= t.items[0].Omega {
+		return
+	}
+	t.items[0] = m
+	t.down(0)
+}
+
+// Merge absorbs all matches retained by other.
+func (t *TopK) Merge(other *TopK) {
+	for _, m := range other.items {
+		t.Push(m)
+	}
+}
+
+// SortedDesc returns the retained matches ordered by descending ω.
+// The collector is unchanged.
+func (t *TopK) SortedDesc() []Match {
+	out := make([]Match, len(t.items))
+	copy(out, t.items)
+	// Heap-sort into descending order: repeatedly extract the min
+	// into the tail.
+	h := TopK{k: t.k, items: out}
+	sorted := make([]Match, len(out))
+	// Repeatedly extract the minimum into the tail: the result fills
+	// from smallest (last index) to largest (index 0), i.e. descending.
+	for i := len(sorted) - 1; i >= 0; i-- {
+		sorted[i] = h.items[0]
+		last := len(h.items) - 1
+		h.items[0] = h.items[last]
+		h.items = h.items[:last]
+		if last > 0 {
+			h.down(0)
+		}
+	}
+	return sorted
+}
+
+func (t *TopK) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.items[parent].Omega <= t.items[i].Omega {
+			break
+		}
+		t.items[parent], t.items[i] = t.items[i], t.items[parent]
+		i = parent
+	}
+}
+
+func (t *TopK) down(i int) {
+	n := len(t.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.items[l].Omega < t.items[small].Omega {
+			small = l
+		}
+		if r < n && t.items[r].Omega < t.items[small].Omega {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.items[i], t.items[small] = t.items[small], t.items[i]
+		i = small
+	}
+}

@@ -1,0 +1,200 @@
+package synth
+
+import (
+	"math"
+
+	"emap/internal/rng"
+)
+
+// secondsToSamples converts a duration in seconds to a sample count at
+// the base rate.
+func secondsToSamples(sec float64) int {
+	return int(sec * BaseRate)
+}
+
+// bandSpec describes one narrowband EEG rhythm component.
+type bandSpec struct {
+	loHz, hiHz float64 // frequency range of the band
+	amp        float64 // peak amplitude in (pre-calibration) units
+	components int     // number of sinusoidal partials
+}
+
+// Standard clinical EEG bands. Amplitudes are relative; the generator
+// rescales the whole waveform during calibration.
+var (
+	deltaBand = bandSpec{0.5, 4, 22, 3}
+	thetaBand = bandSpec{4, 8, 12, 3}
+	alphaBand = bandSpec{8, 13, 18, 4}
+	betaBand  = bandSpec{13, 30, 8, 5}
+	gammaBand = bandSpec{30, 45, 2.5, 3}
+)
+
+// renderBand synthesises a narrowband rhythm as a sum of slowly
+// amplitude-modulated partials with random phases, writing
+// amp·Σ… into dst (additively). The modulation depth and rates give
+// the waxing/waning envelope characteristic of scalp EEG.
+func renderBand(r *rng.Source, dst []float64, band bandSpec, ampScale float64) {
+	n := len(dst)
+	if n == 0 || band.components <= 0 {
+		return
+	}
+	type partial struct {
+		freq, phase   float64
+		modFreq, modP float64
+		modDepth      float64
+		amp           float64
+	}
+	parts := make([]partial, band.components)
+	for i := range parts {
+		parts[i] = partial{
+			freq:     r.Range(band.loHz, band.hiHz),
+			phase:    r.Range(0, 2*math.Pi),
+			modFreq:  r.Range(0.05, 0.4), // slow envelope, 2.5–20 s period
+			modP:     r.Range(0, 2*math.Pi),
+			modDepth: r.Range(0.3, 0.7),
+			amp:      band.amp * ampScale / float64(band.components) * r.Range(0.7, 1.3),
+		}
+	}
+	dt := 1.0 / BaseRate
+	for i := 0; i < n; i++ {
+		t := float64(i) * dt
+		var v float64
+		for _, p := range parts {
+			env := 1 + p.modDepth*math.Sin(2*math.Pi*p.modFreq*t+p.modP)
+			v += p.amp * env * math.Sin(2*math.Pi*p.freq*t+p.phase)
+		}
+		dst[i] += v
+	}
+}
+
+// addPinkNoise adds approximately 1/f-distributed noise with the given
+// RMS to dst, using Paul Kellet's economy three-pole filter over white
+// noise. Pink noise is the canonical model for the broadband EEG
+// background.
+func addPinkNoise(r *rng.Source, dst []float64, rms float64) {
+	if rms <= 0 {
+		return
+	}
+	var b0, b1, b2 float64
+	tmp := make([]float64, len(dst))
+	var energy float64
+	for i := range tmp {
+		white := r.NormFloat64()
+		b0 = 0.99765*b0 + white*0.0990460
+		b1 = 0.96300*b1 + white*0.2965164
+		b2 = 0.57000*b2 + white*1.0526913
+		v := b0 + b1 + b2 + white*0.1848
+		tmp[i] = v
+		energy += v * v
+	}
+	cur := math.Sqrt(energy / float64(len(tmp)))
+	if cur < 1e-12 {
+		return
+	}
+	k := rms / cur
+	for i := range dst {
+		dst[i] += tmp[i] * k
+	}
+}
+
+// addSpike adds a biphasic sharp transient (an epileptiform spike) of
+// the given peak amplitude and total width centred at index at. The
+// spike shape is a narrow positive lobe followed by a shallower
+// negative afterwave — broadband content that survives the 11–40 Hz
+// acquisition filter.
+func addSpike(dst []float64, at int, amp, widthSec float64) {
+	half := int(widthSec * BaseRate / 2)
+	if half < 2 {
+		half = 2
+	}
+	for k := -half; k <= 2*half; k++ {
+		i := at + k
+		if i < 0 || i >= len(dst) {
+			continue
+		}
+		x := float64(k) / float64(half)
+		var v float64
+		switch {
+		case x <= 0: // rising edge of the spike
+			v = amp * math.Exp(-8*x*x)
+		case x <= 0.5: // falling edge
+			v = amp * math.Exp(-18*x*x)
+		default: // slow negative afterwave
+			y := (x - 1.25) / 0.75
+			v = -0.45 * amp * math.Exp(-4*y*y)
+		}
+		dst[i] += v
+	}
+}
+
+// addTriphasicWave adds the triphasic complex characteristic of
+// metabolic encephalopathy: negative-positive-negative deflections
+// over roughly a third of a second.
+func addTriphasicWave(dst []float64, at int, amp float64) {
+	width := secondsToSamples(0.35)
+	for k := 0; k < width; k++ {
+		i := at + k
+		if i < 0 || i >= len(dst) {
+			continue
+		}
+		x := float64(k) / float64(width) // 0..1
+		v := amp * (-0.5*gauss(x, 0.15, 0.07) + gauss(x, 0.45, 0.12) - 0.35*gauss(x, 0.8, 0.12))
+		dst[i] += v
+	}
+}
+
+func gauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return math.Exp(-0.5 * d * d)
+}
+
+// addBlink overlays an eye-blink artifact: a large, slow (~0.4 s)
+// frontal deflection. Mostly removed by the 11–40 Hz bandpass, kept
+// for realism of the raw signal path.
+func addBlink(r *rng.Source, dst []float64, at int) {
+	width := secondsToSamples(0.4)
+	amp := r.Range(40, 90)
+	for k := 0; k < width; k++ {
+		i := at + k
+		if i < 0 || i >= len(dst) {
+			continue
+		}
+		x := float64(k) / float64(width)
+		dst[i] += amp * math.Sin(math.Pi*x) * math.Sin(math.Pi*x)
+	}
+}
+
+// addMuscleBurst overlays a short high-frequency EMG burst.
+func addMuscleBurst(r *rng.Source, dst []float64, at int) {
+	width := int(r.Range(0.1, 0.3) * BaseRate)
+	amp := r.Range(3, 8)
+	for k := 0; k < width; k++ {
+		i := at + k
+		if i < 0 || i >= len(dst) {
+			continue
+		}
+		env := math.Sin(math.Pi * float64(k) / float64(width))
+		dst[i] += amp * env * r.NormFloat64()
+	}
+}
+
+// addElectrodePop overlays a step discontinuity with exponential
+// recovery — an electrode contact artifact.
+func addElectrodePop(r *rng.Source, dst []float64, at int) {
+	amp := r.Range(15, 40)
+	if r.Bool(0.5) {
+		amp = -amp
+	}
+	tau := r.Range(0.1, 0.4) * BaseRate
+	for k := 0; ; k++ {
+		i := at + k
+		if i >= len(dst) {
+			break
+		}
+		v := amp * math.Exp(-float64(k)/tau)
+		if math.Abs(v) < 0.1 {
+			break
+		}
+		dst[i] += v
+	}
+}

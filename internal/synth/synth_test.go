@@ -1,0 +1,286 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"emap/internal/dsp"
+	"emap/internal/fft"
+)
+
+func testGen() *Generator {
+	return NewGenerator(Config{Seed: 42, ArchetypesPerClass: 4})
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{
+		Normal:         "normal",
+		Seizure:        "seizure",
+		Encephalopathy: "encephalopathy",
+		Stroke:         "stroke",
+		Class(9):       "class(9)",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Normal.Anomalous() || !Seizure.Anomalous() {
+		t.Fatal("Anomalous misclassifies")
+	}
+}
+
+func TestCanonicalDeterminism(t *testing.T) {
+	g1, g2 := testGen(), testGen()
+	for _, c := range Classes {
+		a := g1.Canonical(c, 1)
+		b := g2.Canonical(c, 1)
+		if len(a) != len(b) {
+			t.Fatalf("%v canonical lengths differ", c)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v canonical diverges at %d", c, i)
+			}
+		}
+	}
+}
+
+func TestCanonicalIndependentOfCallOrder(t *testing.T) {
+	g1, g2 := testGen(), testGen()
+	// g1 warms other archetypes first; g2 goes straight to (Seizure,2).
+	g1.Canonical(Normal, 0)
+	g1.Canonical(Stroke, 3)
+	a := g1.Canonical(Seizure, 2)
+	b := g2.Canonical(Seizure, 2)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("canonical depends on call order")
+		}
+	}
+}
+
+func TestCanonicalLengths(t *testing.T) {
+	g := testGen()
+	if got := len(g.Canonical(Normal, 0)); got != NormalDur*256 {
+		t.Fatalf("normal canonical %d samples", got)
+	}
+	if got := len(g.Canonical(Seizure, 0)); got != SeizureDur*256 {
+		t.Fatalf("seizure canonical %d samples", got)
+	}
+}
+
+func TestCalibratedRMS(t *testing.T) {
+	g := testGen()
+	bp, _ := dsp.DesignBandpass(100, 11, 40, BaseRate, dsp.Hamming)
+	for _, c := range Classes {
+		raw := g.Canonical(c, 0)
+		filtered := bp.Apply(raw)
+		measure := filtered[bp.Len():]
+		if c == Seizure {
+			// Seizures calibrate on the pre-onset region; the
+			// ictal tail is deliberately louder.
+			measure = filtered[bp.Len() : OnsetAt*256]
+		}
+		rms := dsp.RMS(measure)
+		if math.Abs(rms-7) > 0.01 {
+			t.Errorf("%v post-bandpass RMS = %g, want 7", c, rms)
+		}
+	}
+	// The ictal discharge must exceed the calibrated background.
+	sz := bp.Apply(g.Canonical(Seizure, 0))
+	ictal := dsp.RMS(sz[(OnsetAt+5)*256 : (OnsetAt+20)*256])
+	if ictal < 8 {
+		t.Errorf("ictal RMS %g not above the 7 µV background", ictal)
+	}
+}
+
+func TestWithinArchetypeCorrelation(t *testing.T) {
+	g := testGen()
+	bp, _ := dsp.DesignBandpass(100, 11, 40, BaseRate, dsp.Hamming)
+	a := g.Instance(Normal, 0, InstanceOpts{OffsetSamples: 1000, DurSeconds: 10, NoArtifacts: true})
+	b := g.Instance(Normal, 0, InstanceOpts{OffsetSamples: 1000, DurSeconds: 10, NoArtifacts: true})
+	fa, fb := bp.Apply(a.Samples), bp.Apply(b.Samples)
+	// Compare a mid-recording window (past the filter transient).
+	p := dsp.Pearson(fa[512:768], fb[512:768])
+	if p < 0.75 {
+		t.Fatalf("same-archetype instances correlate only %g, need > 0.75 for retrieval", p)
+	}
+}
+
+func TestAcrossArchetypeCorrelation(t *testing.T) {
+	g := testGen()
+	bp, _ := dsp.DesignBandpass(100, 11, 40, BaseRate, dsp.Hamming)
+	a := g.Instance(Normal, 0, InstanceOpts{OffsetSamples: 1000, DurSeconds: 10, NoArtifacts: true})
+	b := g.Instance(Normal, 1, InstanceOpts{OffsetSamples: 1000, DurSeconds: 10, NoArtifacts: true})
+	fa, fb := bp.Apply(a.Samples), bp.Apply(b.Samples)
+	p := dsp.Pearson(fa[512:768], fb[512:768])
+	if math.Abs(p) > 0.5 {
+		t.Fatalf("different archetypes correlate %g, should be weak", p)
+	}
+}
+
+func TestInstanceIDsUnique(t *testing.T) {
+	g := testGen()
+	seen := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		rec := g.Instance(Normal, i, InstanceOpts{DurSeconds: 2})
+		if seen[rec.ID] {
+			t.Fatalf("duplicate recording ID %s", rec.ID)
+		}
+		seen[rec.ID] = true
+	}
+}
+
+func TestInstanceOnsetTracking(t *testing.T) {
+	g := testGen()
+	onset := g.CanonicalOnset(Seizure)
+	// Crop starting 10 s before onset: onset should appear at 10 s.
+	rec := g.Instance(Seizure, 0, InstanceOpts{OffsetSamples: onset - 2560, DurSeconds: 30})
+	if rec.Onset != 2560 {
+		t.Fatalf("onset at %d, want 2560", rec.Onset)
+	}
+	// Crop entirely before onset: no onset in view.
+	rec = g.Instance(Seizure, 0, InstanceOpts{OffsetSamples: 0, DurSeconds: 30})
+	if rec.Onset != -1 {
+		t.Fatalf("interictal crop has onset %d, want -1", rec.Onset)
+	}
+	// Normal recordings never carry an onset.
+	if g.Instance(Normal, 0, InstanceOpts{DurSeconds: 5}).Onset != -1 {
+		t.Fatal("normal recording has an onset")
+	}
+	if g.CanonicalOnset(Normal) != -1 {
+		t.Fatal("CanonicalOnset(Normal) should be -1")
+	}
+}
+
+func TestInstanceResampling(t *testing.T) {
+	g := testGen()
+	rec := g.Instance(Normal, 0, InstanceOpts{DurSeconds: 4, Rate: 512})
+	if rec.Rate != 512 {
+		t.Fatalf("rate = %g", rec.Rate)
+	}
+	if got, want := len(rec.Samples), 4*512; got != want {
+		t.Fatalf("resampled length %d, want %d", got, want)
+	}
+	if sec := rec.Seconds(); math.Abs(sec-4) > 0.01 {
+		t.Fatalf("Seconds() = %g", sec)
+	}
+	// Onset index must be rescaled too.
+	onset := g.CanonicalOnset(Seizure)
+	rec = g.Instance(Seizure, 0, InstanceOpts{OffsetSamples: onset - 2560, DurSeconds: 30, Rate: 128})
+	if rec.Onset != 1280 {
+		t.Fatalf("resampled onset %d, want 1280", rec.Onset)
+	}
+}
+
+func TestSeizureInputLead(t *testing.T) {
+	g := testGen()
+	rec := g.SeizureInput(0, 60, 90)
+	if rec.Onset < 0 {
+		t.Fatal("lead input lost its onset")
+	}
+	lead := float64(rec.Onset) / BaseRate
+	if math.Abs(lead-60) > 0.01 {
+		t.Fatalf("onset lead = %g s, want 60", lead)
+	}
+}
+
+func TestSeizureSpectralSignature(t *testing.T) {
+	g := testGen()
+	canon := g.Canonical(Seizure, 0)
+	onset := g.CanonicalOnset(Seizure)
+	interictal := canon[20*256 : 30*256]
+	ictal := canon[onset+5*256 : onset+15*256]
+	// The ictal phase must add substantial in-band (11–40 Hz) energy
+	// relative to the interictal background.
+	ii := fft.BandPower(interictal, BaseRate, 11, 40)
+	ic := fft.BandPower(ictal, BaseRate, 11, 40)
+	if ic < 1.5*ii {
+		t.Fatalf("ictal in-band power %g not clearly above interictal %g", ic, ii)
+	}
+}
+
+func TestStrokeAttenuation(t *testing.T) {
+	g := testGen()
+	// Per calibration both have in-band RMS 7, but stroke should show
+	// lower *relative* upper-beta (18-30 Hz): the added 12-16 Hz focal
+	// rhythm lives below that range.
+	n := g.Canonical(Normal, 0)[2560 : 2560+20*256]
+	s := g.Canonical(Stroke, 0)[2560 : 2560+20*256]
+	nBeta := fft.BandPower(n, BaseRate, 18, 30) / fft.BandPower(n, BaseRate, 0.5, 45)
+	sBeta := fft.BandPower(s, BaseRate, 18, 30) / fft.BandPower(s, BaseRate, 0.5, 45)
+	if sBeta >= nBeta {
+		t.Fatalf("stroke beta share %g not below normal %g", sBeta, nBeta)
+	}
+}
+
+func TestEncephalopathySlowing(t *testing.T) {
+	g := testGen()
+	n := g.Canonical(Normal, 0)[2560 : 2560+20*256]
+	e := g.Canonical(Encephalopathy, 0)[2560 : 2560+20*256]
+	nSlow := fft.BandPower(n, BaseRate, 0.5, 8) / fft.BandPower(n, BaseRate, 0.5, 45)
+	eSlow := fft.BandPower(e, BaseRate, 0.5, 8) / fft.BandPower(e, BaseRate, 0.5, 45)
+	if eSlow <= nSlow {
+		t.Fatalf("encephalopathy slow-wave share %g not above normal %g", eSlow, nSlow)
+	}
+}
+
+func TestArchetypeIndexWraps(t *testing.T) {
+	g := testGen()
+	a := g.Instance(Normal, 0, InstanceOpts{OffsetSamples: 0, DurSeconds: 2, NoArtifacts: true})
+	b := g.Instance(Normal, 4, InstanceOpts{OffsetSamples: 0, DurSeconds: 2, NoArtifacts: true}) // 4 % 4 == 0
+	if a.Archetype != b.Archetype {
+		t.Fatalf("archetype wrap: %d vs %d", a.Archetype, b.Archetype)
+	}
+	c := g.Instance(Normal, -1, InstanceOpts{DurSeconds: 1})
+	if c.Archetype < 0 || c.Archetype >= 4 {
+		t.Fatalf("negative archetype mapped to %d", c.Archetype)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	g := NewGenerator(Config{Seed: 1})
+	cfg := g.Config()
+	if cfg.ArchetypesPerClass != 12 || cfg.NoiseRatio != 0.22 || cfg.TargetRMS != 7 {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if g.Archetypes() != 12 {
+		t.Fatalf("Archetypes() = %d", g.Archetypes())
+	}
+}
+
+func TestConcurrentCanonicalAccess(t *testing.T) {
+	g := testGen()
+	done := make(chan bool)
+	for i := 0; i < 8; i++ {
+		go func(i int) {
+			defer func() { done <- true }()
+			for j := 0; j < 4; j++ {
+				_ = g.Canonical(Classes[i%4], j)
+				_ = g.Instance(Classes[(i+1)%4], j, InstanceOpts{DurSeconds: 1})
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+}
+
+func TestInstanceDurationClamped(t *testing.T) {
+	g := testGen()
+	rec := g.Instance(Normal, 0, InstanceOpts{DurSeconds: 10000})
+	if len(rec.Samples) != NormalDur*256 {
+		t.Fatalf("oversize crop length %d", len(rec.Samples))
+	}
+}
+
+func BenchmarkInstance30s(b *testing.B) {
+	g := testGen()
+	g.Canonical(Normal, 0) // warm the cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = g.Instance(Normal, 0, InstanceOpts{DurSeconds: 30})
+	}
+}

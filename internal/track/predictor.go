@@ -1,0 +1,162 @@
+package track
+
+// PredictorParams configures the anomaly decision rule. The paper's
+// rule (§VI-B): "Each time-step of the input signal is compared with
+// the set of correlated signals to estimate the anomaly probability,
+// which if increasing is classified as an anomaly", with near-threshold
+// increases deliberately classified as anomalous — maximising
+// sensitivity at the cost of ≈15% false positives.
+type PredictorParams struct {
+	// AbsoluteThreshold classifies as anomalous whenever the smoothed
+	// P_A reaches this level regardless of trend (default 0.55: above
+	// the 0.5 tie produced when half of a region's covering
+	// recordings are mislabelled).
+	AbsoluteThreshold float64
+	// RiseThreshold classifies as anomalous when the smoothed P_A
+	// has risen by at least this much from its initial level
+	// (default 0.2 — the "near-threshold anomaly probability
+	// increases" the paper counts as anomalous, which is also why
+	// its false-positive rate sits near 15%).
+	RiseThreshold float64
+	// MinObservations is the minimum number of P_A estimates before
+	// a positive decision is allowed (default 2).
+	MinObservations int
+	// SmoothWindow is the trailing-mean width applied to the P_A
+	// trajectory before thresholding (default 3). Tracking sets are
+	// finite samples, so a single-iteration P_A blip — one spurious
+	// anomalous match surviving one step — must not flip the
+	// decision; only sustained levels and sustained rises count.
+	SmoothWindow int
+}
+
+// DefaultPredictorParams returns the paper-tuned decision rule.
+func DefaultPredictorParams() PredictorParams {
+	return PredictorParams{
+		AbsoluteThreshold: 0.55,
+		RiseThreshold:     0.25,
+		MinObservations:   2,
+		SmoothWindow:      3,
+	}
+}
+
+func (p PredictorParams) withDefaults() PredictorParams {
+	d := DefaultPredictorParams()
+	if p.AbsoluteThreshold <= 0 {
+		p.AbsoluteThreshold = d.AbsoluteThreshold
+	}
+	if p.RiseThreshold <= 0 {
+		p.RiseThreshold = d.RiseThreshold
+	}
+	if p.MinObservations <= 0 {
+		p.MinObservations = d.MinObservations
+	}
+	if p.SmoothWindow <= 0 {
+		p.SmoothWindow = d.SmoothWindow
+	}
+	return p
+}
+
+// Predictor accumulates per-iteration anomaly probabilities and issues
+// the anomaly / normal decision.
+type Predictor struct {
+	params  PredictorParams
+	history []float64
+}
+
+// NewPredictor returns a predictor with the given parameters
+// (zero-valued fields take defaults).
+func NewPredictor(params PredictorParams) *Predictor {
+	return &Predictor{params: params.withDefaults()}
+}
+
+// Observe records the anomaly probability of one tracking iteration.
+func (p *Predictor) Observe(pa float64) {
+	p.history = append(p.history, pa)
+}
+
+// History returns the recorded P_A trajectory.
+func (p *Predictor) History() []float64 {
+	out := make([]float64, len(p.history))
+	copy(out, p.history)
+	return out
+}
+
+// Current returns the latest P_A, or 0 before any observation.
+func (p *Predictor) Current() float64 {
+	if len(p.history) == 0 {
+		return 0
+	}
+	return p.history[len(p.history)-1]
+}
+
+// smoothedAt returns the trailing mean of the trajectory ending at
+// index i (window truncated at the start).
+func (p *Predictor) smoothedAt(i int) float64 {
+	lo := i - p.params.SmoothWindow + 1
+	if lo < 0 {
+		lo = 0
+	}
+	var sum float64
+	for _, v := range p.history[lo : i+1] {
+		sum += v
+	}
+	return sum / float64(i+1-lo)
+}
+
+// Smoothed returns the trailing-mean P_A at the latest observation.
+func (p *Predictor) Smoothed() float64 {
+	if len(p.history) == 0 {
+		return 0
+	}
+	return p.smoothedAt(len(p.history) - 1)
+}
+
+// PeakSmoothed returns the maximum of the smoothed trajectory. The
+// anomaly decision latches on this value: once the framework has
+// sustained a high anomaly probability the alarm has fired, and a
+// later decay (e.g. a refreshed correlation set landing on poorly
+// annotated recordings) does not retract it.
+func (p *Predictor) PeakSmoothed() float64 {
+	var peak float64
+	for i := range p.history {
+		if s := p.smoothedAt(i); s > peak {
+			peak = s
+		}
+	}
+	return peak
+}
+
+// Rise returns the increase from the initial P_A to the peak of the
+// smoothed trajectory.
+func (p *Predictor) Rise() float64 {
+	if len(p.history) == 0 {
+		return 0
+	}
+	base := p.history[0]
+	peak := base
+	for i := range p.history {
+		if s := p.smoothedAt(i); s > peak {
+			peak = s
+		}
+	}
+	return peak - base
+}
+
+// Anomalous reports the current decision: the smoothed P_A reached the
+// absolute threshold at some point (latched alarm), or a sustained
+// rise of at least RiseThreshold since tracking began.
+func (p *Predictor) Anomalous() bool {
+	if len(p.history) < p.params.MinObservations {
+		return false
+	}
+	if p.PeakSmoothed() >= p.params.AbsoluteThreshold {
+		return true
+	}
+	return p.Rise() >= p.params.RiseThreshold
+}
+
+// Reset clears the observation history (used after a cloud refresh if
+// the caller wants per-segment decisions).
+func (p *Predictor) Reset() {
+	p.history = p.history[:0]
+}
