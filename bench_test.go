@@ -5,9 +5,14 @@
 package emap_test
 
 import (
+	"context"
+	"net"
 	"testing"
+	"time"
 
 	"emap"
+	"emap/internal/cloud"
+	"emap/internal/edge"
 	"emap/internal/experiments"
 )
 
@@ -174,6 +179,49 @@ func BenchmarkEndToEndSession(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkCloudSearchParallel measures pipelined cloud searches on
+// one shared connection: every parallel worker issues uploads through
+// the same v2 client, so the worker pool and request-ID matching are
+// both on the hot path. This anchors the perf trajectory for the
+// sharding/batching PRs.
+func BenchmarkCloudSearchParallel(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := cloud.NewServer(store, cloud.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	client, err := edge.Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+
+	input := gen.SeizureInput(0, 30, 5)
+	window := input.Samples[1024:1280]
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := client.Search(ctx, window); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(srv.Metrics.PeakInFlight.Load()), "peak-in-flight")
 }
 
 // BenchmarkMDBConstruction measures the full corpus-to-store pipeline.

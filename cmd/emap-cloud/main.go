@@ -1,20 +1,28 @@
 // Command emap-cloud runs the cloud tier: it hosts a mega-database and
-// answers edge uploads with signal correlation sets over TCP.
+// answers edge uploads with signal correlation sets over TCP. Uploads
+// from protocol-v2 edges are served by a bounded worker pool, so
+// independent windows search in parallel; SIGINT/SIGTERM drain
+// in-flight searches before exiting.
 //
 // Usage:
 //
 //	emap-cloud [-addr :7300] [-mdb mdb.snap] [-per 8] [-seed 2020]
+//	           [-workers N] [-drain 10s]
 //
 // With -mdb pointing at a snapshot written by emap-mdb, the store is
 // loaded from disk; otherwise a synthetic store is built at startup.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"emap"
 	"emap/internal/cloud"
@@ -27,6 +35,8 @@ func main() {
 	per := flag.Int("per", 8, "recordings per corpus when building synthetically")
 	seed := flag.Uint64("seed", 2020, "generator seed when building synthetically")
 	horizon := flag.Float64("horizon", 8, "continuation horizon per match [s]")
+	workers := flag.Int("workers", 0, "concurrent search workers (0: GOMAXPROCS)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
@@ -51,6 +61,7 @@ func main() {
 
 	srv, err := cloud.NewServer(store, cloud.Config{
 		HorizonSeconds: *horizon,
+		Workers:        *workers,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -61,7 +72,27 @@ func main() {
 		logger.Fatal(err)
 	}
 	fmt.Printf("emap-cloud listening on %s\n", l.Addr())
-	if err := srv.Serve(l); err != nil {
-		logger.Fatal(err)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("signal received; draining (≤%v)…", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+		}
+		<-serveDone
 	}
+	logger.Printf("served %d requests (%d errors, mean latency %v, peak in-flight %d)",
+		srv.Metrics.Requests.Load(), srv.Metrics.Errors.Load(),
+		srv.Metrics.MeanLatency(), srv.Metrics.PeakInFlight.Load())
 }

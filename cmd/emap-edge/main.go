@@ -10,9 +10,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"emap"
@@ -28,7 +33,11 @@ func main() {
 	seed := flag.Uint64("seed", 2020, "generator seed (match the cloud's for retrievable inputs)")
 	arch := flag.Int("arch", 0, "input archetype index")
 	realtime := flag.Bool("realtime", false, "pace the stream at one window per second")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-exchange cloud timeout")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var class emap.Class
 	found := false
@@ -55,20 +64,29 @@ func main() {
 		log.Fatalf("emap-edge: %v", err)
 	}
 	defer client.Close()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(ctx); err != nil {
 		log.Fatalf("emap-edge: cloud not responding: %v", err)
 	}
+	fmt.Printf("negotiated protocol v%d\n", client.Version())
 
-	dev, err := edge.NewDevice(client, edge.Config{})
+	dev, err := edge.NewDevice(client, edge.Config{CloudTimeout: *timeout})
 	if err != nil {
 		log.Fatalf("emap-edge: %v", err)
 	}
 
 	fmt.Printf("streaming %s (%s, %.0f s) to %s\n", input.ID, class, *seconds, *addr)
 	for k := 0; k+256 <= len(input.Samples); k += 256 {
-		st, err := dev.PushSecond(input.Samples[k : k+256])
+		if ctx.Err() != nil {
+			fmt.Println("interrupted")
+			break
+		}
+		st, err := dev.Push(ctx, input.Samples[k:k+256])
+		if errors.Is(err, context.Canceled) || (err != nil && ctx.Err() != nil) {
+			fmt.Println("interrupted")
+			break
+		}
 		if err != nil {
-			log.Fatalf("emap-edge: slot %d: %v", st.Window, err)
+			log.Fatalf("emap-edge: slot %d: %v", k/256, err)
 		}
 		marker := ""
 		if st.CloudCalled {

@@ -10,9 +10,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"emap/internal/experiments"
@@ -160,11 +163,19 @@ func main() {
 		names = order
 	}
 	rs := runners()
+	// Full-size regenerations run for minutes; a signal stops cleanly
+	// at the next experiment boundary.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	for _, name := range names {
 		run, ok := rs[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "emap-exp: unknown experiment %q (have %v)\n", name, order)
 			os.Exit(2)
+		}
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "emap-exp: interrupted")
+			os.Exit(130)
 		}
 		start := time.Now()
 		if err := run(); err != nil {

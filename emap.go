@@ -17,10 +17,29 @@
 //
 //	gen := emap.NewGenerator(42)
 //	store, _ := emap.BuildMDB(gen.TrainingRecordings(4, 2))
-//	sess, _ := emap.NewSession(store, emap.Config{})
+//	sess, _ := emap.New(store) // functional options tune the defaults
 //	input := gen.SeizureInput(0, 30, 25) // 30 s before onset
 //	report, _ := sess.Process(input, 0)
 //	fmt.Println(report.Decision, report.PATrace)
+//
+// # Streaming
+//
+// The pipeline is inherently streaming — one-second windows flow
+// edge→cloud→edge continuously — and the primary API mirrors that:
+//
+//	stream, _ := sess.Start(ctx)
+//	go func() {
+//	    for win := range source { stream.Push(win) }
+//	    stream.Close()
+//	}()
+//	for step := range stream.Reports() {
+//	    if step.DecisionChanged && step.Decision {
+//	        alarm(step.Window, step.PA)
+//	    }
+//	}
+//
+// Process is a thin wrapper that pushes a whole recording through a
+// stream and returns the batch Report.
 //
 // Everything underneath — the EEG synthesiser that substitutes the
 // paper's public corpora, the document store that substitutes MongoDB,

@@ -1,0 +1,98 @@
+package emap_test
+
+import (
+	"context"
+	"testing"
+
+	"emap"
+)
+
+// TestOptionsFlow exercises the functional-option constructor and the
+// public streaming surface end to end.
+func TestOptionsFlow(t *testing.T) {
+	gen := emap.NewGenerator(3)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	link, err := emap.PlatformByName("LTE-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := emap.New(store,
+		emap.WithHorizon(10),
+		emap.WithRecallMargin(2),
+		emap.WithLink(link),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sess.Config()
+	if cfg.HorizonSeconds != 10 || cfg.RecallMargin != 2 || cfg.Link.Name != "LTE-A" {
+		t.Fatalf("options not applied: %+v", cfg)
+	}
+
+	input := gen.SeizureInput(0, 30, 15)
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for k := 0; k+256 <= len(input.Samples); k += 256 {
+			if err := stream.Push(emap.Window(input.Samples[k : k+256])); err != nil {
+				return
+			}
+		}
+		stream.Close()
+	}()
+	windows := 0
+	for range stream.Reports() {
+		windows++
+	}
+	report, err := stream.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Windows != windows || windows != 15 {
+		t.Fatalf("streamed %d windows, report says %d", windows, report.Windows)
+	}
+	if report.CloudCalls < 1 {
+		t.Fatal("no correlation set adopted over the stream")
+	}
+}
+
+// TestMonitorWrapper checks the channel-source convenience wrapper.
+func TestMonitorWrapper(t *testing.T) {
+	gen := emap.NewGenerator(4)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := emap.New(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := gen.SeizureInput(0, 30, 12)
+	src := make(chan emap.Window)
+	go func() {
+		defer close(src)
+		for k := 0; k+256 <= len(input.Samples); k += 256 {
+			src <- emap.Window(input.Samples[k : k+256])
+		}
+	}()
+	reports, wait, err := emap.Monitor(context.Background(), sess, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for range reports {
+		seen++
+	}
+	report, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Windows != seen {
+		t.Fatalf("monitor consumed %d windows, report says %d", seen, report.Windows)
+	}
+}

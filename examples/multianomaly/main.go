@@ -31,7 +31,7 @@ func main() {
 		detected := 0
 		for i := 0; i < perClass; i++ {
 			input := drawInput(gen, class, i)
-			sess, err := emap.NewSession(store, emap.Config{})
+			sess, err := emap.New(store)
 			if err != nil {
 				log.Fatal(err)
 			}

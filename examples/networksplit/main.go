@@ -1,11 +1,14 @@
 // Network split: run the cloud and edge tiers as separate components
 // connected over a real TCP socket — the deployment of the paper's
 // Fig. 1, in one process. The edge device uploads filtered one-second
-// windows; the cloud answers with signal correlation sets carrying
-// continuation samples; the edge tracks them locally and predicts.
+// windows over the pipelined v2 protocol; the cloud's worker pool
+// answers with signal correlation sets carrying continuation samples;
+// the edge tracks them locally and predicts. At the end the cloud is
+// drained gracefully so every in-flight reply lands.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net"
@@ -17,17 +20,19 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A small archetype pool keeps the per-corpus draws dense enough
 	// that every archetype is well represented.
 	gen := emap.NewGeneratorConfig(emap.GeneratorConfig{Seed: 99, ArchetypesPerClass: 4})
 
 	// Cloud tier: build the MDB from the five emulated corpora and
-	// serve it on a loopback TCP listener.
+	// serve it on a loopback TCP listener with a 4-worker search pool.
 	store, err := emap.BuildMDBFromCorpora(gen, 10)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := cloud.NewServer(store, cloud.Config{})
+	srv, err := cloud.NewServer(store, cloud.Config{Workers: 4})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -36,18 +41,19 @@ func main() {
 		log.Fatal(err)
 	}
 	go srv.Serve(l)
-	defer srv.Close()
-	fmt.Printf("cloud: serving %d signal-sets on %s\n", store.NumSets(), l.Addr())
+	fmt.Printf("cloud: serving %d signal-sets on %s (4 workers)\n", store.NumSets(), l.Addr())
 
-	// Edge tier: dial the cloud and stream a preictal recording.
+	// Edge tier: dial the cloud — the client negotiates protocol v2
+	// and pipelines its uploads — and stream a preictal recording.
 	client, err := edge.Dial(l.Addr().String(), 2*time.Second)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(ctx); err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("edge:  negotiated protocol v%d\n", client.Version())
 	dev, err := edge.NewDevice(client, edge.Config{})
 	if err != nil {
 		log.Fatal(err)
@@ -56,7 +62,7 @@ func main() {
 	input := gen.SeizureInput(2, 25, 20)
 	fmt.Printf("edge:  streaming %s\n\n", input.ID)
 	for k := 0; k+256 <= len(input.Samples); k += 256 {
-		st, err := dev.PushSecond(input.Samples[k : k+256])
+		st, err := dev.Push(ctx, input.Samples[k:k+256])
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,6 +77,16 @@ func main() {
 	// Allow an in-flight background refresh to settle before the
 	// final verdict.
 	time.Sleep(100 * time.Millisecond)
-	fmt.Printf("\ncloud handled %d requests; edge verdict: anomalous=%v\n",
-		srv.Metrics.Requests.Load(), dev.Predictor().Anomalous())
+	fmt.Printf("\nedge verdict: anomalous=%v\n", dev.Predictor().Anomalous())
+
+	// Drain the cloud: in-flight searches complete, replies flush,
+	// then the listener and connections close.
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	client.Close()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	fmt.Printf("cloud handled %d requests (mean latency %v, peak in-flight %d)\n",
+		srv.Metrics.Requests.Load(), srv.Metrics.MeanLatency(), srv.Metrics.PeakInFlight.Load())
 }

@@ -26,8 +26,10 @@ func main() {
 		store.NumSets(), normal, anomalous)
 
 	// A monitoring session with the paper's default parameters:
-	// α = 0.004, δ = 0.8, top-100, δ_A = 900, LTE link.
-	sess, err := emap.NewSession(store, emap.Config{})
+	// α = 0.004, δ = 0.8, top-100, δ_A = 900, LTE link. Functional
+	// options (emap.WithHorizon, emap.WithSearchParams, …) tune
+	// individual knobs without spelling out a Config.
+	sess, err := emap.New(store)
 	if err != nil {
 		log.Fatal(err)
 	}

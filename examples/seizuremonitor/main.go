@@ -1,10 +1,16 @@
 // Seizure monitor: stream a recording that runs from the late
-// interictal period through seizure onset, and report when EMAP's
+// interictal period through seizure onset and report when EMAP's
 // alarm fires relative to the electrographic onset — the clinical
 // quantity behind the paper's Fig. 10 lead-time evaluation.
+//
+// This example uses the streaming v2 API: windows are pushed into a
+// live Stream exactly as a wearable would deliver them, and the alarm
+// is the DecisionChanged transition on the per-window StepReport —
+// detected the second it happens, not after the fact.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,36 +30,44 @@ func main() {
 	input := gen.SeizureInput(0, leadSeconds, 70)
 	onsetAt := float64(input.Onset) / emap.BaseRate
 
-	sess, err := emap.NewSession(store, emap.Config{})
+	sess, err := emap.New(store)
 	if err != nil {
 		log.Fatal(err)
 	}
-	report, err := sess.Process(input, 0)
+	stream, err := sess.Start(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
+	go func() {
+		for k := 0; k+256 <= len(input.Samples); k += 256 {
+			if err := stream.Push(emap.Window(input.Samples[k : k+256])); err != nil {
+				return
+			}
+		}
+		stream.Close()
+	}()
 
 	fmt.Printf("monitoring %s — onset at t=%.0fs\n\n", input.ID, onsetAt)
 	fmt.Println("  t    P_A   tracked  cloud")
 	alarmAt := -1.0
-	paIdx := 0
-	for _, it := range report.Iters {
-		if !it.Tracked {
-			continue
-		}
-		call := ""
-		if it.CloudCallIssued {
-			call = "  ←"
-		}
-		fmt.Printf("%4d   %.2f   %5d%s\n", it.Window, it.PA, it.Remaining, call)
-		paIdx++
-		if alarmAt < 0 && paIdx >= 2 {
-			// Replay the predictor's decision as of this iteration.
-			if it.PA >= 0.55 {
-				alarmAt = float64(it.Window)
+	for step := range stream.Reports() {
+		if step.Tracked {
+			call := ""
+			if step.CloudCallIssued {
+				call = "  ←"
 			}
+			fmt.Printf("%4d   %.2f   %5d%s\n", step.Window, step.PA, step.Remaining, call)
+		}
+		if step.DecisionChanged && step.Decision && alarmAt < 0 {
+			alarmAt = float64(step.Window)
+			fmt.Printf("       ^^^ ALARM fires here\n")
 		}
 	}
+	report, err := stream.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	fmt.Println()
 	switch {
 	case !report.Decision:

@@ -1,0 +1,3 @@
+module emap
+
+go 1.24

@@ -4,16 +4,26 @@
 // 1), and attaches to every match the continuation samples the edge
 // needs for local tracking — the payload whose download time Fig. 4b
 // budgets at under 200 ms for 100 signals.
+//
+// The service speaks both protocol versions (see internal/proto): v1
+// connections are served serially in request order, while v2 frames
+// carry request IDs, so each connection runs a reader goroutine that
+// dispatches uploads to a bounded worker pool and a single writer
+// goroutine that drains a response queue — independent windows search
+// in parallel and replies may leave out of order.
 package cloud
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"emap/internal/mdb"
 	"emap/internal/proto"
@@ -30,6 +40,15 @@ type Config struct {
 	HorizonSeconds float64
 	// BaseRate is the sampling rate (default 256 Hz).
 	BaseRate float64
+	// Workers bounds how many uploads search concurrently across
+	// all connections (default GOMAXPROCS).
+	Workers int
+	// MaxInFlight bounds how many uploads one connection may have
+	// queued or searching (default 4×Workers). When a v2 client
+	// pipelines past this, the reader stops consuming frames and
+	// TCP backpressure does the rest — goroutines and held payloads
+	// stay bounded.
+	MaxInFlight int
 	// Logger receives per-connection diagnostics; nil disables
 	// logging.
 	Logger *log.Logger
@@ -42,6 +61,12 @@ func (c Config) withDefaults() Config {
 	if c.BaseRate <= 0 {
 		c.BaseRate = 256
 	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * c.Workers
+	}
 	return c
 }
 
@@ -50,6 +75,42 @@ type Metrics struct {
 	Connections atomic.Int64
 	Requests    atomic.Int64
 	Errors      atomic.Int64
+	// InFlight is the number of uploads currently queued or
+	// searching; PeakInFlight is its high-water mark.
+	InFlight     atomic.Int64
+	PeakInFlight atomic.Int64
+	// RequestNanos accumulates per-request service time (decode →
+	// reply queued); RequestNanos/Requests is the mean latency.
+	RequestNanos atomic.Int64
+}
+
+// MeanLatency returns the mean per-request service time.
+func (m *Metrics) MeanLatency() time.Duration {
+	n := m.Requests.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(m.RequestNanos.Load() / n)
+}
+
+func (m *Metrics) enterFlight() {
+	n := m.InFlight.Add(1)
+	for {
+		peak := m.PeakInFlight.Load()
+		if n <= peak || m.PeakInFlight.CompareAndSwap(peak, n) {
+			return
+		}
+	}
+}
+
+func (m *Metrics) leaveFlight() { m.InFlight.Add(-1) }
+
+// outFrame is one queued response awaiting the writer goroutine.
+type outFrame struct {
+	version uint8
+	typ     proto.MsgType
+	id      uint32
+	payload []byte
 }
 
 // Server is the cloud tier.
@@ -57,13 +118,20 @@ type Server struct {
 	cfg      Config
 	store    *mdb.Store
 	searcher *search.Searcher
+	sem      chan struct{} // bounded worker pool
 
 	mu       sync.Mutex
 	listener net.Listener
 	closed   bool
+	draining bool
 	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
 
-	// Metrics exposes request counters.
+	// searchHook, when set, runs inside the worker just before the
+	// search — tests use it to hold requests in flight.
+	searchHook func(*proto.Upload)
+
+	// Metrics exposes request counters and gauges.
 	Metrics Metrics
 }
 
@@ -77,6 +145,7 @@ func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		store:    store,
 		searcher: search.NewSearcher(store, cfg.Search),
+		sem:      make(chan struct{}, cfg.Workers),
 		conns:    make(map[net.Conn]struct{}),
 	}, nil
 }
@@ -101,7 +170,8 @@ func (s *Server) Serve(l net.Listener) error {
 	}
 }
 
-// Close stops the accept loop and terminates active connections.
+// Close stops the accept loop and terminates active connections
+// immediately, abandoning any in-flight replies.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -115,14 +185,52 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// Shutdown drains the server gracefully: it stops accepting, stops
+// reading new requests, lets every in-flight search complete and its
+// reply flush, then closes the connections. If ctx expires first the
+// remaining connections are closed hard and ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closed = true
+	s.draining = true
+	l := s.listener
+	// Wake blocked readers: their next ReadFrameAny fails with a
+	// deadline error and the per-connection drain path runs.
+	past := time.Unix(1, 0)
+	for conn := range s.conns {
+		conn.SetReadDeadline(past)
+	}
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close; handlers exit on their own once their
+		// in-flight searches return.
+		s.Close()
+		return ctx.Err()
+	}
+}
+
 func (s *Server) logf(format string, args ...any) {
 	if s.cfg.Logger != nil {
 		s.cfg.Logger.Printf(format, args...)
 	}
 }
 
-// HandleConn serves one edge connection: a loop of Upload→CorrSet
-// exchanges (plus Ping/Pong liveness probes).
+// HandleConn serves one edge connection until it fails, the peer
+// disconnects, or the server drains. The calling goroutine is the
+// frame reader; uploads are dispatched to the server-wide worker pool
+// and all replies funnel through one writer goroutine, so v2 clients
+// can keep many windows in flight on one connection.
 func (s *Server) HandleConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.closed {
@@ -131,64 +239,149 @@ func (s *Server) HandleConn(conn net.Conn) {
 		return
 	}
 	s.conns[conn] = struct{}{}
+	s.handlers.Add(1)
 	s.mu.Unlock()
 	defer func() {
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
 		conn.Close()
+		s.handlers.Done()
 	}()
 	s.Metrics.Connections.Add(1)
+
+	out := make(chan outFrame, 16)
+	writerDone := make(chan struct{})
+	var writeFailed atomic.Bool
+	go func() {
+		defer close(writerDone)
+		for f := range out {
+			if writeFailed.Load() {
+				continue // drain abandoned replies
+			}
+			if err := proto.WriteFrameVersion(conn, f.version, f.typ, f.id, f.payload); err != nil {
+				// A dead write means a dead peer: tear the
+				// connection down so the reader unblocks and
+				// the handler exits, instead of looping on a
+				// broken conn.
+				s.Metrics.Errors.Add(1)
+				s.logf("cloud: write: %v", err)
+				writeFailed.Store(true)
+				conn.Close()
+			}
+		}
+	}()
+
+	var jobs sync.WaitGroup
+	connSem := make(chan struct{}, s.cfg.MaxInFlight)
 	for {
-		typ, payload, err := proto.ReadFrame(conn)
+		frame, err := proto.ReadFrameAny(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) {
+			if !errors.Is(err, io.EOF) && !isDrainErr(err, s) {
 				s.Metrics.Errors.Add(1)
 				s.logf("cloud: read: %v", err)
 			}
-			return
+			break
 		}
-		switch typ {
-		case proto.TypePing:
-			if err := proto.WriteFrame(conn, proto.TypePong, nil); err != nil {
-				return
+		switch frame.Type {
+		case proto.TypeHello:
+			hello, herr := proto.DecodeHello(frame.Payload)
+			if herr != nil {
+				s.Metrics.Errors.Add(1)
+				s.enqueueError(out, frame, 400, herr.Error())
+				continue
 			}
+			v := proto.Negotiate(proto.MaxVersion, hello.MaxVersion)
+			// The reply travels as a v1 frame: every client
+			// understands it, whatever it announced.
+			out <- outFrame{version: proto.Version1, typ: proto.TypeHello,
+				payload: proto.EncodeHello(&proto.Hello{MaxVersion: v})}
+		case proto.TypePing:
+			out <- outFrame{version: frame.Version, typ: proto.TypePong, id: frame.ID}
 		case proto.TypeUpload:
 			s.Metrics.Requests.Add(1)
-			upload, err := proto.DecodeUpload(payload)
-			if err != nil {
-				s.Metrics.Errors.Add(1)
-				s.reply(conn, nil, &proto.ErrorMsg{Code: 400, Text: err.Error()})
-				continue
+			s.Metrics.enterFlight()
+			if frame.Version >= proto.Version2 {
+				// Pipelined: independent windows search in
+				// parallel, replies matched by request ID.
+				// The per-connection cap blocks the reader
+				// when a client pipelines too far ahead.
+				connSem <- struct{}{}
+				jobs.Add(1)
+				go func(f proto.Frame) {
+					defer jobs.Done()
+					defer func() { <-connSem }()
+					s.serveUpload(f, out)
+				}(frame)
+			} else {
+				// v1 carries no IDs: replies must keep
+				// request order, so serve inline.
+				s.serveUpload(frame, out)
 			}
-			corrSet, serr := s.Search(upload)
-			if serr != nil {
-				s.Metrics.Errors.Add(1)
-				s.reply(conn, nil, &proto.ErrorMsg{Code: 500, Text: serr.Error()})
-				continue
-			}
-			s.reply(conn, corrSet, nil)
 		default:
 			s.Metrics.Errors.Add(1)
-			s.reply(conn, nil, &proto.ErrorMsg{Code: 400, Text: fmt.Sprintf("unexpected message type %d", typ)})
+			s.enqueueError(out, frame, 400, fmt.Sprintf("unexpected message type %d", frame.Type))
 		}
 	}
+	// Let in-flight searches finish and their replies flush before
+	// the deferred close — this is the graceful-drain half of
+	// Shutdown, and it also runs on ordinary disconnects.
+	jobs.Wait()
+	close(out)
+	<-writerDone
 }
 
-func (s *Server) reply(conn net.Conn, corrSet *proto.CorrSet, errMsg *proto.ErrorMsg) {
-	var err error
-	if errMsg != nil {
-		err = proto.WriteFrame(conn, proto.TypeError, proto.EncodeError(errMsg))
-	} else {
-		err = proto.WriteFrame(conn, proto.TypeCorrSet, proto.EncodeCorrSet(corrSet))
+// isDrainErr reports whether a read error is the deadline Shutdown
+// planted to stop this connection's intake.
+func isDrainErr(err error, s *Server) bool {
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		return false
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// serveUpload runs one upload through the worker pool and queues its
+// reply (mirroring the request's frame version and ID).
+func (s *Server) serveUpload(frame proto.Frame, out chan<- outFrame) {
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	defer s.Metrics.leaveFlight()
+	start := time.Now()
+	// Errored requests count toward the latency sum too, so
+	// MeanLatency stays an honest per-request figure.
+	defer func() { s.Metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
+	upload, err := proto.DecodeUpload(frame.Payload)
 	if err != nil {
-		s.logf("cloud: write: %v", err)
+		s.Metrics.Errors.Add(1)
+		s.enqueueError(out, frame, 400, err.Error())
+		return
 	}
+	if s.searchHook != nil {
+		s.searchHook(upload)
+	}
+	corrSet, err := s.Search(upload)
+	if err != nil {
+		s.Metrics.Errors.Add(1)
+		s.enqueueError(out, frame, 500, err.Error())
+		return
+	}
+	out <- outFrame{version: frame.Version, typ: proto.TypeCorrSet,
+		id: frame.ID, payload: proto.EncodeCorrSet(corrSet)}
+}
+
+// enqueueError queues an ErrorMsg reply mirroring the offending
+// frame's version and ID.
+func (s *Server) enqueueError(out chan<- outFrame, frame proto.Frame, code uint16, text string) {
+	out <- outFrame{version: frame.Version, typ: proto.TypeError, id: frame.ID,
+		payload: proto.EncodeError(&proto.ErrorMsg{Code: code, Text: text})}
 }
 
 // Search answers one upload: run Algorithm 1 and assemble the
-// correlation set with continuation samples.
+// correlation set with continuation samples. It is safe for
+// concurrent use.
 func (s *Server) Search(upload *proto.Upload) (*proto.CorrSet, error) {
 	window := proto.Dequantize(upload.Samples, upload.Scale)
 	res, err := s.searcher.Algorithm1(window)

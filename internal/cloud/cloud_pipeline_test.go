@@ -1,0 +1,316 @@
+package cloud
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"emap/internal/proto"
+	"emap/internal/synth"
+)
+
+// uploadFrom builds a valid upload payload from the test generator.
+func uploadFrom(t testing.TB, samples []float64, seq uint32) []byte {
+	t.Helper()
+	counts, scale := proto.Quantize(samples)
+	return proto.EncodeUpload(&proto.Upload{Seq: seq, Scale: scale, Samples: counts})
+}
+
+// TestPipelinedUploadsOutOfOrder proves the acceptance criterion: ≥2
+// uploads in flight concurrently on one connection, completing out of
+// order, each reply matched to its request by the v2 frame ID.
+func TestPipelinedUploadsOutOfOrder(t *testing.T) {
+	store, g := testStore(t)
+	srv, err := NewServer(store, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inFlight := make(chan uint32, 3)
+	releaseFirst := make(chan struct{})
+	srv.searchHook = func(u *proto.Upload) {
+		inFlight <- u.Seq
+		if u.Seq == 11 {
+			<-releaseFirst // hold request 11 until the others finish
+		}
+	}
+
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	go srv.HandleConn(sConn)
+
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	window := input.Samples[1024:1280]
+	for _, id := range []uint32{11, 12, 13} {
+		if err := proto.WriteFrameV2(cConn, proto.TypeUpload, id, uploadFrom(t, window, id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Wait until all three are dispatched; request 11 is pinned in
+	// its worker, so at that moment ≥2 requests were concurrently in
+	// flight on this one connection.
+	for i := 0; i < 3; i++ {
+		select {
+		case <-inFlight:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d uploads reached the workers; pipelining is broken", i)
+		}
+	}
+	if peak := srv.Metrics.PeakInFlight.Load(); peak < 2 {
+		t.Fatalf("peak in-flight %d, want ≥2", peak)
+	}
+
+	read := func() proto.Frame {
+		t.Helper()
+		cConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := proto.ReadFrameAny(cConn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	// With 11 held, the first two replies must be 12 and 13 — the
+	// completion order differs from the issue order.
+	got := map[uint32]bool{}
+	for i := 0; i < 2; i++ {
+		f := read()
+		if f.Version != proto.Version2 || f.Type != proto.TypeCorrSet {
+			t.Fatalf("reply %d: version %d type %d", i, f.Version, f.Type)
+		}
+		if f.ID == 11 {
+			t.Fatal("held request overtook the others: completion was not out of order")
+		}
+		cs, err := proto.DecodeCorrSet(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Seq != f.ID {
+			t.Fatalf("payload seq %d under frame ID %d: reply matched to wrong request", cs.Seq, f.ID)
+		}
+		got[f.ID] = true
+	}
+	if !got[12] || !got[13] {
+		t.Fatalf("early replies were %v, want {12,13}", got)
+	}
+	close(releaseFirst)
+	if f := read(); f.ID != 11 {
+		t.Fatalf("final reply ID %d, want 11", f.ID)
+	}
+	if fl := srv.Metrics.InFlight.Load(); fl != 0 {
+		t.Fatalf("in-flight gauge did not return to zero: %d", fl)
+	}
+	if srv.Metrics.Requests.Load() != 3 {
+		t.Fatalf("requests = %d", srv.Metrics.Requests.Load())
+	}
+	if srv.Metrics.MeanLatency() <= 0 {
+		t.Fatal("mean latency not recorded")
+	}
+}
+
+// TestSerialV1KeepsOrder checks that v1 clients (no request IDs) still
+// get replies in request order even on the concurrent server.
+func TestSerialV1KeepsOrder(t *testing.T) {
+	store, g := testStore(t)
+	srv, err := NewServer(store, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	go srv.HandleConn(sConn)
+
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	window := input.Samples[1024:1280]
+	done := make(chan error, 1)
+	go func() {
+		for seq := uint32(1); seq <= 3; seq++ {
+			if err := proto.WriteFrame(cConn, proto.TypeUpload, uploadFrom(t, window, seq)); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for seq := uint32(1); seq <= 3; seq++ {
+		cConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		typ, payload, err := proto.ReadFrame(cConn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != proto.TypeCorrSet {
+			t.Fatalf("reply type %d", typ)
+		}
+		cs, err := proto.DecodeCorrSet(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Seq != seq {
+			t.Fatalf("v1 reply out of order: got seq %d, want %d", cs.Seq, seq)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteErrorTearsDownConn: a failed reply write must terminate
+// the connection handler instead of looping on a dead conn.
+func TestWriteErrorTearsDownConn(t *testing.T) {
+	store, g := testStore(t)
+	srv, err := NewServer(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	handlerDone := make(chan struct{})
+	go func() {
+		srv.HandleConn(sConn)
+		close(handlerDone)
+	}()
+
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	window := input.Samples[1024:1280]
+	// net.Pipe is synchronous: once this write returns, the server
+	// has consumed the frame. Closing before reading the reply makes
+	// the server's write fail.
+	if err := proto.WriteFrame(cConn, proto.TypeUpload, uploadFrom(t, window, 1)); err != nil {
+		t.Fatal(err)
+	}
+	cConn.Close()
+	select {
+	case <-handlerDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler kept running after a write error")
+	}
+}
+
+// TestShutdownDrains: Shutdown must let in-flight searches finish and
+// their replies flush before closing connections.
+func TestShutdownDrains(t *testing.T) {
+	store, g := testStore(t)
+	srv, err := NewServer(store, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := make(chan struct{})
+	release := make(chan struct{})
+	srv.searchHook = func(u *proto.Upload) {
+		close(held)
+		<-release
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	window := input.Samples[1024:1280]
+	if err := proto.WriteFrameV2(conn, proto.TypeUpload, 42, uploadFrom(t, window, 42)); err != nil {
+		t.Fatal(err)
+	}
+	<-held
+
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- srv.Shutdown(context.Background()) }()
+	close(release)
+
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	f, err := proto.ReadFrameAny(conn)
+	if err != nil {
+		t.Fatalf("drained reply lost: %v", err)
+	}
+	if f.ID != 42 || f.Type != proto.TypeCorrSet {
+		t.Fatalf("drained reply: %+v", f)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve after Shutdown: %v", err)
+	}
+}
+
+// TestShutdownDeadline: a Shutdown whose context expires must
+// force-close and report the context error.
+func TestShutdownDeadline(t *testing.T) {
+	store, g := testStore(t)
+	srv, err := NewServer(store, Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	defer close(release)
+	held := make(chan struct{})
+	srv.searchHook = func(u *proto.Upload) {
+		close(held)
+		<-release
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	window := input.Samples[1024:1280]
+	if err := proto.WriteFrameV2(conn, proto.TypeUpload, 1, uploadFrom(t, window, 1)); err != nil {
+		t.Fatal(err)
+	}
+	<-held
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown error = %v, want deadline exceeded", err)
+	}
+}
+
+// TestServerHelloNegotiation: the server must answer Hello with the
+// negotiated version.
+func TestServerHelloNegotiation(t *testing.T) {
+	store, _ := testStore(t)
+	srv, err := NewServer(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	go srv.HandleConn(sConn)
+
+	for _, c := range []struct{ announce, want uint8 }{
+		{proto.Version2, proto.Version2},
+		{proto.Version1, proto.Version1},
+		{9, proto.MaxVersion},
+	} {
+		payload := proto.EncodeHello(&proto.Hello{MaxVersion: c.announce})
+		if err := proto.WriteFrame(cConn, proto.TypeHello, payload); err != nil {
+			t.Fatal(err)
+		}
+		cConn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		f, err := proto.ReadFrameAny(cConn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Type != proto.TypeHello {
+			t.Fatalf("hello reply type %d", f.Type)
+		}
+		h, err := proto.DecodeHello(f.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.MaxVersion != c.want {
+			t.Fatalf("announced %d: negotiated %d, want %d", c.announce, h.MaxVersion, c.want)
+		}
+	}
+}

@@ -4,27 +4,33 @@
 // prediction — orchestrated as a session over a discrete-event
 // simulated clock.
 //
-// A Session consumes a raw EEG recording one second at a time exactly
-// as the deployed system would: sample → 100-tap bandpass → 16-bit
-// quantised upload → cloud cross-correlation search → top-100 download
-// → per-second area tracking, with new cloud calls issued in the
+// A Session consumes raw EEG one second at a time exactly as the
+// deployed system would: sample → 100-tap bandpass → 16-bit quantised
+// upload → cloud cross-correlation search → top-100 download →
+// per-second area tracking, with new cloud calls issued in the
 // background when the tracked set decays (Fig. 9's overlap of edge
 // tracking and cloud search). All latencies come from an explicit cost
 // model (link serialization times plus per-evaluation compute costs),
 // so timing results are machine-independent and reproduce the paper's
 // Δ_initial ≈ 3 s and sub-second tracking iterations structurally.
+//
+// The primary surface is streaming: Session.Start returns a Stream
+// that accepts windows via Push and emits one StepReport per window —
+// the P_A trace and decision transitions as they happen. Process runs
+// a whole recording through a stream and returns the batch Report.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"emap/internal/clock"
 	"emap/internal/dsp"
 	"emap/internal/mdb"
 	"emap/internal/netsim"
-	"emap/internal/proto"
 	"emap/internal/search"
 	"emap/internal/synth"
 	"emap/internal/track"
@@ -159,12 +165,10 @@ type Session struct {
 	edge  *clock.Actor
 	cloud *clock.Actor
 
-	tracker   *track.Tracker
 	predictor *track.Predictor
 
-	pending *pendingSearch
-	seq     int
-	report  *Report
+	mu     sync.Mutex
+	active bool // a Stream is running
 }
 
 // pendingSearch is a background cloud call in flight.
@@ -215,7 +219,9 @@ func (s *Session) Clock() *clock.Clock { return s.clk }
 
 // Process runs the full pipeline over a raw recording (at the session
 // base rate) and returns the report. maxWindows bounds the run
-// (0 = the whole recording).
+// (0 = the whole recording). It is a thin wrapper over the streaming
+// API: every window goes through Start/Push exactly as a live feed
+// would.
 func (s *Session) Process(rec *synth.Recording, maxWindows int) (*Report, error) {
 	if rec == nil || len(rec.Samples) == 0 {
 		return nil, errors.New("core: empty recording")
@@ -232,111 +238,29 @@ func (s *Session) Process(rec *synth.Recording, maxWindows int) (*Report, error)
 		return nil, errors.New("core: recording shorter than one window")
 	}
 
-	s.report = &Report{Input: rec.ID, Class: rec.Class}
-	stream := s.fir.NewStream()
-	windowDur := time.Duration(s.cfg.WindowSeconds * float64(time.Second))
-
-	for k := 0; k < n; k++ {
-		raw := rec.Samples[k*wl : (k+1)*wl]
-
-		// Acquisition: the sampling slot occupies one window of
-		// real time, then the edge filters and quantises.
-		s.edge.Do(windowDur, "sample", fmt.Sprintf("window %d", k))
-		filtered := stream.NextBlock(raw)
-		s.edge.Do(s.cfg.Costs.EdgeFilter, "filter", "100-tap bandpass")
-		if k < s.cfg.WarmupWindows {
-			continue // let the filter transient settle
-		}
-		counts, scale := proto.Quantize(filtered)
-		window := proto.Dequantize(counts, scale) // models the 16-bit wire
-
-		// Deliver a completed background search, if its set has
-		// arrived by now.
-		s.adoptPending(k)
-
-		// First call: nothing tracked and nothing in flight.
-		if s.tracker == nil && s.pending == nil {
-			if err := s.launchSearch(k, window); err != nil {
-				return nil, err
-			}
-			s.report.InitialOverhead = s.pending.readyAt - s.edge.Now()
-			continue
-		}
-
-		stat := IterStat{Window: k, At: s.edge.Now()}
-		if s.tracker != nil {
-			st := s.tracker.Step(window)
-			cost := s.trackCost(st)
-			s.edge.Do(cost, "track", fmt.Sprintf("%d signals", st.Remaining))
-			// An empty set (refresh in flight) is absence of data,
-			// not a probability estimate.
-			if st.Remaining > 0 {
-				s.predictor.Observe(st.PA)
-			}
-			stat.PA = st.PA
-			stat.Remaining = st.Remaining
-			stat.Eliminated = st.Eliminated
-			stat.Expired = st.Expired
-			stat.Tracked = true
-			stat.TrackCost = cost
-
-			needRecall := st.NeedsCloud ||
-				(s.tracker.HorizonLeft() >= 0 && s.tracker.HorizonLeft() <= s.cfg.RecallMargin)
-			if needRecall && s.pending == nil {
-				if err := s.launchSearch(k, window); err != nil {
-					return nil, err
-				}
-				stat.CloudCallIssued = true
-			}
-		}
-		s.report.Iters = append(s.report.Iters, stat)
-	}
-
-	s.report.Windows = n
-	s.report.Decision = s.predictor.Anomalous()
-	s.report.PATrace = s.predictor.History()
-	s.report.Timeline = s.clk.Events()
-	s.report.FinalPA = s.predictor.Current()
-	s.report.Rise = s.predictor.Rise()
-	return s.report, nil
-}
-
-// adoptPending installs an arrived correlation set as the live tracker.
-func (s *Session) adoptPending(window int) {
-	if s.pending == nil || s.edge.Now() < s.pending.readyAt {
-		return
-	}
-	p := s.pending
-	s.pending = nil
-	tr := track.NewTracker(s.store, p.result.Matches, adaptThreshold(s.cfg.Track, len(p.result.Matches)))
-	// The set was searched against window p.seq; tracking resumes at
-	// the current window, so continuations are read further in.
-	tr.Skip(window - p.seq - 1)
-	s.tracker = tr
-	s.report.CloudCalls++
-}
-
-// launchSearch runs the cloud search against the given window and
-// schedules its arrival on the simulated clock. The search itself
-// executes synchronously here (the result is deterministic), but its
-// simulated cost occupies the cloud actor, overlapping edge tracking
-// exactly as in Fig. 9.
-func (s *Session) launchSearch(window int, input []float64) error {
-	res, err := s.searcher.Algorithm1(input)
+	stream, err := s.Start(context.Background())
 	if err != nil {
-		return fmt.Errorf("core: cloud search: %w", err)
+		return nil, err
 	}
-	upload := s.cfg.Link.UploadSamplesTime(len(input))
-	searchCost := time.Duration(res.Evaluated) * s.cfg.Costs.CloudEval
-	download := s.cfg.Link.DownloadSignalsTime(len(res.Matches), int(s.cfg.HorizonSeconds*s.cfg.BaseRate))
-
-	s.cloud.WaitUntil(s.edge.Now())
-	s.cloud.Do(upload, "upload", fmt.Sprintf("window %d (%d samples)", window, len(input)))
-	s.cloud.Do(searchCost, "search", fmt.Sprintf("%d evaluations, %d matches", res.Evaluated, len(res.Matches)))
-	ready := s.cloud.Do(download, "download", fmt.Sprintf("%d signals", len(res.Matches)))
-
-	s.pending = &pendingSearch{seq: window, readyAt: ready, result: res}
-	return nil
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range stream.Reports() {
+		}
+	}()
+	for k := 0; k < n; k++ {
+		if err := stream.Push(Window(rec.Samples[k*wl : (k+1)*wl])); err != nil {
+			break // Close surfaces the worker's error
+		}
+	}
+	report, err := stream.Close()
+	<-drained
+	if err != nil {
+		return nil, err
+	}
+	report.Input = rec.ID
+	report.Class = rec.Class
+	return report, nil
 }
 
 // adaptThreshold caps the tracking threshold H at half the retrieved

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"emap/internal/dsp"
+	"emap/internal/proto"
+	"emap/internal/track"
+)
+
+// Window is one acquisition slot of raw EEG samples at the session
+// base rate (one second by default).
+type Window []float64
+
+// StepReport is the per-window outcome a Stream emits: the tracking
+// state, the anomaly probability estimate and the predictor's decision
+// after consuming that window. The embedded IterStat carries the
+// tracking iteration itself (Window, At, PA, Remaining, …) exactly as
+// it lands in Report.Iters.
+type StepReport struct {
+	IterStat
+	// Warmup reports a window consumed to settle the acquisition
+	// filter (no search, no tracking).
+	Warmup bool
+	// InitialOverhead is Δ_initial (Eq. 4), set only on the step
+	// that issued the session's first cloud call.
+	InitialOverhead time.Duration
+	// Decision is the predictor's verdict after this window;
+	// DecisionChanged marks the transitions (the alarm firing or
+	// clearing).
+	Decision        bool
+	DecisionChanged bool
+}
+
+// ErrStreamClosed is returned by Push after Close.
+var ErrStreamClosed = errors.New("core: stream closed")
+
+// closeGrace bounds how long a closing stream keeps trying to deliver
+// its final StepReport to a slow consumer.
+const closeGrace = 100 * time.Millisecond
+
+// Stream is one live monitoring run: windows go in via Push, a
+// StepReport per window comes out of Reports, and Close returns the
+// final Report. The caller should consume Reports (or cancel the
+// context): Push blocks while the worker is busy and the reports
+// buffer is full. Close always gets through — reports nobody is
+// reading at that point may be dropped. Process shows the pattern.
+type Stream struct {
+	sess *Session
+	ctx  context.Context
+
+	in      chan Window
+	reports chan StepReport
+	done    chan struct{}
+
+	closeOnce sync.Once
+	closing   chan struct{} // closed by Close: end of input
+
+	// worker-private state (owned by run's goroutine).
+	fir      *dsp.Stream
+	tracker  *track.Tracker
+	pending  *pendingSearch
+	report   *Report
+	k        int // next window index
+	decision bool
+
+	// set by the worker before closing done.
+	err error
+}
+
+// Start begins a streaming run over the session. Only one stream may
+// be active at a time; the previous one must be closed (or its
+// context cancelled) first. The stream inherits the session's
+// predictor and simulated clock, so consecutive runs accumulate
+// exactly as consecutive Process calls do.
+func (s *Session) Start(ctx context.Context) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.active {
+		s.mu.Unlock()
+		return nil, errors.New("core: a stream is already active on this session")
+	}
+	s.active = true
+	s.mu.Unlock()
+	st := &Stream{
+		sess:    s,
+		ctx:     ctx,
+		in:      make(chan Window),
+		reports: make(chan StepReport, 16),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
+		fir:     s.fir.NewStream(),
+		report:  &Report{},
+	}
+	go st.run()
+	return st, nil
+}
+
+// run is the stream's worker: it consumes pushed windows until Close
+// signals end of input or the context cancels, then finalises the
+// report. The session is released before done closes, so a caller
+// returning from Close can Start the next stream immediately.
+func (st *Stream) run() {
+	defer func() {
+		close(st.reports)
+		st.sess.mu.Lock()
+		st.sess.active = false
+		st.sess.mu.Unlock()
+		close(st.done)
+	}()
+	for {
+		select {
+		case <-st.ctx.Done():
+			st.err = st.ctx.Err()
+			return
+		case <-st.closing:
+			st.finalize()
+			return
+		case w := <-st.in:
+			rep, err := st.step(w)
+			if err != nil {
+				st.err = err
+				return
+			}
+			select {
+			case st.reports <- rep:
+			case <-st.ctx.Done():
+				st.err = st.ctx.Err()
+				return
+			case <-st.closing:
+				// The caller is shutting down. A live
+				// consumer may still want this report (it can
+				// be the alarm transition), so give delivery
+				// a short grace — but never hang Close on an
+				// abandoned consumer.
+				grace := time.NewTimer(closeGrace)
+				select {
+				case st.reports <- rep:
+				case <-grace.C:
+				case <-st.ctx.Done():
+				}
+				grace.Stop()
+				st.finalize()
+				return
+			}
+		}
+	}
+}
+
+// Push feeds one window into the stream. It blocks while the worker
+// is busy (or the reports buffer is full) and fails once the stream
+// is closed, errored, or its context cancelled.
+func (st *Stream) Push(w Window) error {
+	if len(w) != st.sess.cfg.windowLen() {
+		return fmt.Errorf("core: window must be %d samples, got %d", st.sess.cfg.windowLen(), len(w))
+	}
+	select {
+	case <-st.closing:
+		return ErrStreamClosed
+	default:
+	}
+	select {
+	case st.in <- w:
+		return nil
+	case <-st.closing:
+		return ErrStreamClosed
+	case <-st.done:
+		if st.err != nil {
+			return st.err
+		}
+		return ErrStreamClosed
+	case <-st.ctx.Done():
+		return st.ctx.Err()
+	}
+}
+
+// Reports returns the per-window result channel. It is closed when
+// the stream ends.
+func (st *Stream) Reports() <-chan StepReport { return st.reports }
+
+// Close signals end-of-input, waits for the worker to finish the
+// window it is on, and returns the finalised report. It is
+// idempotent; after a context cancellation it returns the context
+// error.
+func (st *Stream) Close() (*Report, error) {
+	st.closeOnce.Do(func() { close(st.closing) })
+	<-st.done
+	if st.err != nil {
+		return nil, st.err
+	}
+	return st.report, nil
+}
+
+// finalize seals the report exactly as the batch pipeline did.
+func (st *Stream) finalize() {
+	s := st.sess
+	st.report.Windows = st.k
+	st.report.Decision = s.predictor.Anomalous()
+	st.report.PATrace = s.predictor.History()
+	st.report.Timeline = s.clk.Events()
+	st.report.FinalPA = s.predictor.Current()
+	st.report.Rise = s.predictor.Rise()
+}
+
+// step advances the pipeline by one window: acquisition, filtering,
+// quantisation, pending-set adoption, tracking and (when needed) a
+// cloud call — the body of paper Fig. 3 for one time-step.
+func (st *Stream) step(raw Window) (StepReport, error) {
+	s := st.sess
+	k := st.k
+	st.k++
+	windowDur := time.Duration(s.cfg.WindowSeconds * float64(time.Second))
+
+	// Acquisition: the sampling slot occupies one window of real
+	// time, then the edge filters and quantises.
+	s.edge.Do(windowDur, "sample", fmt.Sprintf("window %d", k))
+	filtered := st.fir.NextBlock(raw)
+	s.edge.Do(s.cfg.Costs.EdgeFilter, "filter", "100-tap bandpass")
+	rep := StepReport{IterStat: IterStat{Window: k}, Decision: st.decision}
+	if k < s.cfg.WarmupWindows {
+		rep.Warmup = true
+		rep.At = s.edge.Now()
+		return rep, nil // let the filter transient settle
+	}
+	counts, scale := proto.Quantize(filtered)
+	window := proto.Dequantize(counts, scale) // models the 16-bit wire
+
+	// Deliver a completed background search, if its set has arrived
+	// by now.
+	st.adoptPending(k)
+
+	// First call: nothing tracked and nothing in flight.
+	if st.tracker == nil && st.pending == nil {
+		if err := st.launchSearch(k, window); err != nil {
+			return rep, err
+		}
+		st.report.InitialOverhead = st.pending.readyAt - s.edge.Now()
+		rep.CloudCallIssued = true
+		rep.InitialOverhead = st.report.InitialOverhead
+		rep.At = s.edge.Now()
+		return rep, nil
+	}
+
+	stat := IterStat{Window: k, At: s.edge.Now()}
+	if st.tracker != nil {
+		tr := st.tracker.Step(window)
+		cost := s.trackCost(tr)
+		s.edge.Do(cost, "track", fmt.Sprintf("%d signals", tr.Remaining))
+		// An empty set (refresh in flight) is absence of data, not
+		// a probability estimate.
+		if tr.Remaining > 0 {
+			s.predictor.Observe(tr.PA)
+		}
+		stat.PA = tr.PA
+		stat.Remaining = tr.Remaining
+		stat.Eliminated = tr.Eliminated
+		stat.Expired = tr.Expired
+		stat.Tracked = true
+		stat.TrackCost = cost
+
+		needRecall := tr.NeedsCloud ||
+			(st.tracker.HorizonLeft() >= 0 && st.tracker.HorizonLeft() <= s.cfg.RecallMargin)
+		if needRecall && st.pending == nil {
+			if err := st.launchSearch(k, window); err != nil {
+				return rep, err
+			}
+			stat.CloudCallIssued = true
+		}
+	}
+	st.report.Iters = append(st.report.Iters, stat)
+
+	decision := s.predictor.Anomalous()
+	rep.IterStat = stat
+	rep.Decision = decision
+	rep.DecisionChanged = decision != st.decision
+	st.decision = decision
+	return rep, nil
+}
+
+// adoptPending installs an arrived correlation set as the live
+// tracker.
+func (st *Stream) adoptPending(window int) {
+	s := st.sess
+	if st.pending == nil || s.edge.Now() < st.pending.readyAt {
+		return
+	}
+	p := st.pending
+	st.pending = nil
+	tr := track.NewTracker(s.store, p.result.Matches, adaptThreshold(s.cfg.Track, len(p.result.Matches)))
+	// The set was searched against window p.seq; tracking resumes at
+	// the current window, so continuations are read further in.
+	tr.Skip(window - p.seq - 1)
+	st.tracker = tr
+	st.report.CloudCalls++
+}
+
+// launchSearch runs the cloud search against the given window and
+// schedules its arrival on the simulated clock. The search itself
+// executes synchronously here (the result is deterministic), but its
+// simulated cost occupies the cloud actor, overlapping edge tracking
+// exactly as in Fig. 9.
+func (st *Stream) launchSearch(window int, input []float64) error {
+	s := st.sess
+	res, err := s.searcher.Algorithm1(input)
+	if err != nil {
+		return fmt.Errorf("core: cloud search: %w", err)
+	}
+	upload := s.cfg.Link.UploadSamplesTime(len(input))
+	searchCost := time.Duration(res.Evaluated) * s.cfg.Costs.CloudEval
+	download := s.cfg.Link.DownloadSignalsTime(len(res.Matches), int(s.cfg.HorizonSeconds*s.cfg.BaseRate))
+
+	s.cloud.WaitUntil(s.edge.Now())
+	s.cloud.Do(upload, "upload", fmt.Sprintf("window %d (%d samples)", window, len(input)))
+	s.cloud.Do(searchCost, "search", fmt.Sprintf("%d evaluations, %d matches", res.Evaluated, len(res.Matches)))
+	ready := s.cloud.Do(download, "download", fmt.Sprintf("%d signals", len(res.Matches)))
+
+	st.pending = &pendingSearch{seq: window, readyAt: ready, result: res}
+	return nil
+}

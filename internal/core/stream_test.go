@@ -1,0 +1,290 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"emap/internal/synth"
+)
+
+// pushAll streams a recording through sess and collects the per-window
+// reports plus the final report.
+func pushAll(t *testing.T, sess *Session, input *synth.Recording, n int) ([]StepReport, *Report) {
+	t.Helper()
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var steps []StepReport
+	collected := make(chan struct{})
+	go func() {
+		defer close(collected)
+		for rep := range stream.Reports() {
+			steps = append(steps, rep)
+		}
+	}()
+	wl := sess.Config().windowLen()
+	for k := 0; k+wl <= len(input.Samples) && k/wl < n; k += wl {
+		if err := stream.Push(Window(input.Samples[k : k+wl])); err != nil {
+			t.Fatalf("push window %d: %v", k/wl, err)
+		}
+	}
+	report, err := stream.Close()
+	<-collected
+	if err != nil {
+		t.Fatal(err)
+	}
+	return steps, report
+}
+
+// TestStreamMatchesProcess: the streaming API must produce the exact
+// report Process does — Process is now a wrapper, but the equivalence
+// over a fresh session is the compatibility contract.
+func TestStreamMatchesProcess(t *testing.T) {
+	store, g := buildStore(t)
+	input := g.SeizureInput(0, 30, 20)
+
+	batchSess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := batchSess.Process(input, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamSess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, streamed := pushAll(t, streamSess, input, 1<<30)
+
+	if streamed.Windows != batch.Windows {
+		t.Fatalf("windows: stream %d, batch %d", streamed.Windows, batch.Windows)
+	}
+	if streamed.CloudCalls != batch.CloudCalls {
+		t.Fatalf("cloud calls: stream %d, batch %d", streamed.CloudCalls, batch.CloudCalls)
+	}
+	if streamed.Decision != batch.Decision {
+		t.Fatalf("decision: stream %v, batch %v", streamed.Decision, batch.Decision)
+	}
+	if streamed.InitialOverhead != batch.InitialOverhead {
+		t.Fatalf("initial overhead: stream %v, batch %v", streamed.InitialOverhead, batch.InitialOverhead)
+	}
+	if len(streamed.Iters) != len(batch.Iters) {
+		t.Fatalf("iters: stream %d, batch %d", len(streamed.Iters), len(batch.Iters))
+	}
+	for i := range streamed.Iters {
+		if streamed.Iters[i] != batch.Iters[i] {
+			t.Fatalf("iter %d: stream %+v, batch %+v", i, streamed.Iters[i], batch.Iters[i])
+		}
+	}
+	if len(streamed.PATrace) != len(batch.PATrace) {
+		t.Fatalf("PA trace: stream %d, batch %d", len(streamed.PATrace), len(batch.PATrace))
+	}
+	for i := range streamed.PATrace {
+		if streamed.PATrace[i] != batch.PATrace[i] {
+			t.Fatalf("PA[%d]: stream %g, batch %g", i, streamed.PATrace[i], batch.PATrace[i])
+		}
+	}
+	if len(steps) != streamed.Windows {
+		t.Fatalf("got %d step reports for %d windows", len(steps), streamed.Windows)
+	}
+}
+
+// TestStreamStepReports: warmup flags, cloud-call markers, the P_A
+// trajectory and decision transitions must all surface per window.
+func TestStreamStepReports(t *testing.T) {
+	store, g := buildStore(t)
+	sess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := g.SeizureInput(0, 30, 22)
+	steps, report := pushAll(t, sess, input, 1<<30)
+
+	if !steps[0].Warmup {
+		t.Fatal("window 0 should be warmup")
+	}
+	sawInitial := false
+	transitions := 0
+	for i, st := range steps {
+		if st.Window != i {
+			t.Fatalf("step %d numbered %d", i, st.Window)
+		}
+		if st.InitialOverhead > 0 {
+			if sawInitial {
+				t.Fatal("initial overhead reported twice")
+			}
+			sawInitial = true
+			if !st.CloudCallIssued {
+				t.Fatal("initial call step lacks CloudCallIssued")
+			}
+			if st.InitialOverhead != report.InitialOverhead {
+				t.Fatalf("step overhead %v ≠ report %v", st.InitialOverhead, report.InitialOverhead)
+			}
+		}
+		if st.DecisionChanged {
+			transitions++
+		}
+	}
+	if !sawInitial {
+		t.Fatal("no step carried the initial overhead")
+	}
+	if report.Decision {
+		if transitions == 0 {
+			t.Fatal("decision flipped to anomalous but no step reported the transition")
+		}
+		if !steps[len(steps)-1].Decision {
+			t.Fatal("final step decision disagrees with report")
+		}
+	}
+}
+
+// TestStreamContextCancel: cancelling the context must unblock the
+// stream and surface the context error from Push/Close.
+func TestStreamContextCancel(t *testing.T) {
+	store, g := buildStore(t)
+	sess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stream, err := sess.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := g.SeizureInput(0, 30, 10)
+	wl := sess.Config().windowLen()
+	if err := stream.Push(Window(input.Samples[:wl])); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Push must fail promptly now (worker may need a beat to notice).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err = stream.Push(Window(input.Samples[:wl]))
+		if err != nil || time.Now().After(deadline) {
+			break
+		}
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Push after cancel: %v", err)
+	}
+	if _, err := stream.Close(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+	// The session must be reusable after the aborted stream.
+	if _, err := sess.Process(g.SeizureInput(0, 30, 5), 0); err != nil {
+		t.Fatalf("session unusable after cancelled stream: %v", err)
+	}
+}
+
+// TestStreamSingleActive: a session refuses a second concurrent
+// stream but accepts one after Close.
+func TestStreamSingleActive(t *testing.T) {
+	store, _ := buildStore(t)
+	sess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Start(context.Background()); err == nil {
+		t.Fatal("second concurrent stream allowed")
+	}
+	if _, err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	next, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatalf("stream after Close refused: %v", err)
+	}
+	next.Close()
+}
+
+// TestStreamBackToBack: Close must fully release the session before
+// it returns — an immediate Start (or Process) must never see a
+// spurious "stream already active".
+func TestStreamBackToBack(t *testing.T) {
+	store, _ := buildStore(t)
+	sess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		stream, err := sess.Start(context.Background())
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if _, err := stream.Close(); err != nil {
+			t.Fatalf("round %d close: %v", i, err)
+		}
+	}
+}
+
+// TestStreamCloseUnblocksAbandonedConsumer: Close must return even
+// when nobody reads Reports, the reports buffer is full, and the
+// context is non-cancellable.
+func TestStreamCloseUnblocksAbandonedConsumer(t *testing.T) {
+	store, _ := buildStore(t)
+	// Every window is warmup: steps are cheap and still emit reports.
+	sess, err := NewSession(store, Config{WarmupWindows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		win := make(Window, sess.Config().windowLen())
+		for i := 0; i < 40; i++ { // overfills the 16-slot buffer
+			if stream.Push(win) != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the pusher wedge on a full buffer
+	closed := make(chan struct{})
+	go func() {
+		if _, err := stream.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		close(closed)
+	}()
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close deadlocked behind the abandoned consumer")
+	}
+}
+
+// TestStreamPushValidation: wrong-size windows and pushes after Close
+// must error.
+func TestStreamPushValidation(t *testing.T) {
+	store, _ := buildStore(t)
+	sess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Push(make(Window, 10)); err == nil {
+		t.Fatal("short window accepted")
+	}
+	if _, err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := stream.Push(make(Window, 256)); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("push after close: %v", err)
+	}
+	if _, err := stream.Close(); err != nil {
+		t.Fatal("Close is not idempotent")
+	}
+}

@@ -5,6 +5,7 @@
 package edge
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -14,43 +15,338 @@ import (
 	"emap/internal/proto"
 )
 
-// Client is a synchronous protocol client. It is safe for concurrent
-// use; requests are serialised (the protocol is request/response).
+// ErrClosed is returned by calls on a closed client.
+var ErrClosed = errors.New("edge: client closed")
+
+// handshakeTimeout bounds the Hello exchange on a fresh connection.
+const handshakeTimeout = 10 * time.Second
+
+// result is one completed exchange, delivered to the waiting caller.
+type result struct {
+	typ     proto.MsgType
+	payload []byte
+	err     error
+}
+
+// waiter is a registered in-flight request. The channel is buffered so
+// the reader never blocks on a caller that gave up (ctx expired).
+type waiter struct {
+	ch chan result
+}
+
+// Client is a pipelined, context-aware protocol client. Multiple
+// goroutines may call Search concurrently: on a v2 connection every
+// request carries an ID and replies are matched as they arrive, in any
+// order; against a v1 peer the client transparently falls back to
+// FIFO matching (the v1 wire guarantees reply order). A client built
+// with Dial re-establishes the connection after a failure on the next
+// call.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint32
+	addr        string // empty: reconnect unavailable (wrapped conn)
+	dialTimeout time.Duration
+
+	wmu    sync.Mutex // serialises frame writes
+	dialMu sync.Mutex // serialises reconnection attempts
+
+	mu      sync.Mutex // guards everything below
+	conn    net.Conn
+	version uint8
+	seq     uint32
+	pending map[uint32]*waiter // v2: keyed by request ID
+	fifo    []*waiter          // v1: replies arrive in request order
+	connErr error              // sticky until reconnect
+	closed  bool
 }
 
-// NewClient wraps an established connection.
-func NewClient(conn net.Conn) *Client {
-	return &Client{conn: conn}
+// NewClient wraps an established connection and negotiates the
+// protocol version with a Hello exchange. A peer that does not
+// understand Hello (a v1 server answers it with an error frame) pins
+// the connection to version 1.
+func NewClient(conn net.Conn) (*Client, error) {
+	c := &Client{pending: make(map[uint32]*waiter)}
+	if err := c.install(context.Background(), conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
-// Dial connects to a cloud service address.
+// Dial connects to a cloud service address and negotiates the
+// protocol version.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
+	c := &Client{addr: addr, dialTimeout: timeout, pending: make(map[uint32]*waiter)}
+	conn, err := c.dial(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if err := c.install(context.Background(), conn); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	d := net.Dialer{Timeout: c.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
 		return nil, fmt.Errorf("edge: dialing cloud: %w", err)
 	}
-	return NewClient(conn), nil
+	return conn, nil
 }
 
-// Close closes the connection.
-func (c *Client) Close() error {
+// install negotiates on conn and starts its reader. Callers must not
+// hold c.mu.
+func (c *Client) install(ctx context.Context, conn net.Conn) error {
+	version, err := negotiate(ctx, conn)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return ErrClosed
+	}
+	c.conn = conn
+	c.version = version
+	c.connErr = nil
+	c.mu.Unlock()
+	go c.readLoop(conn)
+	return nil
+}
+
+// negotiate runs the client half of the Hello exchange, bounded by
+// the caller's deadline when it is tighter than the default.
+func negotiate(ctx context.Context, conn net.Conn) (uint8, error) {
+	deadline := time.Now().Add(handshakeTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	hello := proto.EncodeHello(&proto.Hello{MaxVersion: proto.MaxVersion})
+	if err := proto.WriteFrame(conn, proto.TypeHello, hello); err != nil {
+		return 0, fmt.Errorf("edge: hello: %w", err)
+	}
+	f, err := proto.ReadFrameAny(conn)
+	if err != nil {
+		return 0, fmt.Errorf("edge: hello reply: %w", err)
+	}
+	switch f.Type {
+	case proto.TypeHello:
+		h, err := proto.DecodeHello(f.Payload)
+		if err != nil {
+			return 0, err
+		}
+		return proto.Negotiate(proto.MaxVersion, h.MaxVersion), nil
+	case proto.TypeError:
+		// A v1 server rejects the unknown Hello type; the
+		// connection stays usable, just serial.
+		return proto.Version1, nil
+	default:
+		return 0, fmt.Errorf("edge: unexpected hello reply type %d", f.Type)
+	}
+}
+
+// Version returns the negotiated protocol version (for diagnostics).
+func (c *Client) Version() uint8 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.conn.Close()
+	return c.version
+}
+
+// Close closes the connection and fails every in-flight request.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	conn := c.conn
+	c.mu.Unlock()
+	if conn != nil {
+		return conn.Close()
+	}
+	return nil
+}
+
+// readLoop is the connection's demultiplexer: it reads frames until
+// the connection dies and routes each reply to its waiter — by frame
+// ID on v2, FIFO on v1.
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		f, err := proto.ReadFrameAny(conn)
+		if err != nil {
+			c.failAll(conn, fmt.Errorf("edge: connection lost: %w", err))
+			return
+		}
+		var w *waiter
+		c.mu.Lock()
+		if f.Version >= proto.Version2 {
+			w = c.pending[f.ID]
+			delete(c.pending, f.ID)
+		} else if len(c.fifo) > 0 {
+			w = c.fifo[0]
+			c.fifo = c.fifo[1:]
+		}
+		c.mu.Unlock()
+		if w != nil {
+			w.ch <- result{typ: f.Type, payload: f.Payload}
+		}
+	}
+}
+
+// failAll marks the connection dead and unblocks every waiter. A stale
+// call from an already-replaced connection must not touch the current
+// connection's waiters.
+func (c *Client) failAll(conn net.Conn, err error) {
+	c.mu.Lock()
+	if c.conn != conn {
+		c.mu.Unlock()
+		conn.Close()
+		return
+	}
+	c.connErr = err
+	pending := c.pending
+	fifo := c.fifo
+	c.pending = make(map[uint32]*waiter)
+	c.fifo = nil
+	c.mu.Unlock()
+	conn.Close()
+	for _, w := range pending {
+		w.ch <- result{err: err}
+	}
+	for _, w := range fifo {
+		w.ch <- result{err: err}
+	}
+}
+
+// ensure returns a live connection, redialling a Dial-built client
+// whose previous connection died. Reconnection is serialised so two
+// concurrent callers never race to install competing connections
+// (the loser's in-flight request would become unfailable), and the
+// caller's ctx bounds both the dial and the handshake.
+func (c *Client) ensure(ctx context.Context) (net.Conn, uint8, error) {
+	for attempt := 0; ; attempt++ {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, 0, ErrClosed
+		}
+		if c.connErr == nil && c.conn != nil {
+			conn, v := c.conn, c.version
+			c.mu.Unlock()
+			return conn, v, nil
+		}
+		lastErr := c.connErr
+		canRedial := c.addr != ""
+		c.mu.Unlock()
+		if !canRedial {
+			if lastErr == nil {
+				lastErr = errors.New("edge: no connection")
+			}
+			return nil, 0, lastErr
+		}
+		if attempt > 0 {
+			return nil, 0, lastErr
+		}
+		c.dialMu.Lock()
+		// Another caller may have reconnected while we waited; the
+		// loop re-checks before dialling again.
+		c.mu.Lock()
+		fresh := c.connErr == nil && c.conn != nil
+		c.mu.Unlock()
+		if !fresh {
+			conn, err := c.dial(ctx)
+			if err != nil {
+				c.dialMu.Unlock()
+				return nil, 0, err
+			}
+			if err := c.install(ctx, conn); err != nil {
+				c.dialMu.Unlock()
+				conn.Close()
+				return nil, 0, err
+			}
+		}
+		c.dialMu.Unlock()
+	}
+}
+
+// roundTrip registers a waiter, writes the request and awaits the
+// matching reply, honouring ctx cancellation throughout.
+func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, encode func(id uint32) []byte) (proto.MsgType, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	conn, version, err := c.ensure(ctx)
+	if err != nil {
+		return 0, nil, err
+	}
+
+	// Registration and the wire write happen under one write lock so
+	// FIFO order always equals wire order — on a v1 connection the
+	// reply is matched purely by position, so a register/write
+	// inversion between two goroutines would swap their answers.
+	w := &waiter{ch: make(chan result, 1)}
+	c.wmu.Lock()
+	c.mu.Lock()
+	if c.conn != conn || c.connErr != nil {
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return 0, nil, errors.New("edge: connection lost during send")
+	}
+	c.seq++
+	id := c.seq
+	if version >= proto.Version2 {
+		c.pending[id] = w
+	} else {
+		c.fifo = append(c.fifo, w)
+	}
+	c.mu.Unlock()
+
+	var payload []byte
+	if encode != nil {
+		payload = encode(id)
+	}
+	// A stalled peer must not wedge the write lock past the caller's
+	// deadline: a tripped write deadline poisons the connection,
+	// which failAll then retires.
+	if d, ok := ctx.Deadline(); ok {
+		conn.SetWriteDeadline(d)
+	} else {
+		conn.SetWriteDeadline(time.Time{})
+	}
+	err = proto.WriteFrameVersion(conn, version, t, id, payload)
+	c.wmu.Unlock()
+	if err != nil {
+		c.failAll(conn, fmt.Errorf("edge: write: %w", err))
+		select {
+		case <-w.ch: // consume our own failure notice
+		default: // an earlier failAll already drained this waiter's map
+		}
+		return 0, nil, fmt.Errorf("edge: write: %w", err)
+	}
+
+	select {
+	case r := <-w.ch:
+		if r.err != nil {
+			return 0, nil, r.err
+		}
+		return r.typ, r.payload, nil
+	case <-ctx.Done():
+		// Abandon the request: on v2 the waiter can be dropped;
+		// on v1 the reply still occupies a FIFO slot, so the
+		// entry stays and the buffered channel absorbs it.
+		c.mu.Lock()
+		if version >= proto.Version2 {
+			delete(c.pending, id)
+		}
+		c.mu.Unlock()
+		return 0, nil, ctx.Err()
+	}
 }
 
 // Ping round-trips a liveness probe.
-func (c *Client) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if err := proto.WriteFrame(c.conn, proto.TypePing, nil); err != nil {
-		return err
-	}
-	typ, _, err := proto.ReadFrame(c.conn)
+func (c *Client) Ping(ctx context.Context) error {
+	typ, _, err := c.roundTrip(ctx, proto.TypePing, nil)
 	if err != nil {
 		return err
 	}
@@ -61,19 +357,15 @@ func (c *Client) Ping() error {
 }
 
 // Search uploads a filtered one-second window and returns the cloud's
-// signal correlation set.
-func (c *Client) Search(window []float64) (*proto.CorrSet, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.seq++
+// signal correlation set. Concurrent calls pipeline on one connection;
+// ctx bounds the whole exchange.
+func (c *Client) Search(ctx context.Context, window []float64) (*proto.CorrSet, error) {
 	counts, scale := proto.Quantize(window)
-	payload := proto.EncodeUpload(&proto.Upload{Seq: c.seq, Scale: scale, Samples: counts})
-	if err := proto.WriteFrame(c.conn, proto.TypeUpload, payload); err != nil {
-		return nil, fmt.Errorf("edge: upload: %w", err)
-	}
-	typ, resp, err := proto.ReadFrame(c.conn)
+	typ, resp, err := c.roundTrip(ctx, proto.TypeUpload, func(id uint32) []byte {
+		return proto.EncodeUpload(&proto.Upload{Seq: id, Scale: scale, Samples: counts})
+	})
 	if err != nil {
-		return nil, fmt.Errorf("edge: awaiting correlation set: %w", err)
+		return nil, fmt.Errorf("edge: search: %w", err)
 	}
 	switch typ {
 	case proto.TypeCorrSet:

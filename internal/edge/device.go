@@ -1,7 +1,9 @@
 package edge
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"emap/internal/dsp"
 	"emap/internal/mdb"
@@ -43,6 +45,8 @@ type Config struct {
 	// WarmupWindows lets the filter settle before the first upload
 	// (default 1).
 	WarmupWindows int
+	// CloudTimeout bounds each cloud exchange (default 30 s).
+	CloudTimeout time.Duration
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -68,6 +72,9 @@ func (c Config) withDefaults() (Config, error) {
 		c.WarmupWindows = 0
 	} else if c.WarmupWindows == 0 {
 		c.WarmupWindows = 1
+	}
+	if c.CloudTimeout <= 0 {
+		c.CloudTimeout = 30 * time.Second
 	}
 	return c, nil
 }
@@ -136,9 +143,17 @@ func NewDevice(client *Client, cfg Config) (*Device, error) {
 // Predictor exposes the accumulated anomaly decision state.
 func (d *Device) Predictor() *track.Predictor { return d.predictor }
 
-// PushSecond consumes one acquisition slot of raw samples (WindowLen
-// of them) and advances the pipeline.
+// PushSecond consumes one acquisition slot with a background context;
+// see Push.
 func (d *Device) PushSecond(raw []float64) (Status, error) {
+	return d.Push(context.Background(), raw)
+}
+
+// Push consumes one acquisition slot of raw samples (WindowLen of
+// them) and advances the pipeline. ctx bounds any synchronous cloud
+// exchange this slot issues (each exchange is additionally capped by
+// Config.CloudTimeout).
+func (d *Device) Push(ctx context.Context, raw []float64) (Status, error) {
 	if len(raw) != d.cfg.WindowLen {
 		return Status{}, fmt.Errorf("edge: slot must be %d samples, got %d", d.cfg.WindowLen, len(raw))
 	}
@@ -166,7 +181,7 @@ func (d *Device) PushSecond(raw []float64) (Status, error) {
 	if d.tracker == nil {
 		if !d.pending {
 			// First call is synchronous: nothing to track yet.
-			if err := d.refreshNow(filtered); err != nil {
+			if err := d.refreshNow(ctx, filtered); err != nil {
 				return st, err
 			}
 			st.CloudCalled = true
@@ -194,6 +209,11 @@ func (d *Device) PushSecond(raw []float64) (Status, error) {
 		go d.refreshAsync(append([]float64(nil), filtered...), d.window)
 	}
 	return st, nil
+}
+
+// cloudCtx derives the per-exchange context from the caller's.
+func (d *Device) cloudCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, d.cfg.CloudTimeout)
 }
 
 // trackParams derives local tracking parameters: the horizon matches
@@ -232,8 +252,8 @@ func (d *Device) trackParams(local *mdb.Store, matches int) track.Params {
 }
 
 // refreshNow performs a synchronous search and adopts it immediately.
-func (d *Device) refreshNow(window []float64) error {
-	store, matches, err := d.fetch(window)
+func (d *Device) refreshNow(ctx context.Context, window []float64) error {
+	store, matches, err := d.fetch(ctx, window)
 	if err != nil {
 		return err
 	}
@@ -246,14 +266,16 @@ func (d *Device) refreshNow(window []float64) error {
 // result on a later slot, mirroring Fig. 9's overlap of tracking and
 // cloud search.
 func (d *Device) refreshAsync(window []float64, seq int) {
-	store, matches, err := d.fetch(window)
+	store, matches, err := d.fetch(context.Background(), window)
 	d.refreshing <- adoptable{store: store, matches: matches, seq: seq, err: err}
 }
 
 // fetch round-trips one search and materialises the response into a
 // local mini-MDB: one record per entry, one signal-set spanning it.
-func (d *Device) fetch(window []float64) (*mdb.Store, []search.Match, error) {
-	corrSet, err := d.client.Search(window)
+func (d *Device) fetch(ctx context.Context, window []float64) (*mdb.Store, []search.Match, error) {
+	ctx, cancel := d.cloudCtx(ctx)
+	defer cancel()
+	corrSet, err := d.client.Search(ctx, window)
 	if err != nil {
 		return nil, nil, err
 	}

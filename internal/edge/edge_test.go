@@ -1,6 +1,7 @@
 package edge
 
 import (
+	"context"
 	"net"
 	"strings"
 	"testing"
@@ -45,13 +46,17 @@ func pipePair(t testing.TB, store *mdb.Store) *Client {
 	cConn, sConn := net.Pipe()
 	go srv.HandleConn(sConn)
 	t.Cleanup(func() { cConn.Close() })
-	return NewClient(cConn)
+	client, err := NewClient(cConn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
 }
 
 func TestPingPong(t *testing.T) {
 	store, _ := buildStore(t)
 	client := pipePair(t, store)
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("Ping: %v", err)
 	}
 }
@@ -121,7 +126,7 @@ func TestDeviceOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer client.Close()
-	if err := client.Ping(); err != nil {
+	if err := client.Ping(context.Background()); err != nil {
 		t.Fatalf("ping over TCP: %v", err)
 	}
 

@@ -7,7 +7,7 @@
 // matching the paper's 16-bit acquisition resolution and the Fig. 4
 // payload arithmetic (2 bytes per sample).
 //
-// Frame layout (little-endian):
+// Version 1 frame layout (little-endian):
 //
 //	magic   uint16  0xE3A7
 //	version uint8   1
@@ -15,6 +15,25 @@
 //	length  uint32  payload byte count
 //	payload [length]byte
 //	crc     uint32  IEEE CRC-32 of payload
+//
+// Version 2 inserts a per-request identifier after the type byte so
+// multiple requests can be in flight concurrently on one connection
+// and replies can arrive out of order:
+//
+//	magic   uint16  0xE3A7
+//	version uint8   2
+//	type    uint8   message type
+//	id      uint32  request identifier (echoed by the reply)
+//	length  uint32  payload byte count
+//	payload [length]byte
+//	crc     uint32  IEEE CRC-32 of payload
+//
+// Peers negotiate the version with a TypeHello exchange carried in a
+// v1 frame: the client announces its maximum supported version, the
+// server answers with the minimum of the two. A v1 server answers
+// Hello with TypeError (unknown message type), which a v2 client
+// treats as "speak v1". ReadFrameAny accepts both layouts, so each
+// frame self-describes its version.
 package proto
 
 import (
@@ -28,8 +47,19 @@ import (
 
 // Protocol constants.
 const (
-	Magic   uint16 = 0xE3A7
-	Version uint8  = 1
+	Magic uint16 = 0xE3A7
+
+	// Version1 is the original serial request/reply protocol.
+	Version1 uint8 = 1
+	// Version2 adds a per-request ID to every frame, enabling
+	// pipelined uploads with out-of-order replies.
+	Version2 uint8 = 2
+	// MaxVersion is the newest version this build speaks.
+	MaxVersion = Version2
+
+	// Version is the legacy name for Version1, kept so v1-era
+	// callers keep compiling.
+	Version = Version1
 
 	// MaxPayload bounds a frame's payload; larger frames are
 	// rejected as corrupt before allocation.
@@ -46,6 +76,7 @@ const (
 	TypeError   MsgType = 3 // either direction: failure report
 	TypePing    MsgType = 4 // liveness probe
 	TypePong    MsgType = 5 // liveness reply
+	TypeHello   MsgType = 6 // version negotiation (both directions)
 )
 
 // Protocol errors.
@@ -102,16 +133,30 @@ type ErrorMsg struct {
 	Text string
 }
 
-// WriteFrame writes one frame with the given type and payload.
-func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+// Hello negotiates the protocol version. The initiator announces the
+// highest version it speaks; the responder echoes the version both
+// sides will use (min of the two). Features is a reserved bit-set for
+// future capability flags; peers must ignore bits they do not know.
+type Hello struct {
+	MaxVersion uint8
+	Features   uint32
+}
+
+// Frame is one decoded wire frame. ID is zero for version-1 frames,
+// which carry no request identifier.
+type Frame struct {
+	Version uint8
+	Type    MsgType
+	ID      uint32
+	Payload []byte
+}
+
+// writeFrame writes a pre-built header, the payload, and the CRC
+// trailer — the tail shared by both frame versions.
+func writeFrame(w io.Writer, hdr, payload []byte) error {
 	if len(payload) > MaxPayload {
 		return ErrTooLarge
 	}
-	hdr := make([]byte, 8)
-	binary.LittleEndian.PutUint16(hdr[0:], Magic)
-	hdr[2] = Version
-	hdr[3] = byte(t)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
 	}
@@ -124,6 +169,17 @@ func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
 	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
 	_, err := w.Write(crc[:])
 	return err
+}
+
+// WriteFrame writes one version-1 frame with the given type and
+// payload.
+func WriteFrame(w io.Writer, t MsgType, payload []byte) error {
+	hdr := make([]byte, 8)
+	binary.LittleEndian.PutUint16(hdr[0:], Magic)
+	hdr[2] = Version1
+	hdr[3] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	return writeFrame(w, hdr, payload)
 }
 
 // ReadFrame reads one frame, validating magic, version, size and CRC.
@@ -155,6 +211,73 @@ func ReadFrame(r io.Reader) (MsgType, []byte, error) {
 		return 0, nil, ErrBadCRC
 	}
 	return t, payload, nil
+}
+
+// WriteFrameV2 writes one version-2 frame carrying a request ID.
+func WriteFrameV2(w io.Writer, t MsgType, id uint32, payload []byte) error {
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint16(hdr[0:], Magic)
+	hdr[2] = Version2
+	hdr[3] = byte(t)
+	binary.LittleEndian.PutUint32(hdr[4:], id)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	return writeFrame(w, hdr, payload)
+}
+
+// WriteFrameVersion writes a frame in the given negotiated version;
+// the ID is dropped on the v1 wire (v1 replies match by order).
+func WriteFrameVersion(w io.Writer, version uint8, t MsgType, id uint32, payload []byte) error {
+	switch version {
+	case Version1:
+		return WriteFrame(w, t, payload)
+	case Version2:
+		return WriteFrameV2(w, t, id, payload)
+	default:
+		return fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+}
+
+// ReadFrameAny reads one frame of either version, validating magic,
+// version, size and CRC. The returned Frame self-describes which
+// layout arrived.
+func ReadFrameAny(r io.Reader) (Frame, error) {
+	hdr := make([]byte, 8)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return Frame{}, err
+	}
+	if binary.LittleEndian.Uint16(hdr[0:]) != Magic {
+		return Frame{}, ErrBadMagic
+	}
+	f := Frame{Version: hdr[2], Type: MsgType(hdr[3])}
+	var n uint32
+	switch f.Version {
+	case Version1:
+		n = binary.LittleEndian.Uint32(hdr[4:])
+	case Version2:
+		f.ID = binary.LittleEndian.Uint32(hdr[4:])
+		var ext [4]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("proto: truncated v2 header: %w", err)
+		}
+		n = binary.LittleEndian.Uint32(ext[:])
+	default:
+		return Frame{}, fmt.Errorf("%w: %d", ErrBadVersion, f.Version)
+	}
+	if n > MaxPayload {
+		return Frame{}, ErrTooLarge
+	}
+	f.Payload = make([]byte, n)
+	if _, err := io.ReadFull(r, f.Payload); err != nil {
+		return Frame{}, fmt.Errorf("proto: truncated payload: %w", err)
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(r, crc[:]); err != nil {
+		return Frame{}, fmt.Errorf("proto: truncated CRC: %w", err)
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.ChecksumIEEE(f.Payload) {
+		return Frame{}, ErrBadCRC
+	}
+	return f, nil
 }
 
 // appendUint helpers keep the encoders readable.
@@ -328,6 +451,36 @@ func DecodeError(payload []byte) (*ErrorMsg, error) {
 	}
 	e.Text = string(r.b[r.off : r.off+n])
 	return e, nil
+}
+
+// EncodeHello serialises a Hello payload.
+func EncodeHello(h *Hello) []byte {
+	b := make([]byte, 0, 5)
+	b = append(b, h.MaxVersion)
+	return appendU32(b, h.Features)
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(payload []byte) (*Hello, error) {
+	r := &reader{b: payload}
+	h := &Hello{MaxVersion: r.u8(), Features: r.u32()}
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decoding Hello: %w", r.err)
+	}
+	return h, nil
+}
+
+// Negotiate picks the version both peers speak: the lower of the two
+// announcements, floored at Version1.
+func Negotiate(ours, theirs uint8) uint8 {
+	v := ours
+	if theirs < v {
+		v = theirs
+	}
+	if v < Version1 {
+		v = Version1
+	}
+	return v
 }
 
 // Quantize converts µV samples to 16-bit counts, returning the counts

@@ -1,0 +1,169 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"emap/internal/rng"
+)
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("pipelined emap")
+	if err := WriteFrameV2(&buf, TypeUpload, 0xDEADBEEF, payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrameAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version2 || f.Type != TypeUpload || f.ID != 0xDEADBEEF || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("v2 frame mangled: %+v", f)
+	}
+}
+
+func TestReadFrameAnyAcceptsV1(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, TypePing, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrameAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version1 || f.Type != TypePing || f.ID != 0 || string(f.Payload) != "x" {
+		t.Fatalf("v1 frame via ReadFrameAny mangled: %+v", f)
+	}
+}
+
+func TestReadFrameRejectsV2(t *testing.T) {
+	// The legacy v1 reader must refuse a v2 frame rather than
+	// misparse the ID field as a length.
+	var buf bytes.Buffer
+	if err := WriteFrameV2(&buf, TypeUpload, 7, []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("v1 reader accepted a v2 frame")
+	}
+}
+
+func TestFrameV2Corruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV2(&buf, TypeCorrSet, 3, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	bad := append([]byte{}, raw...)
+	bad[0] ^= 0xFF
+	if _, err := ReadFrameAny(bytes.NewReader(bad)); err != ErrBadMagic {
+		t.Fatalf("bad magic error = %v", err)
+	}
+	bad = append([]byte{}, raw...)
+	bad[2] = 77
+	if _, err := ReadFrameAny(bytes.NewReader(bad)); err == nil {
+		t.Fatal("unknown version should error")
+	}
+	bad = append([]byte{}, raw...)
+	bad[13] ^= 0x01 // flip a payload bit (12-byte header)
+	if _, err := ReadFrameAny(bytes.NewReader(bad)); err != ErrBadCRC {
+		t.Fatalf("corrupt payload error = %v", err)
+	}
+	if _, err := ReadFrameAny(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("truncated v2 header should error")
+	}
+	if _, err := ReadFrameAny(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated frame should error")
+	}
+}
+
+func TestFrameV2TooLarge(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV2(&buf, TypeUpload, 1, make([]byte, MaxPayload+1)); err != ErrTooLarge {
+		t.Fatalf("oversize write error = %v", err)
+	}
+	hdr := []byte{0xA7, 0xE3, Version2, byte(TypeUpload),
+		1, 0, 0, 0, // id
+		0xFF, 0xFF, 0xFF, 0xFF} // length
+	if _, err := ReadFrameAny(bytes.NewReader(hdr)); err != ErrTooLarge {
+		t.Fatalf("oversize read error = %v", err)
+	}
+}
+
+func TestWriteFrameVersionDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameVersion(&buf, Version1, TypePong, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrameAny(&buf)
+	if err != nil || f.Version != Version1 || f.ID != 0 {
+		t.Fatalf("v1 dispatch: %+v, %v", f, err)
+	}
+	buf.Reset()
+	if err := WriteFrameVersion(&buf, Version2, TypePong, 9, nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err = ReadFrameAny(&buf)
+	if err != nil || f.Version != Version2 || f.ID != 9 {
+		t.Fatalf("v2 dispatch: %+v, %v", f, err)
+	}
+	if err := WriteFrameVersion(&buf, 9, TypePong, 0, nil); err == nil {
+		t.Fatal("unknown version should error")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	h := &Hello{MaxVersion: MaxVersion, Features: 0xA5A5}
+	got, err := DecodeHello(EncodeHello(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MaxVersion != h.MaxVersion || got.Features != h.Features {
+		t.Fatalf("hello mangled: %+v", got)
+	}
+	if _, err := DecodeHello([]byte{2}); err == nil {
+		t.Fatal("short hello should error")
+	}
+}
+
+func TestNegotiate(t *testing.T) {
+	cases := []struct{ ours, theirs, want uint8 }{
+		{Version2, Version2, Version2},
+		{Version2, Version1, Version1},
+		{Version1, Version2, Version1},
+		{Version2, 0, Version1},
+		{Version2, 9, Version2},
+	}
+	for _, c := range cases {
+		if got := Negotiate(c.ours, c.theirs); got != c.want {
+			t.Fatalf("Negotiate(%d,%d) = %d, want %d", c.ours, c.theirs, got, c.want)
+		}
+	}
+}
+
+// Property: arbitrary IDs and payloads survive the v2 framing, and a
+// v1 frame of the same payload reads back ID 0.
+func TestFrameV2Property(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		id := uint32(r.Uint64())
+		payload := make([]byte, r.Intn(256))
+		for i := range payload {
+			payload[i] = byte(r.Uint64())
+		}
+		var buf bytes.Buffer
+		if err := WriteFrameV2(&buf, TypeCorrSet, id, payload); err != nil {
+			return false
+		}
+		got, err := ReadFrameAny(&buf)
+		if err != nil || got.ID != id || got.Version != Version2 {
+			return false
+		}
+		return bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

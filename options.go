@@ -1,0 +1,144 @@
+package emap
+
+import (
+	"context"
+
+	"emap/internal/core"
+)
+
+// Streaming API re-exports: the context-first surface added by the v2
+// API redesign (see DESIGN.md §3). A Stream consumes one-second
+// windows via Push and emits a StepReport per window.
+type (
+	// Window is one acquisition slot of raw EEG samples.
+	Window = core.Window
+	// Stream is a live monitoring run (Session.Start).
+	Stream = core.Stream
+	// StepReport is the per-window outcome a Stream emits.
+	StepReport = core.StepReport
+	// IterStat records one tracking iteration in a Report.
+	IterStat = core.IterStat
+	// CostModel assigns simulated durations to compute steps.
+	CostModel = core.CostModel
+)
+
+// ErrStreamClosed is returned by Stream.Push after Close.
+var ErrStreamClosed = core.ErrStreamClosed
+
+// Option adjusts a Session's configuration. Options replace hand-rolled
+// Config literals: zero-value fields keep the paper's defaults, and
+// each option overrides exactly one knob.
+type Option func(*Config)
+
+// WithSearchParams configures the cloud search (Algorithm 1).
+func WithSearchParams(p SearchParams) Option {
+	return func(c *Config) { c.Search = p }
+}
+
+// WithTrackParams configures edge tracking (Algorithm 2).
+func WithTrackParams(p TrackParams) Option {
+	return func(c *Config) { c.Track = p }
+}
+
+// WithPredictorParams configures the anomaly decision rule.
+func WithPredictorParams(p PredictorParams) Option {
+	return func(c *Config) { c.Predict = p }
+}
+
+// WithLink selects the edge↔cloud communication platform.
+func WithLink(l Link) Option {
+	return func(c *Config) { c.Link = l }
+}
+
+// WithHorizon sets the continuation horizon downloaded per matched
+// signal, in seconds (paper default 8 s).
+func WithHorizon(seconds float64) Option {
+	return func(c *Config) { c.HorizonSeconds = seconds }
+}
+
+// WithWindowSeconds sets the acquisition slot length (paper: 1 s).
+func WithWindowSeconds(seconds float64) Option {
+	return func(c *Config) { c.WindowSeconds = seconds }
+}
+
+// WithBaseRate sets the sampling frequency (paper: 256 Hz).
+func WithBaseRate(hz float64) Option {
+	return func(c *Config) { c.BaseRate = hz }
+}
+
+// WithBandpass sets the acquisition filter (paper: 100 taps, 11–40 Hz).
+func WithBandpass(taps int, lowHz, highHz float64) Option {
+	return func(c *Config) { c.FilterTaps, c.LowHz, c.HighHz = taps, lowHz, highHz }
+}
+
+// WithRecallMargin sets how many iterations before horizon exhaustion
+// the background cloud call is issued (default 3).
+func WithRecallMargin(iters int) Option {
+	return func(c *Config) { c.RecallMargin = iters }
+}
+
+// WithWarmupWindows sets how many initial windows settle the filter
+// before the first search (default 1).
+func WithWarmupWindows(n int) Option {
+	return func(c *Config) { c.WarmupWindows = n }
+}
+
+// WithCostModel overrides the simulated compute-cost model.
+func WithCostModel(m CostModel) Option {
+	return func(c *Config) { c.Costs = m }
+}
+
+// New prepares a monitoring session over a mega-database with
+// functional options; unset knobs keep the paper's defaults.
+//
+//	sess, err := emap.New(store,
+//	    emap.WithHorizon(12),
+//	    emap.WithTrackParams(emap.TrackParams{TrackThreshold: 40}),
+//	)
+//	stream, err := sess.Start(ctx)
+func New(store *Store, opts ...Option) (*Session, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.NewSession(store, cfg)
+}
+
+// Monitor is a convenience wrapper for fully streaming use: it starts
+// a stream over sess, feeds it windows from ch, and returns the
+// per-window reports channel plus a wait function that closes the
+// stream and yields the final report. The session's predictor and
+// simulated clock persist across runs — pass a fresh session for an
+// independent run. It exists so callers can wire a live source to the
+// pipeline in two lines.
+func Monitor(ctx context.Context, sess *Session, ch <-chan Window) (<-chan StepReport, func() (*Report, error), error) {
+	stream, err := sess.Start(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	type outcome struct {
+		rep *Report
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		var pushErr error
+		for w := range ch {
+			if pushErr == nil {
+				pushErr = stream.Push(w)
+				// Keep draining ch so the producer never
+				// blocks on a dead stream.
+			}
+		}
+		rep, err := stream.Close()
+		if err == nil && pushErr != nil {
+			rep, err = nil, pushErr
+		}
+		done <- outcome{rep, err}
+	}()
+	wait := func() (*Report, error) {
+		o := <-done
+		return o.rep, o.err
+	}
+	return stream.Reports(), wait, nil
+}
