@@ -183,45 +183,66 @@ func BenchmarkEndToEndSession(b *testing.B) {
 
 // BenchmarkCloudSearchParallel measures pipelined cloud searches on
 // one shared connection: every parallel worker issues uploads through
-// the same v2 client, so the worker pool and request-ID matching are
-// both on the hot path. This anchors the perf trajectory for the
-// sharding/batching PRs.
+// the same v2 client, so the worker pool, the batching collector and
+// request-ID matching are all on the hot path. The sub-benchmarks
+// sweep the scan-once-serve-many layers on the same store — nobatch is
+// the PR-1 behaviour (every upload pays its own shard scan), batch
+// coalesces concurrent uploads into one pass, batch+cache additionally
+// answers repeated windows without scanning. SetParallelism(8) keeps
+// ≥8 concurrent clients in flight, the regime batching exists for.
 func BenchmarkCloudSearchParallel(b *testing.B) {
 	gen := emap.NewGenerator(1)
 	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
 	if err != nil {
 		b.Fatal(err)
 	}
-	srv, err := cloud.NewServer(store, cloud.Config{})
-	if err != nil {
-		b.Fatal(err)
-	}
-	l, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		b.Fatal(err)
-	}
-	go srv.Serve(l)
-	defer srv.Close()
-	client, err := edge.Dial(l.Addr().String(), 5*time.Second)
-	if err != nil {
-		b.Fatal(err)
-	}
-	defer client.Close()
-
 	input := gen.SeizureInput(0, 30, 5)
 	window := input.Samples[1024:1280]
-	ctx := context.Background()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			if _, err := client.Search(ctx, window); err != nil {
-				b.Error(err)
-				return
+	for _, bc := range []struct {
+		name string
+		cfg  cloud.Config
+	}{
+		{"nobatch", cloud.Config{MaxBatch: 1, CacheSize: -1}},
+		{"batch", cloud.Config{CacheSize: -1}},
+		{"batch+cache", cloud.Config{}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			srv, err := cloud.NewServer(store, bc.cfg)
+			if err != nil {
+				b.Fatal(err)
 			}
-		}
-	})
-	b.StopTimer()
-	b.ReportMetric(float64(srv.Metrics.PeakInFlight.Load()), "peak-in-flight")
+			l, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(l)
+			defer srv.Close()
+			client, err := edge.Dial(l.Addr().String(), 5*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+
+			ctx := context.Background()
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := client.Search(ctx, window); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(float64(srv.Metrics.PeakInFlight.Load()), "peak-in-flight")
+			b.ReportMetric(srv.Metrics.BatchSizeMean(), "batch-size-mean")
+			if n := srv.Metrics.Requests.Load(); n > 0 {
+				b.ReportMetric(float64(srv.Metrics.CacheHits.Load())/float64(n), "cache-hit-ratio")
+			}
+			b.ReportMetric(float64(srv.Metrics.Evaluations.Load())/float64(max(b.N, 1)), "ω-evals/op")
+		})
+	}
 }
 
 // BenchmarkMDBConstruction measures the full corpus-to-store pipeline.

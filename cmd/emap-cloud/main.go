@@ -1,13 +1,17 @@
 // Command emap-cloud runs the cloud tier: it hosts a mega-database and
 // answers edge uploads with signal correlation sets over TCP. Uploads
-// from protocol-v2 edges are served by a bounded worker pool, so
-// independent windows search in parallel; SIGINT/SIGTERM drain
-// in-flight searches before exiting.
+// from protocol-v2 edges are served by a bounded worker pool; uploads
+// that queue behind busy workers are coalesced into batched searches
+// (one shard pass serves the whole batch), and repeated near-identical
+// windows are answered from a bounded correlation-set cache without
+// scanning at all. SIGINT/SIGTERM drain in-flight searches before
+// exiting.
 //
 // Usage:
 //
 //	emap-cloud [-addr :7300] [-mdb mdb.snap] [-per 8] [-seed 2020]
-//	           [-workers N] [-drain 10s]
+//	           [-workers N] [-drain 10s] [-max-batch 32]
+//	           [-batch-window 0s] [-cache 256]
 //
 // With -mdb pointing at a snapshot written by emap-mdb, the store is
 // loaded from disk; otherwise a synthetic store is built at startup.
@@ -37,6 +41,9 @@ func main() {
 	horizon := flag.Float64("horizon", 8, "continuation horizon per match [s]")
 	workers := flag.Int("workers", 0, "concurrent search workers (0: GOMAXPROCS)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	maxBatch := flag.Int("max-batch", 0, "max uploads coalesced per batched search (0: default 32, 1: disable)")
+	batchWindow := flag.Duration("batch-window", 0, "extra wait for uploads to join a batch (0: none)")
+	cacheSize := flag.Int("cache", 0, "correlation-set cache entries (0: default 256, negative: disable)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
@@ -62,6 +69,9 @@ func main() {
 	srv, err := cloud.NewServer(store, cloud.Config{
 		HorizonSeconds: *horizon,
 		Workers:        *workers,
+		MaxBatch:       *maxBatch,
+		BatchWindow:    *batchWindow,
+		CacheSize:      *cacheSize,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -95,4 +105,7 @@ func main() {
 	logger.Printf("served %d requests (%d errors, mean latency %v, peak in-flight %d)",
 		srv.Metrics.Requests.Load(), srv.Metrics.Errors.Load(),
 		srv.Metrics.MeanLatency(), srv.Metrics.PeakInFlight.Load())
+	logger.Printf("scan amortization: %d batches (mean size %.2f), cache %d hits / %d misses",
+		srv.Metrics.Batches.Load(), srv.Metrics.BatchSizeMean(),
+		srv.Metrics.CacheHits.Load(), srv.Metrics.CacheMisses.Load())
 }

@@ -1,0 +1,78 @@
+package emap_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"emap"
+)
+
+// ExampleNew is the library quickstart: build a mega-database from the
+// deterministic EEG synthesiser, open a session with functional
+// options, and run a pre-seizure recording through the full
+// acquire → cloud-search → track → predict pipeline.
+func ExampleNew() {
+	gen := emap.NewGenerator(7)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := emap.New(store,
+		emap.WithHorizon(8), // seconds of continuation per match
+		emap.WithSearchParams(emap.SearchParams{Workers: 1}), // deterministic sharding
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	input := gen.SeizureInput(0, 30, 12) // 12 s of signal, onset 30 s ahead
+	report, err := sess.Process(input, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("windows=%d cloudCalls=%d anomaly=%v\n",
+		report.Windows, report.CloudCalls, report.Decision)
+	// Output: windows=12 cloudCalls=10 anomaly=true
+}
+
+// ExampleMonitor wires a live window source to the streaming API: one
+// channel in, one StepReport per window out, final Report from wait.
+func ExampleMonitor() {
+	gen := emap.NewGenerator(7)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(2, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sess, err := emap.New(store,
+		emap.WithSearchParams(emap.SearchParams{Workers: 1}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	input := gen.SeizureInput(0, 30, 10)
+	windows := make(chan emap.Window)
+	go func() {
+		defer close(windows)
+		const step = 256 // one second at the 256 Hz base rate
+		for off := 0; off+step <= len(input.Samples); off += step {
+			windows <- emap.Window(input.Samples[off : off+step])
+		}
+	}()
+
+	reports, wait, err := emap.Monitor(context.Background(), sess, windows)
+	if err != nil {
+		log.Fatal(err)
+	}
+	alarmed := false
+	for step := range reports {
+		if step.DecisionChanged && step.Decision {
+			alarmed = true // the alarm edge — a real consumer acts here
+		}
+	}
+	report, err := wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("windows=%d alarmed=%v\n", report.Windows, alarmed)
+	// Output: windows=10 alarmed=true
+}

@@ -1,0 +1,106 @@
+package cloud
+
+import (
+	"time"
+
+	"emap/internal/proto"
+	"emap/internal/search"
+)
+
+// pending is one upload waiting for a batch search pass. The
+// dispatching request goroutine blocks on its group's done channel;
+// the batch leader fills entries (or err) for every member before
+// closing it.
+type pending struct {
+	window  []float64
+	key     string // cache fingerprint, "" when uncacheable or caching is off
+	entries []proto.CorrEntry
+	err     error
+}
+
+// batchGroup is one forming batch: the leader created it, followers
+// append themselves while it is still the server's forming group, and
+// everyone waits on done.
+type batchGroup struct {
+	pendings []*pending
+	done     chan struct{}
+}
+
+// dispatch runs p through the batching collector and blocks until its
+// result is filled in.
+//
+// The collector is a group-commit: the first upload to arrive becomes
+// the batch leader, publishes the group so later uploads can join, and
+// only then waits for a search slot. Under load every upload that
+// queues behind busy workers piles into the leader's group — one shard
+// pass serves them all — while a lone request on an idle server passes
+// straight through with no added latency (the default BatchWindow of
+// zero adds no artificial wait).
+func (s *Server) dispatch(p *pending) {
+	s.batchMu.Lock()
+	if g := s.forming; g != nil && len(g.pendings) < s.cfg.MaxBatch {
+		g.pendings = append(g.pendings, p)
+		s.batchMu.Unlock()
+		<-g.done
+		return
+	}
+	g := &batchGroup{pendings: []*pending{p}, done: make(chan struct{})}
+	if s.cfg.MaxBatch > 1 {
+		s.forming = g
+	}
+	s.batchMu.Unlock()
+
+	if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
+		// An explicit collection window trades a bounded delay for
+		// bigger batches even when workers are free. With MaxBatch 1
+		// no joiner could ever form a batch, so no wait either.
+		time.Sleep(s.cfg.BatchWindow)
+	}
+	s.sem <- struct{}{} // while the leader queues here, followers keep joining
+	defer func() { <-s.sem }()
+
+	s.batchMu.Lock()
+	if s.forming == g {
+		s.forming = nil // seal: no joiners past this point
+	}
+	batch := g.pendings
+	s.batchMu.Unlock()
+
+	s.searchBatch(batch)
+	close(g.done)
+}
+
+// searchBatch runs one batched search and fans the per-query results
+// back out to every pending upload, populating the cache on the way.
+func (s *Server) searchBatch(batch []*pending) {
+	s.Metrics.Batches.Add(1)
+	s.Metrics.BatchedRequests.Add(int64(len(batch)))
+	windows := make([][]float64, len(batch))
+	for i, p := range batch {
+		windows[i] = p.window
+	}
+	br, err := s.searcher.AlgorithmN(windows)
+	if err != nil {
+		for _, p := range batch {
+			p.err = err
+		}
+		return
+	}
+	s.Metrics.Evaluations.Add(int64(br.Evaluated))
+	// Deduplicated queries share one *Result (pointer equality, see
+	// search.BatchResult); assemble each distinct result's
+	// continuations once and fan the shared, read-only slice out.
+	assembled := make(map[*search.Result][]proto.CorrEntry, len(batch))
+	for i, p := range batch {
+		res := br.Results[i]
+		entries, ok := assembled[res]
+		if !ok {
+			entries = s.assembleEntries(res, len(p.window))
+			assembled[res] = entries
+		}
+		p.entries = entries
+		if s.cache != nil && p.key != "" {
+			s.cache.put(p.key, p.entries)
+		}
+	}
+}

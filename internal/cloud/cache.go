@@ -1,0 +1,111 @@
+package cloud
+
+import (
+	"container/list"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"emap/internal/dsp"
+	"emap/internal/proto"
+)
+
+// corrCache is a bounded LRU of assembled correlation-set entries
+// keyed by a quantized fingerprint of the uploaded window. In the
+// tracking-loop steady state (paper §V: one upload every fifth
+// iteration) consecutive uploads from a stable signal are
+// near-identical; the fingerprint quantization folds them onto one key
+// so the repeat skips the shard scan entirely.
+//
+// A cache is owned by exactly one Server, so entries can never cross
+// stores, search parameters or horizons — those are fixed per Server.
+type corrCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key     string
+	entries []proto.CorrEntry
+}
+
+func newCorrCache(capacity int) *corrCache {
+	return &corrCache{
+		cap:   capacity,
+		ll:    list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached correlation-set entries for key, refreshing
+// its recency. The returned slice is shared and read-only.
+func (c *corrCache) get(key string) ([]proto.CorrEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).entries, true
+}
+
+// put stores entries under key, evicting the least recently used entry
+// past capacity. The caller must not mutate entries afterwards.
+func (c *corrCache) put(key string, entries []proto.CorrEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*cacheEntry).entries = entries
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&cacheEntry{key: key, entries: entries})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len returns the number of cached correlation sets.
+func (c *corrCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// fingerprintSteps is the quantization resolution of the cache key:
+// each z-normalized sample is bucketed into steps of 1/fingerprintSteps
+// of its natural O(1) range. Coarse enough that the residual int16
+// wire-quantization noise of a re-uploaded identical window never
+// splits the key, fine enough that windows from different signals
+// collide with negligible probability (any of the ~256 samples
+// falling in a different bucket separates the keys).
+const fingerprintSteps = 32
+
+// windowFingerprint derives the cache key from an uploaded window:
+// z-normalize (amplitude invariance, matching what the search itself
+// sees), scale each sample back to O(1) by √n, quantize to
+// fingerprintSteps buckets, and pack. ok is false for flat windows,
+// which the search answers with an empty set anyway.
+func windowFingerprint(window []float64) (string, bool) {
+	zq := make([]float64, len(window))
+	if dsp.ZNormalizeTo(zq, window) == 0 {
+		return "", false
+	}
+	scale := fingerprintSteps * math.Sqrt(float64(len(zq)))
+	b := make([]byte, 2*len(zq))
+	for i, v := range zq {
+		q := math.Round(v * scale)
+		if q > math.MaxInt16 {
+			q = math.MaxInt16
+		} else if q < math.MinInt16 {
+			q = math.MinInt16
+		}
+		binary.LittleEndian.PutUint16(b[2*i:], uint16(int16(q)))
+	}
+	return string(b), true
+}

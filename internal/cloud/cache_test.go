@@ -1,0 +1,181 @@
+package cloud
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/search"
+	"emap/internal/synth"
+)
+
+// roundTrip sends one upload over conn and returns the reply frame.
+func roundTrip(t *testing.T, conn net.Conn, id uint32, payload []byte) proto.Frame {
+	t.Helper()
+	if err := proto.WriteFrameV2(conn, proto.TypeUpload, id, payload); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	f, err := proto.ReadFrameAny(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestCacheReplyByteIdentical: a cached reply for the same quantized
+// window must be byte-for-byte the reply a fresh search produces.
+func TestCacheReplyByteIdentical(t *testing.T) {
+	store, g := testStore(t)
+	srv, err := NewServer(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	go srv.HandleConn(sConn)
+
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	counts, scale := proto.Quantize(input.Samples[1024:1280])
+	upload := &proto.Upload{Seq: 7, Scale: scale, Samples: counts}
+	payload := proto.EncodeUpload(upload)
+
+	first := roundTrip(t, cConn, 1, payload)
+	second := roundTrip(t, cConn, 2, payload)
+	if first.Type != proto.TypeCorrSet || second.Type != proto.TypeCorrSet {
+		t.Fatalf("reply types %d, %d", first.Type, second.Type)
+	}
+	if hits, misses := srv.Metrics.CacheHits.Load(), srv.Metrics.CacheMisses.Load(); hits != 1 || misses != 1 {
+		t.Fatalf("cache hits=%d misses=%d, want 1/1", hits, misses)
+	}
+	if !bytes.Equal(first.Payload, second.Payload) {
+		t.Fatal("cached reply is not byte-identical to the first reply")
+	}
+	// And both must equal what a from-scratch search computes.
+	fresh, err := srv.Search(upload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second.Payload, proto.EncodeCorrSet(fresh)) {
+		t.Fatal("cached reply diverges from a fresh search of the same window")
+	}
+}
+
+// TestCacheNotSharedAcrossStoresOrParams: the cache must never serve a
+// correlation set computed against a different store or with different
+// search parameters. Caches are owned per server, so a second server —
+// even one seeing the exact same upload — must miss and answer from
+// its own search.
+func TestCacheNotSharedAcrossStoresOrParams(t *testing.T) {
+	storeA, g := testStore(t)
+	// A different store: same generator family, different population.
+	var recs []*synth.Recording
+	for i := 0; i < 3; i++ {
+		recs = append(recs, g.Instance(synth.Seizure, 0, synth.InstanceOpts{
+			OffsetSamples: i * 4000, DurSeconds: 60}))
+	}
+	storeB, err := mdb.Build(recs, mdb.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	counts, scale := proto.Quantize(input.Samples[1024:1280])
+	upload := &proto.Upload{Seq: 3, Scale: scale, Samples: counts}
+	payload := proto.EncodeUpload(upload)
+
+	warm, err := NewServer(storeA, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc, ws := net.Pipe()
+	defer wc.Close()
+	go warm.HandleConn(ws)
+	roundTrip(t, wc, 1, payload) // populate warm's cache
+
+	for name, srv := range map[string]*Server{
+		"other store":  mustServer(t, storeB, Config{}),
+		"other params": mustServer(t, storeA, Config{Search: search.Params{TopK: 3}}),
+	} {
+		cConn, sConn := net.Pipe()
+		go srv.HandleConn(sConn)
+		reply := roundTrip(t, cConn, 1, payload)
+		if hits := srv.Metrics.CacheHits.Load(); hits != 0 {
+			t.Fatalf("%s: %d cache hits for a first-ever upload", name, hits)
+		}
+		fresh, err := srv.Search(upload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reply.Payload, proto.EncodeCorrSet(fresh)) {
+			t.Fatalf("%s: reply does not match that server's own search", name)
+		}
+		cConn.Close()
+	}
+}
+
+func mustServer(t *testing.T, store *mdb.Store, cfg Config) *Server {
+	t.Helper()
+	srv, err := NewServer(store, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestCacheLRUBound: the cache must stay within CacheSize entries,
+// evicting the least recently used.
+func TestCacheLRUBound(t *testing.T) {
+	c := newCorrCache(2)
+	c.put("a", nil)
+	c.put("b", nil)
+	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", nil)
+	if c.len() != 2 {
+		t.Fatalf("cache grew to %d entries, cap 2", c.len())
+	}
+	if _, ok := c.get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+// TestFingerprintToleratesRequantization: the same analogue window
+// quantized twice through the wire format (fresh scale each time) must
+// land on one cache key, while a different window must not.
+func TestFingerprintToleratesRequantization(t *testing.T) {
+	_, g := testStore(t)
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	window := input.Samples[1024:1280]
+
+	counts1, scale1 := proto.Quantize(window)
+	w1 := proto.Dequantize(counts1, scale1)
+	counts2, scale2 := proto.Quantize(w1) // second trip through the wire
+	w2 := proto.Dequantize(counts2, scale2)
+
+	k1, ok1 := windowFingerprint(w1)
+	k2, ok2 := windowFingerprint(w2)
+	if !ok1 || !ok2 {
+		t.Fatal("fingerprint rejected a live window")
+	}
+	if k1 != k2 {
+		t.Fatal("re-quantization noise split the cache key")
+	}
+	k3, _ := windowFingerprint(input.Samples[512:768])
+	if k3 == k1 {
+		t.Fatal("distinct windows collided on one cache key")
+	}
+	if _, ok := windowFingerprint(make([]float64, 256)); ok {
+		t.Fatal("flat window produced a fingerprint")
+	}
+}

@@ -11,6 +11,17 @@
 // dispatches uploads to a bounded worker pool and a single writer
 // goroutine that drains a response queue — independent windows search
 // in parallel and replies may leave out of order.
+//
+// Two scan-once-serve-many layers sit between an upload and the shard
+// scan. A group-commit batching collector (batch.go) coalesces the
+// uploads queued behind busy workers into one multi-query search
+// (search.AlgorithmN), so N in-flight windows cost one pass of memory
+// bandwidth per signal-set instead of N; Config.MaxBatch bounds the
+// coalescing and Config.BatchWindow optionally trades latency for
+// bigger batches. In front of the collector, a bounded LRU cache
+// (cache.go) keyed by a quantized fingerprint of the window answers
+// repeated near-identical uploads — the tracking-loop steady state —
+// without any scan at all.
 package cloud
 
 import (
@@ -49,6 +60,19 @@ type Config struct {
 	// TCP backpressure does the rest — goroutines and held payloads
 	// stay bounded.
 	MaxInFlight int
+	// MaxBatch bounds how many queued uploads one batched search
+	// pass may serve (default 32). 1 disables coalescing: every
+	// upload scans alone, the pre-batching behaviour.
+	MaxBatch int
+	// BatchWindow is how long a batch leader waits for further
+	// uploads to join before searching. The default (0) adds no
+	// artificial delay: a lone request on an idle server searches
+	// immediately, and batches still form naturally from whatever
+	// queues behind busy workers.
+	BatchWindow time.Duration
+	// CacheSize bounds the correlation-set cache in entries
+	// (default 256). Negative disables caching.
+	CacheSize int
 	// Logger receives per-connection diagnostics; nil disables
 	// logging.
 	Logger *log.Logger
@@ -67,6 +91,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 4 * c.Workers
 	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
 	return c
 }
 
@@ -82,6 +112,19 @@ type Metrics struct {
 	// RequestNanos accumulates per-request service time (decode →
 	// reply queued); RequestNanos/Requests is the mean latency.
 	RequestNanos atomic.Int64
+	// Batches counts batched search passes; BatchedRequests counts
+	// the uploads they served, so BatchedRequests/Batches is the
+	// mean coalescing factor (see BatchSizeMean).
+	Batches         atomic.Int64
+	BatchedRequests atomic.Int64
+	// CacheHits and CacheMisses count correlation-set cache lookups
+	// for cacheable uploads.
+	CacheHits   atomic.Int64
+	CacheMisses atomic.Int64
+	// Evaluations accumulates ω evaluations performed by the shard
+	// scans — the memory-bandwidth cost batching and caching exist
+	// to amortize.
+	Evaluations atomic.Int64
 }
 
 // MeanLatency returns the mean per-request service time.
@@ -91,6 +134,16 @@ func (m *Metrics) MeanLatency() time.Duration {
 		return 0
 	}
 	return time.Duration(m.RequestNanos.Load() / n)
+}
+
+// BatchSizeMean returns the mean number of uploads served per batched
+// search pass, or 0 before the first pass.
+func (m *Metrics) BatchSizeMean() float64 {
+	n := m.Batches.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(m.BatchedRequests.Load()) / float64(n)
 }
 
 func (m *Metrics) enterFlight() {
@@ -119,6 +172,10 @@ type Server struct {
 	store    *mdb.Store
 	searcher *search.Searcher
 	sem      chan struct{} // bounded worker pool
+	cache    *corrCache    // nil when caching is disabled
+
+	batchMu sync.Mutex
+	forming *batchGroup // open batch accepting joiners, or nil
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -127,8 +184,9 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	handlers sync.WaitGroup
 
-	// searchHook, when set, runs inside the worker just before the
-	// search — tests use it to hold requests in flight.
+	// searchHook, when set, runs on the request path after decoding,
+	// before the cache and the batching collector — tests use it to
+	// hold requests in flight.
 	searchHook func(*proto.Upload)
 
 	// Metrics exposes request counters and gauges.
@@ -141,13 +199,17 @@ func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
 		return nil, errors.New("cloud: mega-database is empty")
 	}
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		store:    store,
 		searcher: search.NewSearcher(store, cfg.Search),
 		sem:      make(chan struct{}, cfg.Workers),
 		conns:    make(map[net.Conn]struct{}),
-	}, nil
+	}
+	if cfg.CacheSize > 0 {
+		s.cache = newCorrCache(cfg.CacheSize)
+	}
+	return s, nil
 }
 
 // Serve accepts connections until the listener is closed.
@@ -343,11 +405,11 @@ func isDrainErr(err error, s *Server) bool {
 	return s.draining
 }
 
-// serveUpload runs one upload through the worker pool and queues its
-// reply (mirroring the request's frame version and ID).
+// serveUpload answers one upload and queues its reply (mirroring the
+// request's frame version and ID). Cache hits reply immediately;
+// everything else goes through the batching collector, which bounds
+// concurrent shard scans by the worker pool.
 func (s *Server) serveUpload(frame proto.Frame, out chan<- outFrame) {
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
 	defer s.Metrics.leaveFlight()
 	start := time.Now()
 	// Errored requests count toward the latency sum too, so
@@ -362,14 +424,30 @@ func (s *Server) serveUpload(frame proto.Frame, out chan<- outFrame) {
 	if s.searchHook != nil {
 		s.searchHook(upload)
 	}
-	corrSet, err := s.Search(upload)
-	if err != nil {
+	p := &pending{window: proto.Dequantize(upload.Samples, upload.Scale)}
+	hit := false
+	if s.cache != nil {
+		if key, ok := windowFingerprint(p.window); ok {
+			p.key = key
+			if entries, cached := s.cache.get(key); cached {
+				s.Metrics.CacheHits.Add(1)
+				p.entries, hit = entries, true
+			} else {
+				s.Metrics.CacheMisses.Add(1)
+			}
+		}
+	}
+	if !hit {
+		s.dispatch(p)
+	}
+	if p.err != nil {
 		s.Metrics.Errors.Add(1)
-		s.enqueueError(out, frame, 500, err.Error())
+		s.enqueueError(out, frame, 500, p.err.Error())
 		return
 	}
+	payload := proto.EncodeCorrSet(&proto.CorrSet{Seq: upload.Seq, Entries: p.entries})
 	out <- outFrame{version: frame.Version, typ: proto.TypeCorrSet,
-		id: frame.ID, payload: proto.EncodeCorrSet(corrSet)}
+		id: frame.ID, payload: payload}
 }
 
 // enqueueError queues an ErrorMsg reply mirroring the offending
@@ -381,37 +459,50 @@ func (s *Server) enqueueError(out chan<- outFrame, frame proto.Frame, code uint1
 
 // Search answers one upload: run Algorithm 1 and assemble the
 // correlation set with continuation samples. It is safe for
-// concurrent use.
+// concurrent use. It bypasses the batching collector and the cache —
+// the network path adds those; Search is the direct, always-fresh
+// surface.
 func (s *Server) Search(upload *proto.Upload) (*proto.CorrSet, error) {
 	window := proto.Dequantize(upload.Samples, upload.Scale)
 	res, err := s.searcher.Algorithm1(window)
 	if err != nil {
 		return nil, err
 	}
+	s.Metrics.Evaluations.Add(int64(res.Evaluated))
+	return &proto.CorrSet{Seq: upload.Seq, Entries: s.assembleEntries(res, len(window))}, nil
+}
+
+// assembleEntries attaches the continuation samples to every retrieved
+// match: from the matched offset forward, the configured horizon,
+// clipped exactly to the end of the parent recording. Matches with
+// less than one window of continuation left are dropped — the edge
+// cannot track them even one iteration.
+func (s *Server) assembleEntries(res *search.Result, windowLen int) []proto.CorrEntry {
 	horizon := int(s.cfg.HorizonSeconds * s.cfg.BaseRate)
 	sets := s.store.Sets()
-	out := &proto.CorrSet{Seq: upload.Seq}
+	var entries []proto.CorrEntry
 	for _, m := range res.Matches {
 		if m.SetID < 0 || m.SetID >= len(sets) {
 			continue
 		}
 		set := sets[m.SetID]
-		// Send from the matched offset forward, clipped to the end
-		// of the parent recording.
-		n := horizon
-		var samples []float64
-		for n >= len(window) {
-			if win, ok := s.store.Window(set, m.Beta, n); ok {
-				samples = win
-				break
-			}
-			n -= len(window)
+		rec, ok := s.store.Record(set.RecordID)
+		if !ok {
+			continue
 		}
-		if samples == nil {
+		n := horizon
+		if avail := len(rec.Samples) - (set.Start + m.Beta); avail < n {
+			n = avail
+		}
+		if n < windowLen {
+			continue
+		}
+		samples, ok := s.store.Window(set, m.Beta, n)
+		if !ok {
 			continue
 		}
 		counts, scale := proto.Quantize(samples)
-		out.Entries = append(out.Entries, proto.CorrEntry{
+		entries = append(entries, proto.CorrEntry{
 			SetID:     int32(m.SetID),
 			Omega:     float32(m.Omega),
 			Beta:      int32(m.Beta),
@@ -422,5 +513,5 @@ func (s *Server) Search(upload *proto.Upload) (*proto.CorrSet, error) {
 			Samples:   counts,
 		})
 	}
-	return out, nil
+	return entries
 }

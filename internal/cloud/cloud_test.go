@@ -75,6 +75,44 @@ func TestHorizonClipsAtRecordingEnd(t *testing.T) {
 	}
 }
 
+// TestContinuationClipsExactlyAtRecordEnd is the regression test for
+// the horizon-clipping fix: a match near the end of its parent
+// recording must receive every remaining sample, not the remainder
+// rounded down to a whole number of windows (which silently dropped up
+// to ~1 s of continuation).
+func TestContinuationClipsExactlyAtRecordEnd(t *testing.T) {
+	g := synth.NewGenerator(synth.Config{Seed: 5, ArchetypesPerClass: 1})
+	rec := g.Instance(synth.Normal, 0, synth.InstanceOpts{DurSeconds: 30})
+	store := mdb.NewStore()
+	// 5000 stored samples → signal-sets at 0..4000; a match at
+	// absolute offset 4500 has exactly 500 samples of continuation,
+	// which is not a multiple of the 256-sample window.
+	if _, err := store.Insert(&mdb.Record{ID: "r", Samples: rec.Samples[:5000]}, 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(store, Config{HorizonSeconds: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, scale := proto.Quantize(rec.Samples[4500:4756])
+	corrSet, err := srv.Search(&proto.Upload{Seq: 1, Scale: scale, Samples: counts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range corrSet.Entries {
+		if e.SetID == 4 && e.Beta == 500 { // the exact-copy match
+			found = true
+			if len(e.Samples) != 500 {
+				t.Fatalf("continuation = %d samples, want exactly the 500 remaining in the recording", len(e.Samples))
+			}
+		}
+	}
+	if !found {
+		t.Fatal("exact-copy window was not retrieved at its true offset")
+	}
+}
+
 func TestServeStopsOnClose(t *testing.T) {
 	store, _ := testStore(t)
 	srv, err := NewServer(store, Config{})

@@ -1,0 +1,325 @@
+package search
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"emap/internal/dsp"
+	"emap/internal/mdb"
+)
+
+// BatchResult is the outcome of one multi-query cloud search: the
+// per-query results plus the batch-level cost accounting that the
+// scan-amortization claims are stated in.
+type BatchResult struct {
+	// Results holds one Result per input query, in input order.
+	// Queries that z-normalize identically share one scan and point
+	// at ONE shared (read-only) Result — callers can rely on pointer
+	// equality to spot deduplicated queries and reuse downstream
+	// work.
+	Results []*Result
+	// Unique is the number of distinct z-normalized queries actually
+	// scanned after deduplication.
+	Unique int
+	// Evaluated is the total number of ω evaluations performed for
+	// the whole batch. With B identical queries it equals the cost of
+	// a single-query search; it never exceeds the sum of B separate
+	// searches.
+	Evaluated int
+	// SetPasses counts signal-set visits: one per signal-set per
+	// query-length group, however many queries ride on the pass. For
+	// a batch of same-length queries it equals the number of
+	// searchable signal-sets — independent of the batch size, which
+	// is the memory-bandwidth amortization the batched path exists
+	// for.
+	SetPasses int
+	// Elapsed is the wall-clock duration of the whole batch search.
+	Elapsed time.Duration
+}
+
+// AlgorithmN runs the paper's signal cross-correlation search for a
+// batch of (already bandpass-filtered) input windows in one pass over
+// the mega-database: every signal-set's sliding statistics are walked
+// once per distinct query length, all queries evaluate against the
+// window data while it is hot, and queries that z-normalize
+// identically are deduplicated into a single scan. Each query's
+// matches are exactly what Algorithm1 would return for it alone.
+func (s *Searcher) AlgorithmN(inputs [][]float64) (*BatchResult, error) {
+	return s.runBatch(inputs, false)
+}
+
+// ExhaustiveN is the stride-1 exhaustive baseline over a batch of
+// input windows, sharing one pass per signal-set like AlgorithmN.
+func (s *Searcher) ExhaustiveN(inputs [][]float64) (*BatchResult, error) {
+	return s.runBatch(inputs, true)
+}
+
+// runBatch is the shared core behind Algorithm1/Exhaustive (batch size
+// one) and AlgorithmN/ExhaustiveN.
+func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, error) {
+	start := time.Now()
+	br := &BatchResult{Results: make([]*Result, len(inputs))}
+	if len(inputs) == 0 {
+		br.Elapsed = time.Since(start)
+		return br, nil
+	}
+	sets := s.store.Sets()
+
+	// Z-normalize every query once and deduplicate bit-identical
+	// normalized queries: repeated windows (the tracking-loop steady
+	// state) collapse to one scan slot. slot[i] is the unique-query
+	// index serving input i, or -1 for a flat (uncorrelatable) input.
+	var uniques [][]float64
+	slot := make([]int, len(inputs))
+	seen := make(map[string]int, len(inputs))
+	for i, input := range inputs {
+		if len(input) == 0 {
+			return nil, ErrShortInput
+		}
+		zq := make([]float64, len(input))
+		if dsp.ZNormalizeTo(zq, input) == 0 {
+			slot[i] = -1
+			continue
+		}
+		key := zqKey(zq)
+		if j, ok := seen[key]; ok {
+			slot[i] = j
+			continue
+		}
+		seen[key] = len(uniques)
+		slot[i] = len(uniques)
+		uniques = append(uniques, zq)
+	}
+	br.Unique = len(uniques)
+
+	accs := make([]queryAccum, len(uniques))
+	for i := range accs {
+		accs[i].top = NewTopK(s.params.TopK)
+	}
+	if len(uniques) > 0 {
+		groups := groupByLen(uniques)
+		shards := s.store.Shards(s.params.Workers)
+		shardAccs := make([][]queryAccum, len(shards))
+		shardPasses := make([]int, len(shards))
+		var wg sync.WaitGroup
+		for i, shard := range shards {
+			wg.Add(1)
+			go func(i int, shard []*mdb.SignalSet) {
+				defer wg.Done()
+				shardAccs[i], shardPasses[i] = s.scanShardBatch(shard, uniques, groups, exhaustive)
+			}(i, shard)
+		}
+		wg.Wait()
+		for i := range shards {
+			br.SetPasses += shardPasses[i]
+			for q := range accs {
+				accs[q].top.Merge(shardAccs[i][q].top)
+				accs[q].evaluated += shardAccs[i][q].evaluated
+				accs[q].candidates += shardAccs[i][q].candidates
+			}
+		}
+	}
+	for q := range accs {
+		br.Evaluated += accs[q].evaluated
+	}
+	br.Elapsed = time.Since(start)
+
+	perSlot := make([]*Result, len(uniques))
+	for q := range accs {
+		perSlot[q] = &Result{
+			Matches:     accs[q].top.SortedDesc(),
+			Evaluated:   accs[q].evaluated,
+			Candidates:  accs[q].candidates,
+			SetsScanned: len(sets),
+			Elapsed:     br.Elapsed,
+		}
+	}
+	for i := range inputs {
+		if slot[i] < 0 {
+			// A flat input correlates with nothing; an empty result
+			// rather than an error lets the caller fall back.
+			br.Results[i] = &Result{Elapsed: br.Elapsed}
+			continue
+		}
+		br.Results[i] = perSlot[slot[i]]
+	}
+	return br, nil
+}
+
+// queryAccum accumulates one query's retrieval state across a scan.
+type queryAccum struct {
+	top        *TopK
+	evaluated  int
+	candidates int
+}
+
+// lenGroup is the set of unique-query indexes sharing one window
+// length; queries in one group share offsets, window loads and the
+// O(1) normalization denominator during a signal-set pass.
+type lenGroup struct {
+	n  int
+	qs []int
+}
+
+// groupByLen buckets unique queries by window length, in ascending
+// length order so the scan is deterministic.
+func groupByLen(uniques [][]float64) []lenGroup {
+	byLen := make(map[int][]int)
+	for q, zq := range uniques {
+		byLen[len(zq)] = append(byLen[len(zq)], q)
+	}
+	groups := make([]lenGroup, 0, len(byLen))
+	for n, qs := range byLen {
+		groups = append(groups, lenGroup{n: n, qs: qs})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].n < groups[j].n })
+	return groups
+}
+
+// cursor is one query's scan position within the current signal-set.
+// Each query keeps its own exponential-sliding-window trajectory (β,
+// |ω| envelope, per-set best), so batch results are bit-identical to
+// separate single-query scans; only the window data and its
+// normalization denominator are shared.
+type cursor struct {
+	q         int // unique-query index
+	zq        []float64
+	beta      int
+	env       float64
+	bestOmega float64
+	bestBeta  int
+	found     bool
+}
+
+// scanShardBatch scans a contiguous run of signal-sets for all unique
+// queries at once. Per signal-set and per length group it performs one
+// merged walk: at every offset any cursor has reached, the stored
+// window and its centred norm are materialized once and every cursor
+// standing at that offset takes its dot product against the hot data —
+// B queries cost one pass of memory traffic, not B.
+func (s *Searcher) scanShardBatch(shard []*mdb.SignalSet, uniques [][]float64, groups []lenGroup, exhaustive bool) ([]queryAccum, int) {
+	p := s.params
+	accs := make([]queryAccum, len(uniques))
+	for i := range accs {
+		accs[i].top = NewTopK(p.TopK)
+	}
+	passes := 0
+	// One reusable cursor slice per group, reset for every set.
+	cursors := make([][]cursor, len(groups))
+	for gi, g := range groups {
+		cursors[gi] = make([]cursor, len(g.qs))
+		for ci, q := range g.qs {
+			cursors[gi][ci] = cursor{q: q, zq: uniques[q]}
+		}
+	}
+	for _, set := range shard {
+		rec, ok := s.store.Record(set.RecordID)
+		if !ok {
+			continue
+		}
+		stats := rec.Stats()
+		for gi := range groups {
+			n := groups[gi].n
+			var maxOff int
+			if p.PaperSliceScan {
+				maxOff = set.Length - n // paper: while β < Length(S) − Length(I_N)
+			} else {
+				maxOff = set.Length - 1 // full coverage; window may cross into the parent recording
+			}
+			if set.Start+maxOff+n > stats.Len() {
+				maxOff = stats.Len() - n - set.Start
+			}
+			if maxOff < 0 {
+				continue
+			}
+			passes++
+			cs := cursors[gi]
+			for ci := range cs {
+				cs[ci].beta, cs[ci].env, cs[ci].found = 0, 0, false
+			}
+			s.walkSet(cs, stats, set.Start, n, maxOff, exhaustive, accs, set.ID)
+			for ci := range cs {
+				if c := &cs[ci]; c.found && !p.AllOffsets {
+					accs[c.q].top.Push(Match{SetID: set.ID, Omega: c.bestOmega, Beta: c.bestBeta})
+				}
+			}
+		}
+	}
+	return accs, passes
+}
+
+// walkSet advances every cursor through one signal-set. Offsets are
+// visited in ascending order; cursors whose trajectories coincide at
+// an offset share the window load and the normalization denominator.
+func (s *Searcher) walkSet(cs []cursor, stats *dsp.SlidingStats, setStart, n, maxOff int, exhaustive bool, accs []queryAccum, setID int) {
+	p := s.params
+	signal := stats.Signal()
+	for {
+		// The frontier: the smallest pending offset of any cursor.
+		beta := -1
+		for i := range cs {
+			if cs[i].beta <= maxOff && (beta < 0 || cs[i].beta < beta) {
+				beta = cs[i].beta
+			}
+		}
+		if beta < 0 {
+			return
+		}
+		abs := setStart + beta
+		// Shared across all cursors at this offset: the centred norm
+		// (O(1) from prefix sums) and the window data itself.
+		den := stats.WindowNorm(abs, n)
+		degenerate := den < 1e-12
+		x := signal[abs : abs+n]
+		for i := range cs {
+			c := &cs[i]
+			if c.beta != beta {
+				continue
+			}
+			// Degenerate (constant) stored windows correlate as 0,
+			// matching dsp.SlidingStats.CorrAt.
+			omega := 0.0
+			if !degenerate {
+				var dot float64
+				zq := c.zq
+				for j := 0; j < n; j++ {
+					dot += zq[j] * x[j]
+				}
+				omega = dot / den
+			}
+			acc := &accs[c.q]
+			acc.evaluated++
+			if omega > p.Delta {
+				acc.candidates++
+				if p.AllOffsets {
+					acc.top.Push(Match{SetID: setID, Omega: omega, Beta: beta})
+				} else if !c.found || omega > c.bestOmega {
+					c.bestOmega, c.bestBeta, c.found = omega, beta, true
+				}
+			}
+			if exhaustive {
+				c.beta++
+				continue
+			}
+			if a := math.Abs(omega); a > c.env {
+				c.env = a
+			}
+			adv := skipFor(c.env, p)
+			c.beta += adv
+			c.env *= decayPow(p.EnvDecay, adv)
+		}
+	}
+}
+
+// zqKey is the exact-equality fingerprint of a z-normalized query used
+// for batch deduplication.
+func zqKey(zq []float64) string {
+	b := make([]byte, 8*len(zq))
+	for i, v := range zq {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return string(b)
+}

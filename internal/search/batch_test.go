@@ -1,0 +1,198 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+
+	"emap/internal/synth"
+)
+
+// batchInputs draws distinct filtered windows spanning the fixture's
+// archetypes.
+func batchInputs(f *fixture, n int) [][]float64 {
+	var out [][]float64
+	for i := 0; i < n; i++ {
+		class := synth.Normal
+		if i%2 == 1 {
+			class = synth.Seizure
+		}
+		out = append(out, f.input(class, i%3))
+	}
+	return out
+}
+
+// TestBatchMatchesSequential: every query of a batch must retrieve
+// exactly what a single-query search retrieves for it alone — the
+// merged walk shares memory traffic, never trajectories.
+func TestBatchMatchesSequential(t *testing.T) {
+	f := newFixture(t, 2)
+	s := NewSearcher(f.store, Params{})
+	inputs := batchInputs(f, 5)
+	br, err := s.AlgorithmN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != len(inputs) {
+		t.Fatalf("got %d results for %d inputs", len(br.Results), len(inputs))
+	}
+	for i, input := range inputs {
+		solo, err := s.Algorithm1(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := br.Results[i]
+		if !reflect.DeepEqual(got.Matches, solo.Matches) {
+			t.Fatalf("query %d: batch matches diverge from single-query matches", i)
+		}
+		if got.Evaluated != solo.Evaluated || got.Candidates != solo.Candidates {
+			t.Fatalf("query %d: batch cost (%d eval, %d cand) != solo (%d, %d)",
+				i, got.Evaluated, got.Candidates, solo.Evaluated, solo.Candidates)
+		}
+		if got.SetsScanned != solo.SetsScanned {
+			t.Fatalf("query %d: SetsScanned %d != %d", i, got.SetsScanned, solo.SetsScanned)
+		}
+	}
+}
+
+// TestBatchExhaustiveMatchesSequential covers the stride-1 baseline
+// through the same shared core.
+func TestBatchExhaustiveMatchesSequential(t *testing.T) {
+	f := newFixture(t, 1)
+	s := NewSearcher(f.store.SubsetSets(40), Params{})
+	inputs := batchInputs(f, 2)
+	br, err := s.ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, input := range inputs {
+		solo, err := s.Exhaustive(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(br.Results[i].Matches, solo.Matches) {
+			t.Fatalf("query %d: exhaustive batch diverges", i)
+		}
+	}
+}
+
+// TestBatchDedupIdenticalQueries proves the scan-amortization claim
+// for the steady-state case: B identical queries cost exactly one
+// query's ω evaluations, not B×.
+func TestBatchDedupIdenticalQueries(t *testing.T) {
+	f := newFixture(t, 2)
+	s := NewSearcher(f.store, Params{})
+	window := f.input(synth.Seizure, 1)
+	solo, err := s.Algorithm1(window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const B = 8
+	inputs := make([][]float64, B)
+	for i := range inputs {
+		inputs[i] = window
+	}
+	br, err := s.AlgorithmN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Unique != 1 {
+		t.Fatalf("Unique = %d, want 1", br.Unique)
+	}
+	if br.Evaluated != solo.Evaluated {
+		t.Fatalf("batch of %d identical queries evaluated %d ω, want the single-query cost %d",
+			B, br.Evaluated, solo.Evaluated)
+	}
+	for i := range inputs {
+		if !reflect.DeepEqual(br.Results[i].Matches, solo.Matches) {
+			t.Fatalf("deduped result %d diverges from the single-query result", i)
+		}
+	}
+}
+
+// TestBatchSetPassesIndependentOfBatchSize proves the per-pass
+// amortization for distinct queries: however many same-length queries
+// ride in the batch, each signal-set is walked once — SetPasses stays
+// constant while B grows, so per-shard-pass work is sublinear in B.
+func TestBatchSetPassesIndependentOfBatchSize(t *testing.T) {
+	f := newFixture(t, 2)
+	s := NewSearcher(f.store, Params{})
+	inputs := batchInputs(f, 6)
+	small, err := s.AlgorithmN(inputs[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := s.AlgorithmN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Unique != 2 || large.Unique != 6 {
+		t.Fatalf("dedup collapsed distinct queries: %d, %d", small.Unique, large.Unique)
+	}
+	if small.SetPasses == 0 {
+		t.Fatal("no set passes recorded")
+	}
+	if large.SetPasses != small.SetPasses {
+		t.Fatalf("SetPasses grew with batch size: B=2 → %d, B=6 → %d",
+			small.SetPasses, large.SetPasses)
+	}
+	// Evaluations do grow with distinct queries, but never faster
+	// than running the queries separately.
+	var sum int
+	for _, input := range inputs {
+		solo, err := s.Algorithm1(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += solo.Evaluated
+	}
+	if large.Evaluated > sum {
+		t.Fatalf("batch evaluated %d > %d of separate searches", large.Evaluated, sum)
+	}
+}
+
+// TestBatchDegenerateInputs: empty queries error the batch; flat
+// queries yield empty per-query results without failing the others.
+func TestBatchDegenerateInputs(t *testing.T) {
+	f := newFixture(t, 1)
+	s := NewSearcher(f.store, Params{})
+	if _, err := s.AlgorithmN([][]float64{f.input(synth.Normal, 0), nil}); err != ErrShortInput {
+		t.Fatalf("empty query: err = %v, want ErrShortInput", err)
+	}
+	flat := make([]float64, 256)
+	br, err := s.AlgorithmN([][]float64{flat, f.input(synth.Normal, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results[0].Matches) != 0 {
+		t.Fatal("flat query retrieved matches")
+	}
+	if len(br.Results[1].Matches) == 0 {
+		t.Fatal("live query starved by a flat batch-mate")
+	}
+	empty, err := s.AlgorithmN(nil)
+	if err != nil || len(empty.Results) != 0 {
+		t.Fatalf("empty batch: %v, %d results", err, len(empty.Results))
+	}
+}
+
+// TestBatchMixedLengths: queries of different lengths scan in separate
+// length groups of the same pass and still match their solo results.
+func TestBatchMixedLengths(t *testing.T) {
+	f := newFixture(t, 1)
+	s := NewSearcher(f.store, Params{})
+	long := f.input(synth.Normal, 0)
+	short := long[:128]
+	br, err := s.AlgorithmN([][]float64{long, short})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, input := range [][]float64{long, short} {
+		solo, err := s.Algorithm1(input)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(br.Results[i].Matches, solo.Matches) {
+			t.Fatalf("length-%d query diverges from solo search", len(input))
+		}
+	}
+}

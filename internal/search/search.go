@@ -16,16 +16,27 @@
 // correlation → sample-by-sample scanning, exactly the behaviour of
 // Fig. 6, and the defaults land the measured speedup over exhaustive
 // search in the paper's ≈6.8× band (Fig. 7b).
+//
+// # Batched multi-query search
+//
+// Algorithm1 answers one query; AlgorithmN answers a whole batch in a
+// single pass over the mega-database. Both run through the same core
+// (batch.go): per signal-set, every query walks its own
+// exponential-sliding-window trajectory, but the stored window data
+// and the O(1) normalization denominators are materialized once per
+// offset and shared by every query standing there, and queries that
+// z-normalize bit-identically are deduplicated into one scan. N
+// concurrent queries therefore cost one pass of memory bandwidth per
+// signal-set, not N — the cloud tier's scan-once-serve-many lever
+// (see internal/cloud's batching collector).
 package search
 
 import (
 	"errors"
 	"math"
 	"runtime"
-	"sync"
 	"time"
 
-	"emap/internal/dsp"
 	"emap/internal/mdb"
 )
 
@@ -195,105 +206,15 @@ func (s *Searcher) Exhaustive(input []float64) (*Result, error) {
 	return s.run(input, true)
 }
 
+// run serves the single-query entry points through the shared batch
+// core (see batch.go): a one-element batch degenerates to exactly the
+// pre-batch scan — same trajectories, same counters, same matches.
 func (s *Searcher) run(input []float64, exhaustive bool) (*Result, error) {
-	start := time.Now()
-	sets := s.store.Sets()
-	if len(input) == 0 {
-		return nil, ErrShortInput
+	br, err := s.runBatch([][]float64{input}, exhaustive)
+	if err != nil {
+		return nil, err
 	}
-	zq := make([]float64, len(input))
-	if dsp.ZNormalizeTo(zq, input) == 0 {
-		// A flat input correlates with nothing; return an empty set
-		// rather than an error so the caller can fall back.
-		return &Result{Elapsed: time.Since(start)}, nil
-	}
-
-	shards := s.store.Shards(s.params.Workers)
-	results := make([]*shardResult, len(shards))
-	var wg sync.WaitGroup
-	for i, shard := range shards {
-		wg.Add(1)
-		go func(i int, shard []*mdb.SignalSet) {
-			defer wg.Done()
-			results[i] = s.scanShard(shard, zq, exhaustive)
-		}(i, shard)
-	}
-	wg.Wait()
-
-	top := NewTopK(s.params.TopK)
-	res := &Result{SetsScanned: len(sets)}
-	for _, sr := range results {
-		if sr == nil {
-			continue
-		}
-		top.Merge(sr.top)
-		res.Evaluated += sr.evaluated
-		res.Candidates += sr.candidates
-	}
-	res.Matches = top.SortedDesc()
-	res.Elapsed = time.Since(start)
-	return res, nil
-}
-
-type shardResult struct {
-	top        *TopK
-	evaluated  int
-	candidates int
-}
-
-// scanShard scans a contiguous run of signal-sets with either
-// Algorithm 1's sliding window or the exhaustive stride-1 baseline.
-func (s *Searcher) scanShard(shard []*mdb.SignalSet, zq []float64, exhaustive bool) *shardResult {
-	p := s.params
-	sr := &shardResult{top: NewTopK(p.TopK)}
-	n := len(zq)
-	for _, set := range shard {
-		rec, ok := s.store.Record(set.RecordID)
-		if !ok {
-			continue
-		}
-		stats := rec.Stats()
-		var maxOff int
-		if p.PaperSliceScan {
-			maxOff = set.Length - n // paper: while β < Length(S) − Length(I_N)
-		} else {
-			maxOff = set.Length - 1 // full coverage; window may cross into the parent recording
-		}
-		if set.Start+maxOff+n > stats.Len() {
-			maxOff = stats.Len() - n - set.Start
-		}
-		if maxOff < 0 {
-			continue
-		}
-		bestOmega, bestBeta, found := 0.0, 0, false
-		env := 0.0
-		for beta := 0; beta <= maxOff; {
-			omega := stats.CorrAt(zq, set.Start+beta)
-			sr.evaluated++
-			if omega > p.Delta {
-				sr.candidates++
-				if p.AllOffsets {
-					sr.top.Push(Match{SetID: set.ID, Omega: omega, Beta: beta})
-				} else if !found || omega > bestOmega {
-					bestOmega, bestBeta, found = omega, beta, true
-				}
-			}
-			if exhaustive {
-				beta++
-				continue
-			}
-			if a := math.Abs(omega); a > env {
-				env = a
-			}
-			adv := skipFor(env, p)
-			beta += adv
-			env *= decayPow(p.EnvDecay, adv)
-		}
-		if found && !p.AllOffsets {
-			sr.top.Push(Match{SetID: set.ID, Omega: bestOmega, Beta: bestBeta})
-		}
-	}
-	return sr
+	return br.Results[0], nil
 }
 
 // skipFor computes Algorithm 1's exponential sliding-window advance

@@ -3,7 +3,9 @@ package emap
 import (
 	"context"
 
+	"emap/internal/cloud"
 	"emap/internal/core"
+	"emap/internal/search"
 )
 
 // Streaming API re-exports: the context-first surface added by the v2
@@ -102,6 +104,35 @@ func New(store *Store, opts ...Option) (*Session, error) {
 		opt(&cfg)
 	}
 	return core.NewSession(store, cfg)
+}
+
+// Cloud-tier re-exports: the networked serving surface, so embedding a
+// cloud server needs only the root import. CloudConfig's batching
+// knobs (MaxBatch, BatchWindow) and correlation-set cache (CacheSize)
+// are what let one store serve many concurrent edges at one shard
+// pass per batch — see internal/cloud and DESIGN.md §5.
+type (
+	// CloudConfig parameterises a cloud server (zero values take
+	// paper defaults).
+	CloudConfig = cloud.Config
+	// CloudServer serves edge uploads over TCP.
+	CloudServer = cloud.Server
+	// CloudMetrics exposes a server's counters, including
+	// BatchSizeMean and the cache hit/miss totals.
+	CloudMetrics = cloud.Metrics
+	// BatchSearchResult is the outcome of a batched multi-query
+	// search (Searcher.AlgorithmN).
+	BatchSearchResult = search.BatchResult
+)
+
+// NewCloudServer returns a cloud server over the given mega-database.
+// Serve it with net.Listen + srv.Serve, stop it with Shutdown:
+//
+//	srv, _ := emap.NewCloudServer(store, emap.CloudConfig{})
+//	l, _ := net.Listen("tcp", ":7300")
+//	go srv.Serve(l)
+func NewCloudServer(store *Store, cfg CloudConfig) (*CloudServer, error) {
+	return cloud.NewServer(store, cfg)
 }
 
 // Monitor is a convenience wrapper for fully streaming use: it starts
