@@ -6,7 +6,9 @@ package emap_test
 
 import (
 	"context"
+	"fmt"
 	"net"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -243,6 +245,77 @@ func BenchmarkCloudSearchParallel(b *testing.B) {
 			b.ReportMetric(float64(srv.Metrics.Evaluations.Load())/float64(max(b.N, 1)), "ω-evals/op")
 		})
 	}
+}
+
+// BenchmarkCloudSearchMultiTenant measures the multi-tenant regime:
+// one server process, N tenants with independent stores, parallel
+// clients pinned per-tenant issuing pipelined v3 searches. Batching
+// only coalesces same-tenant uploads and each tenant owns its cache,
+// so this is the isolation-under-load point on the perf trajectory;
+// compare with BenchmarkCloudSearchParallel/batch+cache (one tenant,
+// same total store size).
+func BenchmarkCloudSearchMultiTenant(b *testing.B) {
+	const tenants = 4
+	reg, err := emap.NewRegistry("", 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	windows := make([][]float64, tenants)
+	ids := make([]string, tenants)
+	for ti := 0; ti < tenants; ti++ {
+		// Each tenant's store draws from its own generator seed so
+		// the searched content is genuinely per-tenant.
+		gen := emap.NewGenerator(uint64(ti + 1))
+		store, err := emap.BuildMDB(gen.TrainingRecordings(1, 2))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[ti] = fmt.Sprintf("tenant-%d", ti)
+		if err := reg.Adopt(ids[ti], store); err != nil {
+			b.Fatal(err)
+		}
+		rec, _ := store.Record(store.RecordIDs()[ti%4])
+		windows[ti] = rec.Samples[1024:1280]
+	}
+	srv, err := cloud.NewRegistryServer(reg, cloud.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(l)
+	defer srv.Close()
+	clients := make([]*edge.Client, tenants)
+	for ti := range clients {
+		clients[ti], err = edge.DialTenant(l.Addr().String(), ids[ti], 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer clients[ti].Close()
+	}
+
+	ctx := context.Background()
+	var next atomic.Int64
+	b.SetParallelism(8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		ti := int(next.Add(1)-1) % tenants
+		for pb.Next() {
+			if _, err := clients[ti].Search(ctx, windows[ti]); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(srv.Metrics.PeakInFlight.Load()), "peak-in-flight")
+	b.ReportMetric(srv.Metrics.BatchSizeMean(), "batch-size-mean")
+	if n := srv.Metrics.Requests.Load(); n > 0 {
+		b.ReportMetric(float64(srv.Metrics.CacheHits.Load())/float64(n), "cache-hit-ratio")
+	}
+	b.ReportMetric(float64(srv.Metrics.Evaluations.Load())/float64(max(b.N, 1)), "ω-evals/op")
 }
 
 // BenchmarkMDBConstruction measures the full corpus-to-store pipeline.

@@ -1,20 +1,31 @@
-// Command emap-cloud runs the cloud tier: it hosts a mega-database and
-// answers edge uploads with signal correlation sets over TCP. Uploads
-// from protocol-v2 edges are served by a bounded worker pool; uploads
-// that queue behind busy workers are coalesced into batched searches
-// (one shard pass serves the whole batch), and repeated near-identical
-// windows are answered from a bounded correlation-set cache without
-// scanning at all. SIGINT/SIGTERM drain in-flight searches before
-// exiting.
+// Command emap-cloud runs the cloud tier: it hosts a registry of
+// tenant mega-databases and answers edge uploads with signal
+// correlation sets over TCP. Protocol-v3 edges name a tenant per
+// request and may push recordings into their tenant's store
+// (TypeIngest) while it is being searched; v1/v2 edges land on the
+// default tenant. Uploads from pipelined edges are served by a bounded
+// worker pool; uploads that queue behind busy workers are coalesced
+// into batched searches per tenant (one shard pass serves the whole
+// batch), and repeated near-identical windows are answered from each
+// tenant's bounded correlation-set cache without scanning at all.
+// SIGINT/SIGTERM drain in-flight searches, then persist every open
+// tenant store when -store-dir is set.
 //
 // Usage:
 //
 //	emap-cloud [-addr :7300] [-mdb mdb.snap] [-per 8] [-seed 2020]
 //	           [-workers N] [-drain 10s] [-max-batch 32]
 //	           [-batch-window 0s] [-cache 256]
+//	           [-store-dir DIR] [-max-tenants N] [-tenant default]
+//	           [-empty]
 //
-// With -mdb pointing at a snapshot written by emap-mdb, the store is
-// loaded from disk; otherwise a synthetic store is built at startup.
+// The default tenant's store comes from, in order of precedence: an
+// explicit -mdb snapshot; a persisted DIR/default.snap in -store-dir
+// (restarts must never clobber previously ingested data with a fresh
+// synthetic store); -empty (start with nothing, fill via ingest); or
+// a synthetic store built at startup. -store-dir enables lazy
+// per-tenant snapshot loading and persistence (tenant T lives in
+// DIR/T.snap).
 package main
 
 import (
@@ -25,6 +36,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"syscall"
 	"time"
 
@@ -35,7 +47,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":7300", "listen address")
-	snapshot := flag.String("mdb", "", "mega-database snapshot path (empty: build synthetic)")
+	snapshot := flag.String("mdb", "", "default tenant snapshot path (empty: build synthetic)")
 	per := flag.Int("per", 8, "recordings per corpus when building synthetically")
 	seed := flag.Uint64("seed", 2020, "generator seed when building synthetically")
 	horizon := flag.Float64("horizon", 8, "continuation horizon per match [s]")
@@ -43,35 +55,69 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	maxBatch := flag.Int("max-batch", 0, "max uploads coalesced per batched search (0: default 32, 1: disable)")
 	batchWindow := flag.Duration("batch-window", 0, "extra wait for uploads to join a batch (0: none)")
-	cacheSize := flag.Int("cache", 0, "correlation-set cache entries (0: default 256, negative: disable)")
+	cacheSize := flag.Int("cache", 0, "per-tenant correlation-set cache entries (0: default 256, negative: disable)")
+	storeDir := flag.String("store-dir", "", "tenant snapshot directory (empty: in-memory registry)")
+	maxTenants := flag.Int("max-tenants", 0, "max open tenant stores, LRU-evicted beyond (0: unbounded)")
+	defTenant := flag.String("tenant", cloud.DefaultTenant, "default tenant ID (v1/v2 peers land here)")
+	empty := flag.Bool("empty", false, "build no synthetic default store; the default tenant lazy-loads its -store-dir snapshot if one exists, else starts empty")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
 
-	var store *emap.Store
-	var err error
-	if *snapshot != "" {
-		store, err = mdb.LoadFile(*snapshot)
-		if err != nil {
-			logger.Fatalf("loading %s: %v", *snapshot, err)
-		}
-		logger.Printf("loaded %s", *snapshot)
-	} else {
-		logger.Printf("building synthetic mega-database (seed %d, %d per corpus)…", *seed, *per)
-		store, err = emap.BuildMDBFromCorpora(emap.NewGenerator(*seed), *per)
-		if err != nil {
-			logger.Fatalf("building store: %v", err)
+	reg, err := mdb.NewRegistry(*storeDir, *maxTenants)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	// A default-tenant snapshot in the registry directory outranks
+	// building a synthetic store: adopting a fresh store over it
+	// would overwrite previously ingested data at the next shutdown.
+	// An explicit -mdb still wins (the operator asked for it).
+	persisted := false
+	for _, id := range reg.ListStored() {
+		if id == *defTenant {
+			persisted = true
 		}
 	}
-	normal, anomalous := store.LabelCounts()
-	logger.Printf("serving %d signal-sets (%d normal / %d anomalous)", store.NumSets(), normal, anomalous)
+	switch {
+	case *snapshot != "" && *empty:
+		logger.Fatal("-mdb and -empty conflict; pass one")
+	case persisted && *snapshot == "":
+		logger.Printf("default tenant %q will lazy-load from %s", *defTenant, *storeDir)
+	case *empty:
+		logger.Printf("default tenant %q starts empty; awaiting ingest", *defTenant)
+	default:
+		var store *emap.Store
+		if *snapshot != "" {
+			store, err = mdb.LoadFile(*snapshot)
+			if err != nil {
+				logger.Fatalf("loading %s: %v", *snapshot, err)
+			}
+			logger.Printf("loaded %s", *snapshot)
+		} else {
+			logger.Printf("building synthetic mega-database (seed %d, %d per corpus)…", *seed, *per)
+			store, err = emap.BuildMDBFromCorpora(emap.NewGenerator(*seed), *per)
+			if err != nil {
+				logger.Fatalf("building store: %v", err)
+			}
+		}
+		normal, anomalous := store.LabelCounts()
+		logger.Printf("default tenant %q: %d signal-sets (%d normal / %d anomalous)",
+			*defTenant, store.NumSets(), normal, anomalous)
+		if err := reg.Adopt(*defTenant, store); err != nil {
+			logger.Fatal(err)
+		}
+	}
+	if stored := reg.ListStored(); len(stored) > 0 {
+		logger.Printf("%d tenant snapshots available in %s", len(stored), *storeDir)
+	}
 
-	srv, err := cloud.NewServer(store, cloud.Config{
+	srv, err := cloud.NewRegistryServer(reg, cloud.Config{
 		HorizonSeconds: *horizon,
 		Workers:        *workers,
 		MaxBatch:       *maxBatch,
 		BatchWindow:    *batchWindow,
 		CacheSize:      *cacheSize,
+		DefaultTenant:  *defTenant,
 		Logger:         logger,
 	})
 	if err != nil {
@@ -102,10 +148,27 @@ func main() {
 		}
 		<-serveDone
 	}
+	tenants := srv.Tenants()
+	sort.Strings(tenants)
+	for _, id := range tenants {
+		if m := srv.MetricsFor(id); m != nil {
+			logger.Printf("tenant %q: %d requests, %d ingests (+%d sets), cache %d/%d, %d batches (mean %.2f)",
+				id, m.Requests.Load(), m.Ingests.Load(), m.IngestedSets.Load(),
+				m.CacheHits.Load(), m.CacheHits.Load()+m.CacheMisses.Load(),
+				m.Batches.Load(), m.BatchSizeMean())
+		}
+	}
 	logger.Printf("served %d requests (%d errors, mean latency %v, peak in-flight %d)",
 		srv.Metrics.Requests.Load(), srv.Metrics.Errors.Load(),
 		srv.Metrics.MeanLatency(), srv.Metrics.PeakInFlight.Load())
 	logger.Printf("scan amortization: %d batches (mean size %.2f), cache %d hits / %d misses",
 		srv.Metrics.Batches.Load(), srv.Metrics.BatchSizeMean(),
 		srv.Metrics.CacheHits.Load(), srv.Metrics.CacheMisses.Load())
+	if *storeDir != "" {
+		if err := reg.Close(); err != nil {
+			logger.Printf("persisting tenants: %v", err)
+		} else {
+			logger.Printf("tenant stores persisted to %s", *storeDir)
+		}
+	}
 }

@@ -7,6 +7,12 @@
 //
 //	emap-edge [-addr localhost:7300] [-class seizure] [-lead 30]
 //	          [-seconds 30] [-seed 2020] [-arch 0]
+//	          [-tenant ID] [-ingest]
+//
+// -tenant routes every request to the named cloud tenant store
+// (protocol v3); -ingest additionally contributes the streamed
+// recording to that store afterwards, so the tenant's mega-database
+// grows with each session.
 package main
 
 import (
@@ -34,6 +40,8 @@ func main() {
 	arch := flag.Int("arch", 0, "input archetype index")
 	realtime := flag.Bool("realtime", false, "pace the stream at one window per second")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-exchange cloud timeout")
+	tenant := flag.String("tenant", "", "cloud tenant/store ID (empty: server default)")
+	ingest := flag.Bool("ingest", false, "contribute the streamed recording to the tenant store afterwards")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -59,7 +67,7 @@ func main() {
 			OffsetSamples: 3000, DurSeconds: *seconds})
 	}
 
-	client, err := edge.Dial(*addr, 5*time.Second)
+	client, err := edge.DialTenant(*addr, *tenant, 5*time.Second)
 	if err != nil {
 		log.Fatalf("emap-edge: %v", err)
 	}
@@ -67,9 +75,13 @@ func main() {
 	if err := client.Ping(ctx); err != nil {
 		log.Fatalf("emap-edge: cloud not responding: %v", err)
 	}
-	fmt.Printf("negotiated protocol v%d\n", client.Version())
+	fmt.Printf("negotiated protocol v%d", client.Version())
+	if *tenant != "" {
+		fmt.Printf(", tenant %q", *tenant)
+	}
+	fmt.Println()
 
-	dev, err := edge.NewDevice(client, edge.Config{CloudTimeout: *timeout})
+	dev, err := edge.NewDevice(client, edge.Config{CloudTimeout: *timeout, Tenant: *tenant})
 	if err != nil {
 		log.Fatalf("emap-edge: %v", err)
 	}
@@ -104,4 +116,12 @@ func main() {
 	}
 	fmt.Printf("final decision: anomalous=%v (peak smoothed P_A %.2f)\n",
 		dev.Predictor().Anomalous(), dev.Predictor().PeakSmoothed())
+
+	if *ingest && ctx.Err() == nil {
+		sets, err := dev.Ingest(ctx, input)
+		if err != nil {
+			log.Fatalf("emap-edge: ingest: %v", err)
+		}
+		fmt.Printf("ingested %s into tenant store (+%d signal-sets)\n", input.ID, sets)
+	}
 }

@@ -1,12 +1,16 @@
 package emap_test
 
 import (
+	"context"
+	"net"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"emap"
 	"emap/internal/dataset"
+	"emap/internal/edge"
 	"emap/internal/experiments"
 	"emap/internal/mdb"
 )
@@ -72,6 +76,100 @@ func TestFullPipelinePersistence(t *testing.T) {
 	}
 	if rep.Windows != 15 || rep.CloudCalls < 1 {
 		t.Fatalf("session over reloaded store: %d windows, %d calls", rep.Windows, rep.CloudCalls)
+	}
+}
+
+// TestMultiTenantCloudLifecycle exercises the multi-tenant deployment
+// through the public API end to end: a registry-backed cloud serves
+// two tenants that start empty and fill over the wire, the stores are
+// persisted at shutdown, and a second server process (same directory)
+// lazily reloads a tenant and retrieves what the first one ingested.
+func TestMultiTenantCloudLifecycle(t *testing.T) {
+	gen := emap.NewGeneratorConfig(emap.GeneratorConfig{Seed: 31, ArchetypesPerClass: 2})
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	srv, err := emap.NewCloud(nil, emap.WithRegistryDir(dir), emap.WithMaxTenants(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l)
+
+	// Two tenants ingest disjoint recordings over their own devices.
+	windows := map[string][]float64{}
+	for pi, tenant := range []string{"pa", "pb"} {
+		client, err := edge.DialTenant(l.Addr().String(), tenant, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev, err := edge.NewDevice(client, edge.Config{Tenant: tenant})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := gen.Instance(emap.Seizure, pi, emap.InstanceOpts{
+			OffsetSamples: 40000, DurSeconds: 60})
+		sets, err := dev.Ingest(ctx, rec)
+		if err != nil {
+			t.Fatalf("%s: ingest: %v", tenant, err)
+		}
+		if sets == 0 {
+			t.Fatalf("%s: ingest created no sets", tenant)
+		}
+		// Remember a window from the *stored* (preprocessed) form so
+		// the later retrieval is exact.
+		proc, err := mdb.Preprocess(rec, mdb.DefaultBuildConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		windows[tenant] = proc.Samples[4096:4352]
+		cs, err := client.Search(ctx, windows[tenant])
+		if err != nil {
+			t.Fatalf("%s: search: %v", tenant, err)
+		}
+		if len(cs.Entries) == 0 {
+			t.Fatalf("%s: ingested recording not retrievable", tenant)
+		}
+		client.Close()
+	}
+	if m := srv.MetricsFor("pa"); m == nil || m.Ingests.Load() != 1 {
+		t.Fatal("per-tenant ingest metrics missing")
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Registry().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server over the same directory lazily reloads tenant pb
+	// and still retrieves its recording.
+	srv2, err := emap.NewCloud(nil, emap.WithRegistryDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv2.Serve(l2)
+	defer srv2.Close()
+	client, err := edge.DialTenant(l2.Addr().String(), "pb", 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cs, err := client.Search(ctx, windows["pb"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Entries) == 0 {
+		t.Fatal("restarted cloud lost tenant pb's store")
 	}
 }
 

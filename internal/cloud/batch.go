@@ -12,22 +12,25 @@ import (
 // the batch leader fills entries (or err) for every member before
 // closing it.
 type pending struct {
-	window  []float64
-	key     string // cache fingerprint, "" when uncacheable or caching is off
+	window []float64
+	key    string // cache fingerprint, "" when uncacheable or caching is off
+	// gen is the tenant cache generation observed at lookup time; the
+	// result is cached only if no ingest reset the cache in between.
+	gen     int64
 	entries []proto.CorrEntry
 	err     error
 }
 
 // batchGroup is one forming batch: the leader created it, followers
-// append themselves while it is still the server's forming group, and
-// everyone waits on done.
+// append themselves while it is still their tenant's forming group,
+// and everyone waits on done.
 type batchGroup struct {
 	pendings []*pending
 	done     chan struct{}
 }
 
-// dispatch runs p through the batching collector and blocks until its
-// result is filled in.
+// dispatch runs p through tenant t's batching collector and blocks
+// until its result is filled in.
 //
 // The collector is a group-commit: the first upload to arrive becomes
 // the batch leader, publishes the group so later uploads can join, and
@@ -36,19 +39,23 @@ type batchGroup struct {
 // pass serves them all — while a lone request on an idle server passes
 // straight through with no added latency (the default BatchWindow of
 // zero adds no artificial wait).
-func (s *Server) dispatch(p *pending) {
-	s.batchMu.Lock()
-	if g := s.forming; g != nil && len(g.pendings) < s.cfg.MaxBatch {
+//
+// Each tenant owns its collector: only same-tenant uploads coalesce,
+// because one batched pass walks exactly one tenant's shards. The
+// worker pool underneath is shared across tenants.
+func (s *Server) dispatch(t *tenant, p *pending) {
+	t.batchMu.Lock()
+	if g := t.forming; g != nil && len(g.pendings) < s.cfg.MaxBatch {
 		g.pendings = append(g.pendings, p)
-		s.batchMu.Unlock()
+		t.batchMu.Unlock()
 		<-g.done
 		return
 	}
 	g := &batchGroup{pendings: []*pending{p}, done: make(chan struct{})}
 	if s.cfg.MaxBatch > 1 {
-		s.forming = g
+		t.forming = g
 	}
-	s.batchMu.Unlock()
+	t.batchMu.Unlock()
 
 	if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
 		// An explicit collection window trades a bounded delay for
@@ -59,27 +66,30 @@ func (s *Server) dispatch(p *pending) {
 	s.sem <- struct{}{} // while the leader queues here, followers keep joining
 	defer func() { <-s.sem }()
 
-	s.batchMu.Lock()
-	if s.forming == g {
-		s.forming = nil // seal: no joiners past this point
+	t.batchMu.Lock()
+	if t.forming == g {
+		t.forming = nil // seal: no joiners past this point
 	}
 	batch := g.pendings
-	s.batchMu.Unlock()
+	t.batchMu.Unlock()
 
-	s.searchBatch(batch)
+	s.searchBatch(t, batch)
 	close(g.done)
 }
 
-// searchBatch runs one batched search and fans the per-query results
-// back out to every pending upload, populating the cache on the way.
-func (s *Server) searchBatch(batch []*pending) {
+// searchBatch runs one batched search over tenant t's store and fans
+// the per-query results back out to every pending upload, populating
+// the tenant's cache on the way.
+func (s *Server) searchBatch(t *tenant, batch []*pending) {
 	s.Metrics.Batches.Add(1)
 	s.Metrics.BatchedRequests.Add(int64(len(batch)))
+	t.metrics.Batches.Add(1)
+	t.metrics.BatchedRequests.Add(int64(len(batch)))
 	windows := make([][]float64, len(batch))
 	for i, p := range batch {
 		windows[i] = p.window
 	}
-	br, err := s.searcher.AlgorithmN(windows)
+	br, err := t.searcher.AlgorithmN(windows)
 	if err != nil {
 		for _, p := range batch {
 			p.err = err
@@ -87,6 +97,7 @@ func (s *Server) searchBatch(batch []*pending) {
 		return
 	}
 	s.Metrics.Evaluations.Add(int64(br.Evaluated))
+	t.metrics.Evaluations.Add(int64(br.Evaluated))
 	// Deduplicated queries share one *Result (pointer equality, see
 	// search.BatchResult); assemble each distinct result's
 	// continuations once and fan the shared, read-only slice out.
@@ -95,12 +106,12 @@ func (s *Server) searchBatch(batch []*pending) {
 		res := br.Results[i]
 		entries, ok := assembled[res]
 		if !ok {
-			entries = s.assembleEntries(res, len(p.window))
+			entries = s.assembleEntries(t, res, len(p.window))
 			assembled[res] = entries
 		}
 		p.entries = entries
-		if s.cache != nil && p.key != "" {
-			s.cache.put(p.key, p.entries)
+		if t.cache != nil && p.key != "" {
+			t.cache.putAt(p.gen, p.key, p.entries)
 		}
 	}
 }

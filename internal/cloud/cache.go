@@ -17,11 +17,18 @@ import (
 // near-identical; the fingerprint quantization folds them onto one key
 // so the repeat skips the shard scan entirely.
 //
-// A cache is owned by exactly one Server, so entries can never cross
-// stores, search parameters or horizons — those are fixed per Server.
+// A cache is owned by exactly one tenant of one Server, so entries can
+// never cross tenants' stores, search parameters or horizons — those
+// are fixed per tenant. An ingest into the tenant's store resets the
+// cache (see tenant.ingest): cached sets predate the new data.
 type corrCache struct {
-	mu    sync.Mutex
-	cap   int
+	mu  sync.Mutex
+	cap int
+	// gen counts resets. A search captures the generation before it
+	// runs and stores its result only if no reset intervened —
+	// otherwise a scan of a pre-ingest epoch could re-poison the
+	// cache right after the ingest flushed it.
+	gen   int64
 	ll    *list.List // front = most recently used
 	byKey map[string]*list.Element
 }
@@ -40,23 +47,30 @@ func newCorrCache(capacity int) *corrCache {
 }
 
 // get returns the cached correlation-set entries for key, refreshing
-// its recency. The returned slice is shared and read-only.
-func (c *corrCache) get(key string) ([]proto.CorrEntry, bool) {
+// its recency, plus the cache generation for a later putAt. The
+// returned slice is shared and read-only.
+func (c *corrCache) get(key string) ([]proto.CorrEntry, int64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		return nil, c.gen, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*cacheEntry).entries, true
+	return el.Value.(*cacheEntry).entries, c.gen, true
 }
 
-// put stores entries under key, evicting the least recently used entry
-// past capacity. The caller must not mutate entries afterwards.
-func (c *corrCache) put(key string, entries []proto.CorrEntry) {
+// putAt stores entries under key — unless the cache has been reset
+// since generation gen was observed, in which case the entries were
+// computed against a stale store epoch and are dropped. Evicts the
+// least recently used entry past capacity. The caller must not mutate
+// entries afterwards.
+func (c *corrCache) putAt(gen int64, key string, entries []proto.CorrEntry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.gen != gen {
+		return
+	}
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
 		el.Value.(*cacheEntry).entries = entries
@@ -75,6 +89,16 @@ func (c *corrCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.ll.Len()
+}
+
+// reset drops every cached correlation set (the store grew; cached
+// sets are stale) and invalidates in-flight putAt generations.
+func (c *corrCache) reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.ll.Init()
+	c.byKey = make(map[string]*list.Element, c.cap)
 }
 
 // fingerprintSteps is the quantization resolution of the cache key:

@@ -132,20 +132,38 @@ func mustServer(t *testing.T, store *mdb.Store, cfg Config) *Server {
 // evicting the least recently used.
 func TestCacheLRUBound(t *testing.T) {
 	c := newCorrCache(2)
-	c.put("a", nil)
-	c.put("b", nil)
-	if _, ok := c.get("a"); !ok { // refresh a; b is now LRU
+	c.putAt(0, "a", nil)
+	c.putAt(0, "b", nil)
+	if _, _, ok := c.get("a"); !ok { // refresh a; b is now LRU
 		t.Fatal("a missing")
 	}
-	c.put("c", nil)
+	c.putAt(0, "c", nil)
 	if c.len() != 2 {
 		t.Fatalf("cache grew to %d entries, cap 2", c.len())
 	}
-	if _, ok := c.get("b"); ok {
+	if _, _, ok := c.get("b"); ok {
 		t.Fatal("LRU entry b survived eviction")
 	}
-	if _, ok := c.get("a"); !ok {
+	if _, _, ok := c.get("a"); !ok {
 		t.Fatal("recently used entry a was evicted")
+	}
+}
+
+// TestCacheResetRejectsStalePut: a result computed before a reset (an
+// ingest flushed the cache) must not be stored afterwards — it would
+// re-poison the cache with pre-ingest correlation sets.
+func TestCacheResetRejectsStalePut(t *testing.T) {
+	c := newCorrCache(4)
+	_, gen, _ := c.get("k") // search observes the generation…
+	c.reset()               // …an ingest flushes the cache…
+	c.putAt(gen, "k", nil)  // …the stale result must be dropped.
+	if c.len() != 0 {
+		t.Fatal("stale put survived a cache reset")
+	}
+	_, gen, _ = c.get("k")
+	c.putAt(gen, "k", nil)
+	if c.len() != 1 {
+		t.Fatal("fresh put rejected")
 	}
 }
 

@@ -5,23 +5,35 @@
 // needs for local tracking — the payload whose download time Fig. 4b
 // budgets at under 200 ms for 100 signals.
 //
-// The service speaks both protocol versions (see internal/proto): v1
-// connections are served serially in request order, while v2 frames
+// One server process serves many tenants: a registry of live tenant
+// stores (internal/mdb.Registry) replaces the single frozen store, so
+// each patient cohort owns an independently growing mega-database.
+// Version-3 frames carry a tenant ID and route to that tenant's store;
+// v1/v2 peers, whose frames carry no tenant, land on the default
+// tenant, so old edges keep working unchanged. A TypeIngest message
+// pushes a preprocessed recording into the tenant's store while that
+// same store is being searched — the store's epoch snapshots keep
+// in-flight scans stable (see internal/mdb).
+//
+// The service speaks all protocol versions (see internal/proto): v1
+// connections are served serially in request order, while v2/v3 frames
 // carry request IDs, so each connection runs a reader goroutine that
 // dispatches uploads to a bounded worker pool and a single writer
 // goroutine that drains a response queue — independent windows search
 // in parallel and replies may leave out of order.
 //
 // Two scan-once-serve-many layers sit between an upload and the shard
-// scan. A group-commit batching collector (batch.go) coalesces the
-// uploads queued behind busy workers into one multi-query search
-// (search.AlgorithmN), so N in-flight windows cost one pass of memory
-// bandwidth per signal-set instead of N; Config.MaxBatch bounds the
-// coalescing and Config.BatchWindow optionally trades latency for
-// bigger batches. In front of the collector, a bounded LRU cache
-// (cache.go) keyed by a quantized fingerprint of the window answers
-// repeated near-identical uploads — the tracking-loop steady state —
-// without any scan at all.
+// scan, both per-tenant. A group-commit batching collector (batch.go)
+// coalesces the same-tenant uploads queued behind busy workers into
+// one multi-query search (search.AlgorithmN), so N in-flight windows
+// cost one pass of memory bandwidth per signal-set instead of N;
+// Config.MaxBatch bounds the coalescing and Config.BatchWindow
+// optionally trades latency for bigger batches. In front of the
+// collector, a bounded LRU cache (cache.go) keyed by a quantized
+// fingerprint of the window answers repeated near-identical uploads —
+// the tracking-loop steady state — without any scan at all; each
+// tenant owns its cache, so cached sets can never cross patients'
+// stores, and an ingest flushes only its own tenant's cache.
 package cloud
 
 import (
@@ -51,18 +63,22 @@ type Config struct {
 	HorizonSeconds float64
 	// BaseRate is the sampling rate (default 256 Hz).
 	BaseRate float64
+	// SliceLen is the signal-set length ingested recordings are
+	// sliced into (default 1000, paper §V-B).
+	SliceLen int
 	// Workers bounds how many uploads search concurrently across
-	// all connections (default GOMAXPROCS).
+	// all connections and tenants (default GOMAXPROCS).
 	Workers int
 	// MaxInFlight bounds how many uploads one connection may have
-	// queued or searching (default 4×Workers). When a v2 client
+	// queued or searching (default 4×Workers). When a v2/v3 client
 	// pipelines past this, the reader stops consuming frames and
 	// TCP backpressure does the rest — goroutines and held payloads
 	// stay bounded.
 	MaxInFlight int
-	// MaxBatch bounds how many queued uploads one batched search
-	// pass may serve (default 32). 1 disables coalescing: every
-	// upload scans alone, the pre-batching behaviour.
+	// MaxBatch bounds how many queued same-tenant uploads one
+	// batched search pass may serve (default 32). 1 disables
+	// coalescing: every upload scans alone, the pre-batching
+	// behaviour.
 	MaxBatch int
 	// BatchWindow is how long a batch leader waits for further
 	// uploads to join before searching. The default (0) adds no
@@ -70,9 +86,16 @@ type Config struct {
 	// immediately, and batches still form naturally from whatever
 	// queues behind busy workers.
 	BatchWindow time.Duration
-	// CacheSize bounds the correlation-set cache in entries
-	// (default 256). Negative disables caching.
+	// CacheSize bounds each tenant's correlation-set cache in
+	// entries (default 256). Negative disables caching.
 	CacheSize int
+	// DefaultTenant is the tenant that v1/v2 peers and tenant-less
+	// v3 frames land on (default "default").
+	DefaultTenant string
+	// MaxVersion caps the protocol version the server negotiates
+	// (default proto.MaxVersion). Deployments mid-rollout can pin
+	// the fleet to an older version.
+	MaxVersion uint8
 	// Logger receives per-connection diagnostics; nil disables
 	// logging.
 	Logger *log.Logger
@@ -84,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BaseRate <= 0 {
 		c.BaseRate = 256
+	}
+	if c.SliceLen <= 0 {
+		c.SliceLen = 1000
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
@@ -97,10 +123,17 @@ func (c Config) withDefaults() Config {
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
 	}
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = DefaultTenant
+	}
+	if c.MaxVersion == 0 || c.MaxVersion > proto.MaxVersion {
+		c.MaxVersion = proto.MaxVersion
+	}
 	return c
 }
 
-// Metrics counts server activity (all fields atomic).
+// Metrics counts server activity (all fields atomic). The server
+// keeps one registry-wide Metrics plus one per tenant (MetricsFor).
 type Metrics struct {
 	Connections atomic.Int64
 	Requests    atomic.Int64
@@ -125,6 +158,10 @@ type Metrics struct {
 	// scans — the memory-bandwidth cost batching and caching exist
 	// to amortize.
 	Evaluations atomic.Int64
+	// Ingests counts recordings inserted via TypeIngest;
+	// IngestedSets counts the signal-sets they produced.
+	Ingests      atomic.Int64
+	IngestedSets atomic.Int64
 }
 
 // MeanLatency returns the mean per-request service time.
@@ -163,19 +200,20 @@ type outFrame struct {
 	version uint8
 	typ     proto.MsgType
 	id      uint32
+	tenant  string
 	payload []byte
 }
 
-// Server is the cloud tier.
+// Server is the cloud tier: a registry of live tenant stores behind
+// one listener. Each request routes to its tenant's store, searcher,
+// cache and batch collector; the worker pool is shared.
 type Server struct {
 	cfg      Config
-	store    *mdb.Store
-	searcher *search.Searcher
-	sem      chan struct{} // bounded worker pool
-	cache    *corrCache    // nil when caching is disabled
+	registry *mdb.Registry
+	sem      chan struct{} // bounded worker pool, shared by all tenants
 
-	batchMu sync.Mutex
-	forming *batchGroup // open batch accepting joiners, or nil
+	tmu     sync.Mutex
+	tenants map[string]*tenant // serving state per open tenant
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -189,27 +227,136 @@ type Server struct {
 	// hold requests in flight.
 	searchHook func(*proto.Upload)
 
-	// Metrics exposes request counters and gauges.
+	// Metrics exposes registry-wide request counters and gauges;
+	// MetricsFor exposes the per-tenant breakdown.
 	Metrics Metrics
 }
 
-// NewServer returns a server over the given mega-database.
+// NewServer returns a single-tenant server over the given
+// mega-database, which becomes the default tenant of an in-memory
+// registry. The store may be nil or empty: a tenant may start empty
+// and fill via ingest, and searches against an empty store return an
+// empty correlation set.
 func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
-	if store == nil || store.NumSets() == 0 {
-		return nil, errors.New("cloud: mega-database is empty")
+	if store == nil {
+		store = mdb.NewStore()
 	}
 	cfg = cfg.withDefaults()
+	reg, err := mdb.NewRegistry("", 0)
+	if err != nil {
+		return nil, err
+	}
+	if err := reg.Adopt(cfg.DefaultTenant, store); err != nil {
+		return nil, fmt.Errorf("cloud: adopting default tenant: %w", err)
+	}
+	return NewRegistryServer(reg, cfg)
+}
+
+// NewRegistryServer returns a multi-tenant server over the given
+// tenant registry. Stores open lazily as requests name them; v1/v2
+// peers land on Config.DefaultTenant.
+func NewRegistryServer(reg *mdb.Registry, cfg Config) (*Server, error) {
+	if reg == nil {
+		return nil, errors.New("cloud: nil registry")
+	}
+	cfg = cfg.withDefaults()
+	// Fail at construction, not on the first v1/v2 request: every
+	// tenant-less frame routes here.
+	if !mdb.ValidTenantID(cfg.DefaultTenant) {
+		return nil, fmt.Errorf("cloud: invalid default tenant ID %q", cfg.DefaultTenant)
+	}
 	s := &Server{
 		cfg:      cfg,
-		store:    store,
-		searcher: search.NewSearcher(store, cfg.Search),
+		registry: reg,
 		sem:      make(chan struct{}, cfg.Workers),
+		tenants:  make(map[string]*tenant),
 		conns:    make(map[net.Conn]struct{}),
 	}
-	if cfg.CacheSize > 0 {
-		s.cache = newCorrCache(cfg.CacheSize)
+	// Evicted tenants lose their serving state too: a reopened
+	// tenant must not search through a searcher over the old store.
+	// The delete is conditional on store identity so a notification
+	// racing a reopen can never destroy the reopened tenant's fresh
+	// state.
+	reg.OnEvict = func(id string, store *mdb.Store) {
+		s.tmu.Lock()
+		if t, ok := s.tenants[id]; ok && t.store == store {
+			delete(s.tenants, id)
+		}
+		s.tmu.Unlock()
 	}
 	return s, nil
+}
+
+// Registry exposes the server's tenant registry (for shutdown flushes
+// and operator tooling).
+func (s *Server) Registry() *mdb.Registry { return s.registry }
+
+// tenantFor resolves a wire tenant ID ("" = default tenant) to its
+// serving state, opening the store through the registry if needed.
+func (s *Server) tenantFor(id string) (*tenant, error) {
+	if id == "" {
+		id = s.cfg.DefaultTenant
+	}
+	for {
+		s.tmu.Lock()
+		if t, ok := s.tenants[id]; ok {
+			s.tmu.Unlock()
+			return t, nil
+		}
+		s.tmu.Unlock()
+		// Open outside tmu: the registry may evict another tenant
+		// here, and its OnEvict hook takes tmu.
+		store, err := s.registry.Open(id)
+		if err != nil {
+			return nil, err
+		}
+		s.tmu.Lock()
+		if t, ok := s.tenants[id]; ok {
+			s.tmu.Unlock()
+			return t, nil
+		}
+		// The registry may have evicted this very tenant between the
+		// Open and here (another tenant's Open needed the slot); a
+		// serving state built on the detached store would route all
+		// future traffic to a store the registry no longer persists.
+		// Re-check under tmu — OnEvict also takes tmu, so an eviction
+		// observed here has already dropped (or will drop) the map
+		// entry, and a miss sends us back around to reopen.
+		if cur, ok := s.registry.Get(id); !ok || cur != store {
+			s.tmu.Unlock()
+			continue
+		}
+		t := newTenant(id, store, s.cfg)
+		s.tenants[id] = t
+		s.tmu.Unlock()
+		return t, nil
+	}
+}
+
+// Tenants returns the tenants with live serving state.
+func (s *Server) Tenants() []string {
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for id := range s.tenants {
+		out = append(out, id)
+	}
+	return out
+}
+
+// MetricsFor returns the metrics of one tenant ("" = default tenant),
+// or nil when the tenant has no serving state yet. Per-tenant counts
+// are isolated: tenant A's cache hits never show up under tenant B.
+func (s *Server) MetricsFor(id string) *Metrics {
+	if id == "" {
+		id = s.cfg.DefaultTenant
+	}
+	s.tmu.Lock()
+	defer s.tmu.Unlock()
+	if t, ok := s.tenants[id]; ok {
+		return &t.metrics
+	}
+	return nil
 }
 
 // Serve accepts connections until the listener is closed.
@@ -251,6 +398,7 @@ func (s *Server) Close() error {
 // reading new requests, lets every in-flight search complete and its
 // reply flush, then closes the connections. If ctx expires first the
 // remaining connections are closed hard and ctx.Err() is returned.
+// Persisting tenant stores is the registry's job (Registry().Close()).
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.closed = true
@@ -290,9 +438,9 @@ func (s *Server) logf(format string, args ...any) {
 
 // HandleConn serves one edge connection until it fails, the peer
 // disconnects, or the server drains. The calling goroutine is the
-// frame reader; uploads are dispatched to the server-wide worker pool
-// and all replies funnel through one writer goroutine, so v2 clients
-// can keep many windows in flight on one connection.
+// frame reader; uploads and ingests are dispatched to the server-wide
+// worker pool and all replies funnel through one writer goroutine, so
+// v2/v3 clients can keep many windows in flight on one connection.
 func (s *Server) HandleConn(conn net.Conn) {
 	s.mu.Lock()
 	if s.closed {
@@ -321,7 +469,7 @@ func (s *Server) HandleConn(conn net.Conn) {
 			if writeFailed.Load() {
 				continue // drain abandoned replies
 			}
-			if err := proto.WriteFrameVersion(conn, f.version, f.typ, f.id, f.payload); err != nil {
+			if err := proto.WriteFrameTenant(conn, f.version, f.typ, f.id, f.tenant, f.payload); err != nil {
 				// A dead write means a dead peer: tear the
 				// connection down so the reader unblocks and
 				// the handler exits, instead of looping on a
@@ -353,18 +501,23 @@ func (s *Server) HandleConn(conn net.Conn) {
 				s.enqueueError(out, frame, 400, herr.Error())
 				continue
 			}
-			v := proto.Negotiate(proto.MaxVersion, hello.MaxVersion)
+			v := proto.Negotiate(s.cfg.MaxVersion, hello.MaxVersion)
 			// The reply travels as a v1 frame: every client
 			// understands it, whatever it announced.
 			out <- outFrame{version: proto.Version1, typ: proto.TypeHello,
 				payload: proto.EncodeHello(&proto.Hello{MaxVersion: v})}
 		case proto.TypePing:
-			out <- outFrame{version: frame.Version, typ: proto.TypePong, id: frame.ID}
-		case proto.TypeUpload:
+			out <- outFrame{version: frame.Version, typ: proto.TypePong,
+				id: frame.ID, tenant: frame.Tenant}
+		case proto.TypeUpload, proto.TypeIngest:
 			s.Metrics.Requests.Add(1)
 			s.Metrics.enterFlight()
+			serve := s.serveUpload
+			if frame.Type == proto.TypeIngest {
+				serve = s.serveIngest
+			}
 			if frame.Version >= proto.Version2 {
-				// Pipelined: independent windows search in
+				// Pipelined: independent requests run in
 				// parallel, replies matched by request ID.
 				// The per-connection cap blocks the reader
 				// when a client pipelines too far ahead.
@@ -373,12 +526,12 @@ func (s *Server) HandleConn(conn net.Conn) {
 				go func(f proto.Frame) {
 					defer jobs.Done()
 					defer func() { <-connSem }()
-					s.serveUpload(f, out)
+					serve(f, out)
 				}(frame)
 			} else {
 				// v1 carries no IDs: replies must keep
 				// request order, so serve inline.
-				s.serveUpload(frame, out)
+				serve(frame, out)
 			}
 		default:
 			s.Metrics.Errors.Add(1)
@@ -406,9 +559,10 @@ func isDrainErr(err error, s *Server) bool {
 }
 
 // serveUpload answers one upload and queues its reply (mirroring the
-// request's frame version and ID). Cache hits reply immediately;
-// everything else goes through the batching collector, which bounds
-// concurrent shard scans by the worker pool.
+// request's frame version, ID and tenant). Cache hits reply
+// immediately; everything else goes through the tenant's batching
+// collector, which bounds concurrent shard scans by the shared worker
+// pool.
 func (s *Server) serveUpload(frame proto.Frame, out chan<- outFrame) {
 	defer s.Metrics.leaveFlight()
 	start := time.Now()
@@ -424,69 +578,193 @@ func (s *Server) serveUpload(frame proto.Frame, out chan<- outFrame) {
 	if s.searchHook != nil {
 		s.searchHook(upload)
 	}
+	t, err := s.tenantFor(frame.Tenant)
+	if err != nil {
+		s.Metrics.Errors.Add(1)
+		s.enqueueError(out, frame, 404, err.Error())
+		return
+	}
+	t.metrics.Requests.Add(1)
+	defer func() { t.metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
 	p := &pending{window: proto.Dequantize(upload.Samples, upload.Scale)}
 	hit := false
-	if s.cache != nil {
+	if t.cache != nil {
 		if key, ok := windowFingerprint(p.window); ok {
 			p.key = key
-			if entries, cached := s.cache.get(key); cached {
+			entries, gen, cached := t.cache.get(key)
+			p.gen = gen
+			if cached {
 				s.Metrics.CacheHits.Add(1)
+				t.metrics.CacheHits.Add(1)
 				p.entries, hit = entries, true
 			} else {
 				s.Metrics.CacheMisses.Add(1)
+				t.metrics.CacheMisses.Add(1)
 			}
 		}
 	}
 	if !hit {
-		s.dispatch(p)
+		s.dispatch(t, p)
 	}
 	if p.err != nil {
 		s.Metrics.Errors.Add(1)
+		t.metrics.Errors.Add(1)
 		s.enqueueError(out, frame, 500, p.err.Error())
 		return
 	}
 	payload := proto.EncodeCorrSet(&proto.CorrSet{Seq: upload.Seq, Entries: p.entries})
 	out <- outFrame{version: frame.Version, typ: proto.TypeCorrSet,
-		id: frame.ID, payload: payload}
+		id: frame.ID, tenant: frame.Tenant, payload: payload}
+}
+
+// serveIngest inserts one pushed recording into its tenant's store and
+// queues the acknowledgement. The store keeps serving searches while
+// the insert runs — in-flight scans hold their epoch snapshot.
+func (s *Server) serveIngest(frame proto.Frame, out chan<- outFrame) {
+	defer s.Metrics.leaveFlight()
+	start := time.Now()
+	defer func() { s.Metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
+	ing, err := proto.DecodeIngest(frame.Payload)
+	if err != nil {
+		s.Metrics.Errors.Add(1)
+		s.enqueueError(out, frame, 400, err.Error())
+		return
+	}
+	t, err := s.tenantFor(frame.Tenant)
+	if err != nil {
+		s.Metrics.Errors.Add(1)
+		s.enqueueError(out, frame, 404, err.Error())
+		return
+	}
+	t.metrics.Requests.Add(1)
+	defer func() { t.metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
+	// Inserts share the search worker pool: the copy-on-write view
+	// rebuild and the SlidingStats construction are CPU/memory work
+	// just like a scan, and must stay bounded however many
+	// connections pipeline ingests.
+	s.sem <- struct{}{}
+	ack, err := s.ingestInto(t, ing)
+	<-s.sem
+	if err != nil {
+		s.Metrics.Errors.Add(1)
+		t.metrics.Errors.Add(1)
+		code := uint16(409)
+		if errors.Is(err, errTenantEvicted) {
+			code = 503
+		}
+		s.enqueueError(out, frame, code, err.Error())
+		return
+	}
+	out <- outFrame{version: frame.Version, typ: proto.TypeIngestAck,
+		id: frame.ID, tenant: frame.Tenant, payload: proto.EncodeIngestAck(ack)}
+}
+
+// errTenantEvicted marks an ingest that kept colliding with tenant
+// evictions (see ingestInto); the client may retry.
+var errTenantEvicted = errors.New("cloud: tenant evicted during ingest; retry")
+
+// ingestInto runs the insert, and — when the tenant was evicted while
+// it ran — recovers by reopening the tenant and re-running the insert
+// against the live store, so the caller's ack always describes a
+// store the registry tracks. The eviction's snapshot may or may not
+// have captured the first attempt: if it did, the rerun's
+// duplicate-ID refusal proves the record is already in the reloaded
+// store and is acknowledged as such; if not, the rerun inserts it
+// afresh. Only repeated eviction collisions surface as an error.
+func (s *Server) ingestInto(t *tenant, ing *proto.Ingest) (*proto.IngestAck, error) {
+	for attempt := 0; ; attempt++ {
+		ack, err := t.ingest(ing, s.cfg)
+		if err != nil {
+			if attempt > 0 {
+				// The reopened store may already hold the record —
+				// the evicted snapshot captured the first attempt.
+				if existing, ok := t.ackExisting(ing); ok {
+					ack, err = existing, nil
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if cur, ok := s.registry.Get(t.id); ok && cur == t.store {
+			s.Metrics.Ingests.Add(1)
+			s.Metrics.IngestedSets.Add(int64(ack.Sets))
+			return ack, nil
+		}
+		if attempt >= 2 {
+			return nil, fmt.Errorf("%w (tenant %q)", errTenantEvicted, t.id)
+		}
+		fresh, terr := s.tenantFor(t.id)
+		if terr != nil {
+			return nil, fmt.Errorf("%w (tenant %q): %v", errTenantEvicted, t.id, terr)
+		}
+		t = fresh
+	}
 }
 
 // enqueueError queues an ErrorMsg reply mirroring the offending
-// frame's version and ID.
+// frame's version, ID and tenant.
 func (s *Server) enqueueError(out chan<- outFrame, frame proto.Frame, code uint16, text string) {
 	out <- outFrame{version: frame.Version, typ: proto.TypeError, id: frame.ID,
-		payload: proto.EncodeError(&proto.ErrorMsg{Code: code, Text: text})}
+		tenant: frame.Tenant, payload: proto.EncodeError(&proto.ErrorMsg{Code: code, Text: text})}
 }
 
-// Search answers one upload: run Algorithm 1 and assemble the
-// correlation set with continuation samples. It is safe for
-// concurrent use. It bypasses the batching collector and the cache —
-// the network path adds those; Search is the direct, always-fresh
-// surface.
+// Search answers one upload against the default tenant: run Algorithm
+// 1 and assemble the correlation set with continuation samples. It is
+// safe for concurrent use. It bypasses the batching collector and the
+// cache — the network path adds those; Search is the direct,
+// always-fresh surface.
 func (s *Server) Search(upload *proto.Upload) (*proto.CorrSet, error) {
+	return s.SearchTenant("", upload)
+}
+
+// SearchTenant answers one upload against the named tenant's store
+// ("" = default tenant), opening it if needed.
+func (s *Server) SearchTenant(tenantID string, upload *proto.Upload) (*proto.CorrSet, error) {
+	t, err := s.tenantFor(tenantID)
+	if err != nil {
+		return nil, err
+	}
 	window := proto.Dequantize(upload.Samples, upload.Scale)
-	res, err := s.searcher.Algorithm1(window)
+	res, err := t.searcher.Algorithm1(window)
 	if err != nil {
 		return nil, err
 	}
 	s.Metrics.Evaluations.Add(int64(res.Evaluated))
-	return &proto.CorrSet{Seq: upload.Seq, Entries: s.assembleEntries(res, len(window))}, nil
+	t.metrics.Evaluations.Add(int64(res.Evaluated))
+	return &proto.CorrSet{Seq: upload.Seq, Entries: s.assembleEntries(t, res, len(window))}, nil
+}
+
+// Ingest inserts one preprocessed recording into the named tenant's
+// store ("" = default tenant) — the in-process twin of the TypeIngest
+// wire message.
+func (s *Server) Ingest(tenantID string, ing *proto.Ingest) (*proto.IngestAck, error) {
+	t, err := s.tenantFor(tenantID)
+	if err != nil {
+		return nil, err
+	}
+	return s.ingestInto(t, ing)
 }
 
 // assembleEntries attaches the continuation samples to every retrieved
 // match: from the matched offset forward, the configured horizon,
 // clipped exactly to the end of the parent recording. Matches with
 // less than one window of continuation left are dropped — the edge
-// cannot track them even one iteration.
-func (s *Server) assembleEntries(res *search.Result, windowLen int) []proto.CorrEntry {
+// cannot track them even one iteration. One store snapshot serves the
+// whole assembly; signal-set IDs are stable across epochs (the set
+// list is append-only), so matches from a slightly older scan epoch
+// always resolve.
+func (s *Server) assembleEntries(t *tenant, res *search.Result, windowLen int) []proto.CorrEntry {
 	horizon := int(s.cfg.HorizonSeconds * s.cfg.BaseRate)
-	sets := s.store.Sets()
+	snap := t.store.Snapshot()
+	sets := snap.Sets()
 	var entries []proto.CorrEntry
 	for _, m := range res.Matches {
 		if m.SetID < 0 || m.SetID >= len(sets) {
 			continue
 		}
 		set := sets[m.SetID]
-		rec, ok := s.store.Record(set.RecordID)
+		rec, ok := snap.Record(set.RecordID)
 		if !ok {
 			continue
 		}
@@ -497,7 +775,7 @@ func (s *Server) assembleEntries(res *search.Result, windowLen int) []proto.Corr
 		if n < windowLen {
 			continue
 		}
-		samples, ok := s.store.Window(set, m.Beta, n)
+		samples, ok := snap.Window(set, m.Beta, n)
 		if !ok {
 			continue
 		}

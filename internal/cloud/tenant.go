@@ -1,0 +1,100 @@
+package cloud
+
+import (
+	"sync"
+
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/search"
+	"emap/internal/synth"
+)
+
+// DefaultTenant is the tenant that v1/v2 peers — whose frames carry no
+// tenant field — and v3 frames with an empty tenant land on.
+const DefaultTenant = "default"
+
+// tenant is one tenant's complete serving state: its live store, the
+// searcher over it, its private correlation-set cache, its own batch
+// collector (uploads only coalesce with same-tenant uploads — one
+// batched pass walks exactly one tenant's shards), and its metrics.
+// Caches and metrics are per-tenant so cached correlation sets can
+// never leak across patients' stores and per-tenant load is
+// observable.
+type tenant struct {
+	id       string
+	store    *mdb.Store
+	searcher *search.Searcher
+	cache    *corrCache // nil when caching is disabled
+
+	batchMu sync.Mutex
+	forming *batchGroup // open batch accepting same-tenant joiners
+
+	metrics Metrics
+}
+
+// newTenant assembles the serving state for one tenant store.
+func newTenant(id string, store *mdb.Store, cfg Config) *tenant {
+	t := &tenant{
+		id:       id,
+		store:    store,
+		searcher: search.NewSearcher(store, cfg.Search),
+	}
+	if cfg.CacheSize > 0 {
+		t.cache = newCorrCache(cfg.CacheSize)
+	}
+	return t
+}
+
+// ackExisting builds the acknowledgement for a recording that is
+// already in the tenant's store — the eviction-recovery path where an
+// earlier attempt's insert reached the persisted snapshot (see
+// Server.ingestInto).
+func (t *tenant) ackExisting(g *proto.Ingest) (*proto.IngestAck, bool) {
+	snap := t.store.Snapshot()
+	if _, ok := snap.Record(g.RecordID); !ok {
+		return nil, false
+	}
+	sets := 0
+	for _, set := range snap.Sets() {
+		if set.RecordID == g.RecordID {
+			sets++
+		}
+	}
+	return &proto.IngestAck{
+		Seq:          g.Seq,
+		Sets:         uint32(sets),
+		TotalSets:    uint32(snap.NumSets()),
+		TotalRecords: uint32(snap.NumRecords()),
+	}, true
+}
+
+// ingest inserts one preprocessed recording into the tenant's store,
+// slicing and labelling it, and flushes the correlation-set cache:
+// cached sets predate the new data, and a search issued after a
+// successful ingest must be able to retrieve it.
+func (t *tenant) ingest(g *proto.Ingest, cfg Config) (*proto.IngestAck, error) {
+	rec := &mdb.Record{
+		ID:        g.RecordID,
+		Class:     synth.ClassFromCode(g.Class),
+		Archetype: int(g.Archetype),
+		Onset:     int(g.Onset),
+		Samples:   proto.Dequantize(g.Samples, g.Scale),
+	}
+	labelFn := mdb.LabelFor(rec, mdb.BuildConfig{BaseRate: cfg.BaseRate})
+	created, err := t.store.Insert(rec, cfg.SliceLen, labelFn)
+	if err != nil {
+		return nil, err
+	}
+	if t.cache != nil {
+		t.cache.reset()
+	}
+	t.metrics.Ingests.Add(1)
+	t.metrics.IngestedSets.Add(int64(created))
+	snap := t.store.Snapshot()
+	return &proto.IngestAck{
+		Seq:          g.Seq,
+		Sets:         uint32(created),
+		TotalSets:    uint32(snap.NumSets()),
+		TotalRecords: uint32(snap.NumRecords()),
+	}, nil
+}

@@ -18,6 +18,10 @@ import (
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("edge: client closed")
 
+// errVersionTooOld marks an exchange refused because the connection
+// negotiated a protocol version below what the message needs.
+var errVersionTooOld = errors.New("edge: connection protocol version too old")
+
 // handshakeTimeout bounds the Hello exchange on a fresh connection.
 const handshakeTimeout = 10 * time.Second
 
@@ -34,28 +38,62 @@ type waiter struct {
 	ch chan result
 }
 
+// ClientOptions tunes a Client beyond its connection.
+type ClientOptions struct {
+	// Tenant is the cloud-side tenant/store ID every request is
+	// routed to. It rides in each v3 frame; on connections
+	// negotiated below v3 it is dropped on the wire and the server
+	// routes to its default tenant. Empty selects the server's
+	// default tenant.
+	Tenant string
+	// MaxVersion caps the protocol version announced in the Hello
+	// exchange (0: proto.MaxVersion). Deployments mid-rollout can
+	// pin edges to an older version.
+	MaxVersion uint8
+	// DialTimeout bounds each (re)connection attempt of a dialled
+	// client.
+	DialTimeout time.Duration
+}
+
 // Client is a pipelined, context-aware protocol client. Multiple
-// goroutines may call Search concurrently: on a v2 connection every
+// goroutines may call Search concurrently: on a v2+ connection every
 // request carries an ID and replies are matched as they arrive, in any
 // order; against a v1 peer the client transparently falls back to
 // FIFO matching (the v1 wire guarantees reply order). A client built
 // with Dial re-establishes the connection after a failure on the next
-// call.
+// call. A client carries at most one tenant ID; devices for different
+// patients use separate clients (connections are cheap, stores are
+// not shared).
 type Client struct {
 	addr        string // empty: reconnect unavailable (wrapped conn)
 	dialTimeout time.Duration
+	maxVersion  uint8
 
 	wmu    sync.Mutex // serialises frame writes
 	dialMu sync.Mutex // serialises reconnection attempts
 
 	mu      sync.Mutex // guards everything below
+	tenant  string
 	conn    net.Conn
 	version uint8
 	seq     uint32
-	pending map[uint32]*waiter // v2: keyed by request ID
+	pending map[uint32]*waiter // v2+: keyed by request ID
 	fifo    []*waiter          // v1: replies arrive in request order
 	connErr error              // sticky until reconnect
 	closed  bool
+}
+
+func newClient(opts ClientOptions) *Client {
+	mv := opts.MaxVersion
+	if mv == 0 || mv > proto.MaxVersion {
+		mv = proto.MaxVersion
+	}
+	return &Client{
+		tenant:      opts.Tenant,
+		maxVersion:  mv,
+		dialTimeout: opts.DialTimeout,
+		pending:     make(map[uint32]*waiter),
+	}
 }
 
 // NewClient wraps an established connection and negotiates the
@@ -63,7 +101,13 @@ type Client struct {
 // understand Hello (a v1 server answers it with an error frame) pins
 // the connection to version 1.
 func NewClient(conn net.Conn) (*Client, error) {
-	c := &Client{pending: make(map[uint32]*waiter)}
+	return NewClientOpts(conn, ClientOptions{})
+}
+
+// NewClientOpts wraps an established connection with explicit options
+// (tenant routing, protocol-version cap).
+func NewClientOpts(conn net.Conn, opts ClientOptions) (*Client, error) {
+	c := newClient(opts)
 	if err := c.install(context.Background(), conn); err != nil {
 		conn.Close()
 		return nil, err
@@ -74,7 +118,19 @@ func NewClient(conn net.Conn) (*Client, error) {
 // Dial connects to a cloud service address and negotiates the
 // protocol version.
 func Dial(addr string, timeout time.Duration) (*Client, error) {
-	c := &Client{addr: addr, dialTimeout: timeout, pending: make(map[uint32]*waiter)}
+	return DialOpts(addr, ClientOptions{DialTimeout: timeout})
+}
+
+// DialTenant connects to a cloud service address with requests routed
+// to the given tenant's store.
+func DialTenant(addr, tenant string, timeout time.Duration) (*Client, error) {
+	return DialOpts(addr, ClientOptions{Tenant: tenant, DialTimeout: timeout})
+}
+
+// DialOpts connects to a cloud service address with explicit options.
+func DialOpts(addr string, opts ClientOptions) (*Client, error) {
+	c := newClient(opts)
+	c.addr = addr
 	conn, err := c.dial(context.Background())
 	if err != nil {
 		return nil, err
@@ -98,7 +154,7 @@ func (c *Client) dial(ctx context.Context) (net.Conn, error) {
 // install negotiates on conn and starts its reader. Callers must not
 // hold c.mu.
 func (c *Client) install(ctx context.Context, conn net.Conn) error {
-	version, err := negotiate(ctx, conn)
+	version, err := negotiate(ctx, conn, c.maxVersion)
 	if err != nil {
 		return err
 	}
@@ -118,14 +174,14 @@ func (c *Client) install(ctx context.Context, conn net.Conn) error {
 
 // negotiate runs the client half of the Hello exchange, bounded by
 // the caller's deadline when it is tighter than the default.
-func negotiate(ctx context.Context, conn net.Conn) (uint8, error) {
+func negotiate(ctx context.Context, conn net.Conn, maxVersion uint8) (uint8, error) {
 	deadline := time.Now().Add(handshakeTimeout)
 	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
 		deadline = d
 	}
 	conn.SetDeadline(deadline)
 	defer conn.SetDeadline(time.Time{})
-	hello := proto.EncodeHello(&proto.Hello{MaxVersion: proto.MaxVersion})
+	hello := proto.EncodeHello(&proto.Hello{MaxVersion: maxVersion})
 	if err := proto.WriteFrame(conn, proto.TypeHello, hello); err != nil {
 		return 0, fmt.Errorf("edge: hello: %w", err)
 	}
@@ -139,7 +195,7 @@ func negotiate(ctx context.Context, conn net.Conn) (uint8, error) {
 		if err != nil {
 			return 0, err
 		}
-		return proto.Negotiate(proto.MaxVersion, h.MaxVersion), nil
+		return proto.Negotiate(maxVersion, h.MaxVersion), nil
 	case proto.TypeError:
 		// A v1 server rejects the unknown Hello type; the
 		// connection stays usable, just serial.
@@ -154,6 +210,22 @@ func (c *Client) Version() uint8 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.version
+}
+
+// Tenant returns the tenant ID requests are routed to ("" = the
+// server's default tenant).
+func (c *Client) Tenant() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tenant
+}
+
+// SetTenant changes the tenant ID carried by subsequent requests.
+// In-flight requests keep the tenant they were sent with.
+func (c *Client) SetTenant(tenant string) {
+	c.mu.Lock()
+	c.tenant = tenant
+	c.mu.Unlock()
 }
 
 // Close closes the connection and fails every in-flight request.
@@ -271,14 +343,21 @@ func (c *Client) ensure(ctx context.Context) (net.Conn, uint8, error) {
 }
 
 // roundTrip registers a waiter, writes the request and awaits the
-// matching reply, honouring ctx cancellation throughout.
-func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, encode func(id uint32) []byte) (proto.MsgType, []byte, error) {
+// matching reply, honouring ctx cancellation throughout. minVersion,
+// when non-zero, refuses the exchange if the connection the write
+// will actually use negotiated below it — checked on ensure's result,
+// which is the same conn the registration re-verifies under the lock,
+// so a silent reconnect at a lower version cannot slip through.
+func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, minVersion uint8, encode func(id uint32) []byte) (proto.MsgType, []byte, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
 	conn, version, err := c.ensure(ctx)
 	if err != nil {
 		return 0, nil, err
+	}
+	if minVersion != 0 && version < minVersion {
+		return 0, nil, fmt.Errorf("%w: negotiated v%d, need v%d", errVersionTooOld, version, minVersion)
 	}
 
 	// Registration and the wire write happen under one write lock so
@@ -295,6 +374,7 @@ func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, encode func(id 
 	}
 	c.seq++
 	id := c.seq
+	tenant := c.tenant
 	if version >= proto.Version2 {
 		c.pending[id] = w
 	} else {
@@ -314,7 +394,7 @@ func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, encode func(id 
 	} else {
 		conn.SetWriteDeadline(time.Time{})
 	}
-	err = proto.WriteFrameVersion(conn, version, t, id, payload)
+	err = proto.WriteFrameTenant(conn, version, t, id, tenant, payload)
 	c.wmu.Unlock()
 	if err != nil {
 		c.failAll(conn, fmt.Errorf("edge: write: %w", err))
@@ -346,7 +426,7 @@ func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, encode func(id 
 
 // Ping round-trips a liveness probe.
 func (c *Client) Ping(ctx context.Context) error {
-	typ, _, err := c.roundTrip(ctx, proto.TypePing, nil)
+	typ, _, err := c.roundTrip(ctx, proto.TypePing, 0, nil)
 	if err != nil {
 		return err
 	}
@@ -356,12 +436,54 @@ func (c *Client) Ping(ctx context.Context) error {
 	return nil
 }
 
+// Ingest pushes a preprocessed recording into the cloud-side store of
+// the client's tenant, where it is sliced, labelled and becomes
+// searchable immediately — the live-MDB half of the paper's design.
+// ing.Seq is overwritten with the request ID. A pre-v3 server answers
+// TypeIngest with an error frame, which surfaces here as an error.
+//
+// A tenant-pinned client refuses to ingest over a connection
+// negotiated below v3: the wire would drop the tenant and the
+// recording would land — with a success ack — in the server's shared
+// default store, a silent cross-tenant write. (Searches stay
+// permissive on old connections: they only read, and the default
+// tenant is the documented legacy behaviour.)
+func (c *Client) Ingest(ctx context.Context, ing *proto.Ingest) (*proto.IngestAck, error) {
+	// The v3 floor applies only when a tenant is pinned; roundTrip
+	// enforces it on the very connection the write uses, so even a
+	// mid-call reconnect that renegotiates lower cannot leak the
+	// recording into the default store.
+	var minVersion uint8
+	if c.Tenant() != "" {
+		minVersion = proto.Version3
+	}
+	typ, resp, err := c.roundTrip(ctx, proto.TypeIngest, minVersion, func(id uint32) []byte {
+		ing.Seq = id
+		return proto.EncodeIngest(ing)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("edge: ingest: %w", err)
+	}
+	switch typ {
+	case proto.TypeIngestAck:
+		return proto.DecodeIngestAck(resp)
+	case proto.TypeError:
+		em, derr := proto.DecodeError(resp)
+		if derr != nil {
+			return nil, derr
+		}
+		return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
+	default:
+		return nil, errors.New("edge: unexpected response type")
+	}
+}
+
 // Search uploads a filtered one-second window and returns the cloud's
 // signal correlation set. Concurrent calls pipeline on one connection;
 // ctx bounds the whole exchange.
 func (c *Client) Search(ctx context.Context, window []float64) (*proto.CorrSet, error) {
 	counts, scale := proto.Quantize(window)
-	typ, resp, err := c.roundTrip(ctx, proto.TypeUpload, func(id uint32) []byte {
+	typ, resp, err := c.roundTrip(ctx, proto.TypeUpload, 0, func(id uint32) []byte {
 		return proto.EncodeUpload(&proto.Upload{Seq: id, Scale: scale, Samples: counts})
 	})
 	if err != nil {

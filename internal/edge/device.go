@@ -13,18 +13,6 @@ import (
 	"emap/internal/track"
 )
 
-// recClass converts a wire class code back to a synth.Class, mapping
-// unknown codes to Normal.
-func recClass(code uint8) synth.Class {
-	c := synth.Class(code)
-	for _, known := range synth.Classes {
-		if c == known {
-			return c
-		}
-	}
-	return synth.Normal
-}
-
 // Config parameterises a Device. Zero values select paper defaults.
 type Config struct {
 	// BaseRate is the sampling frequency (default 256 Hz).
@@ -47,6 +35,10 @@ type Config struct {
 	WarmupWindows int
 	// CloudTimeout bounds each cloud exchange (default 30 s).
 	CloudTimeout time.Duration
+	// Tenant routes this device's cloud traffic (searches and
+	// ingests) to one tenant store. NewDevice installs it on the
+	// client; empty leaves the client's tenant untouched.
+	Tenant string
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -131,6 +123,9 @@ func NewDevice(client *Client, cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edge: designing filter: %w", err)
 	}
+	if cfg.Tenant != "" {
+		client.SetTenant(cfg.Tenant)
+	}
 	return &Device{
 		cfg:        cfg,
 		client:     client,
@@ -211,6 +206,40 @@ func (d *Device) Push(ctx context.Context, raw []float64) (Status, error) {
 	return st, nil
 }
 
+// Ingest contributes a raw recording to the cloud mega-database of
+// this device's tenant: it applies the MDB preprocessing path
+// (resample to the base rate, bandpass) locally, quantizes, and pushes
+// the result over the wire, where the cloud slices, labels and serves
+// it immediately — the paper's "recordings are continuously inserted"
+// loop, driven from the edge. It returns the number of signal-sets the
+// recording became.
+func (d *Device) Ingest(ctx context.Context, raw *synth.Recording) (int, error) {
+	rec, err := mdb.Preprocess(raw, mdb.BuildConfig{
+		BaseRate:   d.cfg.BaseRate,
+		FilterTaps: d.cfg.FilterTaps,
+		LowHz:      d.cfg.LowHz,
+		HighHz:     d.cfg.HighHz,
+	}, nil)
+	if err != nil {
+		return 0, fmt.Errorf("edge: preprocessing %s: %w", raw.ID, err)
+	}
+	counts, scale := proto.Quantize(rec.Samples)
+	ctx, cancel := d.cloudCtx(ctx)
+	defer cancel()
+	ack, err := d.client.Ingest(ctx, &proto.Ingest{
+		RecordID:  rec.ID,
+		Class:     uint8(rec.Class),
+		Archetype: uint16(rec.Archetype),
+		Onset:     int32(rec.Onset),
+		Scale:     scale,
+		Samples:   counts,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return int(ack.Sets), nil
+}
+
 // cloudCtx derives the per-exchange context from the caller's.
 func (d *Device) cloudCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(ctx, d.cfg.CloudTimeout)
@@ -288,7 +317,7 @@ func (d *Device) fetch(ctx context.Context, window []float64) (*mdb.Store, []sea
 		}
 		rec := &mdb.Record{
 			ID:        fmt.Sprintf("dl-%d-%d", corrSet.Seq, i),
-			Class:     recClass(e.Class),
+			Class:     synth.ClassFromCode(e.Class),
 			Archetype: int(e.Archetype),
 			Onset:     -1,
 			Samples:   samples,

@@ -43,6 +43,12 @@ func pipePair(t testing.TB, store *mdb.Store) *Client {
 	if err != nil {
 		t.Fatal(err)
 	}
+	return pipeClient(t, srv)
+}
+
+// pipeClient wires a client to an existing server over net.Pipe.
+func pipeClient(t testing.TB, srv *cloud.Server) *Client {
+	t.Helper()
 	cConn, sConn := net.Pipe()
 	go srv.HandleConn(sConn)
 	t.Cleanup(func() { cConn.Close() })
@@ -227,12 +233,23 @@ func TestClientSurvivesCloudDeath(t *testing.T) {
 	}
 }
 
-func TestNewServerRejectsEmptyStore(t *testing.T) {
-	if _, err := cloud.NewServer(nil, cloud.Config{}); err == nil {
-		t.Fatal("nil store should error")
-	}
-	if _, err := cloud.NewServer(mdb.NewStore(), cloud.Config{}); err == nil {
-		t.Fatal("empty store should error")
+// TestEmptyStoreServesEmptySets: a tenant may start empty and fill
+// via ingest, so an empty (or nil) store no longer fails at startup —
+// searches simply return an empty correlation set until data arrives.
+func TestEmptyStoreServesEmptySets(t *testing.T) {
+	for _, store := range []*mdb.Store{nil, mdb.NewStore()} {
+		srv, err := cloud.NewServer(store, cloud.Config{})
+		if err != nil {
+			t.Fatalf("empty store rejected: %v", err)
+		}
+		client := pipeClient(t, srv)
+		cs, err := client.Search(context.Background(), make([]float64, 256))
+		if err != nil {
+			t.Fatalf("search on empty store: %v", err)
+		}
+		if len(cs.Entries) != 0 {
+			t.Fatalf("empty store returned %d entries", len(cs.Entries))
+		}
 	}
 }
 

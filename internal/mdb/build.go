@@ -80,15 +80,23 @@ func Build(recs []*synth.Recording, cfg BuildConfig) (*Store, error) {
 		return nil, fmt.Errorf("mdb: designing bandpass: %w", err)
 	}
 	store := NewStore()
+	// One batched insert publishes the whole corpus as a single
+	// copy-on-write epoch — per-recording Insert calls would copy the
+	// growing spine once per recording (quadratic construction).
+	items := make([]insertion, 0, len(recs))
 	for _, raw := range recs {
 		rec, err := Preprocess(raw, cfg, fir)
 		if err != nil {
 			return nil, err
 		}
-		labelFn := LabelFor(rec, cfg)
-		if _, err := store.Insert(rec, cfg.SliceLen, labelFn); err != nil {
-			return nil, err
-		}
+		items = append(items, insertion{
+			rec:      rec,
+			sliceLen: cfg.SliceLen,
+			labelFn:  LabelFor(rec, cfg),
+		})
+	}
+	if _, err := store.insertBatch(items); err != nil {
+		return nil, err
 	}
 	return store, nil
 }

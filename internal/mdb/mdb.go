@@ -5,7 +5,12 @@
 // The paper hosts the MDB in MongoDB via pymongo; this package is the
 // stdlib substitute. It provides the operations the framework actually
 // uses — insert, label queries, shard-parallel full scans, and
-// snapshot persistence — with the same access pattern.
+// snapshot persistence — with the same access pattern. The paper's MDB
+// is a live database: patients' recordings are continuously inserted
+// while other patients' windows are being searched, so Insert is safe
+// to call concurrently with any reader (see "Epoch snapshots" below),
+// and a Registry manages one store per tenant (patient cohort) inside
+// a single cloud process.
 //
 // # Signal-sets as views
 //
@@ -17,11 +22,23 @@
 // length) into its parent recording, and the edge tracker follows the
 // parent recording past the slice end; a tracked signal dies only when
 // its recording ends. Slice labelling still follows the paper exactly.
+//
+// # Epoch snapshots
+//
+// The store keeps all of its state in one immutable view published
+// through an atomic pointer. Insert builds a fresh view (copy-on-write
+// of the record map and the signal-set spine; the records and sets
+// themselves are never mutated after publication) and swaps it in, so
+// a reader that captured a Snapshot — or called any accessor, each of
+// which reads one coherent view — walks a stable epoch for as long as
+// it likes, completely undisturbed by concurrent inserts. Readers
+// never lock; writers serialise among themselves only.
 package mdb
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"emap/internal/dsp"
 	"emap/internal/synth"
@@ -67,95 +84,215 @@ type Record struct {
 // search to normalise windows in O(1).
 func (r *Record) Stats() *dsp.SlidingStats { return r.stats }
 
-// Store is the mega-database. It is safe for concurrent readers; all
-// mutation happens through Insert before searching begins.
-type Store struct {
-	mu      sync.RWMutex
+// view is one immutable epoch of a store. Once published via
+// Store.v, a view and everything reachable from it is never mutated.
+type view struct {
 	records map[string]*Record
 	order   []string // insertion order of record IDs
 	sets    []*SignalSet
 }
 
+var emptyView = &view{records: map[string]*Record{}}
+
+// Store is the mega-database. All readers are lock-free and see a
+// coherent epoch per call; Insert may run concurrently with any number
+// of readers, including in-flight shard scans (see the package
+// comment).
+type Store struct {
+	wmu sync.Mutex // serialises writers
+	v   atomic.Pointer[view]
+}
+
 // NewStore returns an empty mega-database.
 func NewStore() *Store {
-	return &Store{records: make(map[string]*Record)}
+	s := &Store{}
+	s.v.Store(emptyView)
+	return s
+}
+
+// newStoreView returns a store publishing the given initial epoch.
+func newStoreView(v *view) *Store {
+	s := &Store{}
+	s.v.Store(v)
+	return s
+}
+
+// Snapshot captures the store's current epoch. The snapshot is
+// immutable: searches that must see one coherent database state
+// capture a snapshot once and read everything through it, while the
+// store keeps ingesting.
+func (s *Store) Snapshot() Snapshot {
+	return Snapshot{v: s.v.Load()}
 }
 
 // Insert adds a processed recording and slices it into signal-sets of
 // sliceLen samples (non-overlapping, per paper Fig. 3 "Signal
 // Slicing"). labelFn decides A(S_P) for a slice given its start
-// offset. Insert returns the number of signal-sets created.
+// offset. Insert returns the number of signal-sets created. It is safe
+// to call while searches are scanning: in-flight readers keep their
+// epoch, later readers see the grown database. Each Insert copies the
+// store's spine (O(existing records + sets)) — the price of the
+// immutable epochs; bulk construction goes through insertBatch so a
+// whole corpus costs one copy, not one per recording.
 func (s *Store) Insert(rec *Record, sliceLen int, labelFn func(start int) bool) (int, error) {
-	if rec == nil || rec.ID == "" {
-		return 0, fmt.Errorf("mdb: record must have an ID")
+	return s.insertBatch([]insertion{{rec: rec, sliceLen: sliceLen, labelFn: labelFn}})
+}
+
+// insertion is one recording queued for insertBatch plus its slicing
+// and labelling rule.
+type insertion struct {
+	rec      *Record
+	sliceLen int
+	labelFn  func(start int) bool
+}
+
+// insertBatch adds many recordings in ONE copy-on-write epoch. On any
+// validation error nothing is published. Returns the total number of
+// signal-sets created.
+func (s *Store) insertBatch(items []insertion) (int, error) {
+	for _, it := range items {
+		if it.rec == nil || it.rec.ID == "" {
+			return 0, fmt.Errorf("mdb: record must have an ID")
+		}
+		if it.sliceLen < 1 {
+			return 0, fmt.Errorf("mdb: slice length %d invalid", it.sliceLen)
+		}
 	}
-	if sliceLen < 1 {
-		return 0, fmt.Errorf("mdb: slice length %d invalid", sliceLen)
+	s.wmu.Lock()
+	defer s.wmu.Unlock()
+	cur := s.v.Load()
+	next := &view{
+		records: make(map[string]*Record, len(cur.records)+len(items)),
+		order:   make([]string, len(cur.order), len(cur.order)+len(items)),
+		sets:    append([]*SignalSet(nil), cur.sets...),
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, dup := s.records[rec.ID]; dup {
-		return 0, fmt.Errorf("mdb: duplicate record ID %q", rec.ID)
+	for id, r := range cur.records {
+		next.records[id] = r
 	}
-	rec.stats = dsp.NewSlidingStats(rec.Samples)
-	s.records[rec.ID] = rec
-	s.order = append(s.order, rec.ID)
+	copy(next.order, cur.order)
 
 	created := 0
-	for start := 0; start+sliceLen <= len(rec.Samples); start += sliceLen {
-		anomalous := false
-		if labelFn != nil {
-			anomalous = labelFn(start)
+	for _, it := range items {
+		rec := it.rec
+		if _, dup := next.records[rec.ID]; dup {
+			return 0, fmt.Errorf("mdb: duplicate record ID %q", rec.ID)
 		}
-		s.sets = append(s.sets, &SignalSet{
-			ID:        len(s.sets),
-			RecordID:  rec.ID,
-			Start:     start,
-			Length:    sliceLen,
-			Anomalous: anomalous,
-			Class:     rec.Class,
-			Archetype: rec.Archetype,
-		})
-		created++
+		rec.stats = dsp.NewSlidingStats(rec.Samples)
+		next.records[rec.ID] = rec
+		next.order = append(next.order, rec.ID)
+		for start := 0; start+it.sliceLen <= len(rec.Samples); start += it.sliceLen {
+			anomalous := false
+			if it.labelFn != nil {
+				anomalous = it.labelFn(start)
+			}
+			next.sets = append(next.sets, &SignalSet{
+				ID:        len(next.sets),
+				RecordID:  rec.ID,
+				Start:     start,
+				Length:    it.sliceLen,
+				Anomalous: anomalous,
+				Class:     rec.Class,
+				Archetype: rec.Archetype,
+			})
+			created++
+		}
 	}
+	s.v.Store(next)
 	return created, nil
 }
 
 // Record returns the recording with the given ID.
-func (s *Store) Record(id string) (*Record, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.records[id]
+func (s *Store) Record(id string) (*Record, bool) { return s.Snapshot().Record(id) }
+
+// Sets returns all signal-sets in insertion order, as of the current
+// epoch. The returned slice is immutable; callers must not mutate it.
+func (s *Store) Sets() []*SignalSet { return s.Snapshot().Sets() }
+
+// NumSets returns the number of signal-sets.
+func (s *Store) NumSets() int { return s.Snapshot().NumSets() }
+
+// NumRecords returns the number of stored recordings.
+func (s *Store) NumRecords() int { return s.Snapshot().NumRecords() }
+
+// LabelCounts returns the number of normal and anomalous signal-sets.
+func (s *Store) LabelCounts() (normal, anomalous int) { return s.Snapshot().LabelCounts() }
+
+// SetsByLabel returns the signal-sets with the given label.
+func (s *Store) SetsByLabel(anomalous bool) []*SignalSet { return s.Snapshot().SetsByLabel(anomalous) }
+
+// Shards partitions the signal-sets into k contiguous shards for
+// parallel scanning. The shards belong to one epoch; a concurrent
+// Insert does not disturb them. Callers that also need Record/Window
+// lookups consistent with the shards should capture a Snapshot and
+// call everything on it.
+func (s *Store) Shards(k int) [][]*SignalSet { return s.Snapshot().Shards(k) }
+
+// Window reads n samples of the signal-set's parent recording starting
+// at the given offset *relative to the slice start*. Offsets may run
+// past the slice end (view semantics, see the package comment); ok is
+// false once the window would run past the end of the recording.
+func (s *Store) Window(set *SignalSet, offset, n int) ([]float64, bool) {
+	return s.Snapshot().Window(set, offset, n)
+}
+
+// TotalSamples returns the total number of stored samples across all
+// recordings.
+func (s *Store) TotalSamples() int { return s.Snapshot().TotalSamples() }
+
+// SubsetSets returns a store sharing this store's recordings but
+// exposing only the first n signal-sets. It is used by experiments
+// that sweep the search-space size (Fig. 7b) without rebuilding
+// recordings. The subset is read-only by convention.
+func (s *Store) SubsetSets(n int) *Store {
+	cur := s.v.Load()
+	if n > len(cur.sets) {
+		n = len(cur.sets)
+	}
+	if n < 0 {
+		n = 0
+	}
+	return newStoreView(&view{records: cur.records, order: cur.order, sets: cur.sets[:n]})
+}
+
+// RecordIDs returns the stored recording IDs in insertion order.
+func (s *Store) RecordIDs() []string { return s.Snapshot().RecordIDs() }
+
+// Snapshot is an immutable point-in-time view of a Store: the set
+// slice, the record map and everything they reach belong to one epoch
+// and never change. A shard scan that captures a snapshot is therefore
+// unaffected by concurrent Inserts, however long it runs.
+type Snapshot struct {
+	v *view
+}
+
+// ensure guards the zero Snapshot so accidental zero values behave as
+// an empty database instead of panicking.
+func (sn Snapshot) ensure() *view {
+	if sn.v == nil {
+		return emptyView
+	}
+	return sn.v
+}
+
+// Record returns the recording with the given ID in this epoch.
+func (sn Snapshot) Record(id string) (*Record, bool) {
+	r, ok := sn.ensure().records[id]
 	return r, ok
 }
 
-// Sets returns all signal-sets in insertion order. The returned slice
-// is shared; callers must not mutate it.
-func (s *Store) Sets() []*SignalSet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.sets
-}
+// Sets returns this epoch's signal-sets in insertion order. The slice
+// is immutable.
+func (sn Snapshot) Sets() []*SignalSet { return sn.ensure().sets }
 
-// NumSets returns the number of signal-sets.
-func (s *Store) NumSets() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.sets)
-}
+// NumSets returns the number of signal-sets in this epoch.
+func (sn Snapshot) NumSets() int { return len(sn.ensure().sets) }
 
-// NumRecords returns the number of stored recordings.
-func (s *Store) NumRecords() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.records)
-}
+// NumRecords returns the number of recordings in this epoch.
+func (sn Snapshot) NumRecords() int { return len(sn.ensure().records) }
 
 // LabelCounts returns the number of normal and anomalous signal-sets.
-func (s *Store) LabelCounts() (normal, anomalous int) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, set := range s.sets {
+func (sn Snapshot) LabelCounts() (normal, anomalous int) {
+	for _, set := range sn.ensure().sets {
 		if set.Anomalous {
 			anomalous++
 		} else {
@@ -166,11 +303,9 @@ func (s *Store) LabelCounts() (normal, anomalous int) {
 }
 
 // SetsByLabel returns the signal-sets with the given label.
-func (s *Store) SetsByLabel(anomalous bool) []*SignalSet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+func (sn Snapshot) SetsByLabel(anomalous bool) []*SignalSet {
 	var out []*SignalSet
-	for _, set := range s.sets {
+	for _, set := range sn.ensure().sets {
 		if set.Anomalous == anomalous {
 			out = append(out, set)
 		}
@@ -178,16 +313,15 @@ func (s *Store) SetsByLabel(anomalous bool) []*SignalSet {
 	return out
 }
 
-// Shards partitions the signal-sets into k contiguous shards for
-// parallel scanning (paper: "to enable the search algorithm to quickly
-// search through the complete database in parallel").
-func (s *Store) Shards(k int) [][]*SignalSet {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// Shards partitions this epoch's signal-sets into k contiguous shards
+// for parallel scanning (paper: "to enable the search algorithm to
+// quickly search through the complete database in parallel").
+func (sn Snapshot) Shards(k int) [][]*SignalSet {
+	sets := sn.ensure().sets
 	if k < 1 {
 		k = 1
 	}
-	n := len(s.sets)
+	n := len(sets)
 	if k > n {
 		k = n
 	}
@@ -199,20 +333,17 @@ func (s *Store) Shards(k int) [][]*SignalSet {
 		lo := i * n / k
 		hi := (i + 1) * n / k
 		if lo < hi {
-			out = append(out, s.sets[lo:hi])
+			out = append(out, sets[lo:hi])
 		}
 	}
 	return out
 }
 
 // Window reads n samples of the signal-set's parent recording starting
-// at the given offset *relative to the slice start*. Offsets may run
-// past the slice end (view semantics, see the package comment); ok is
-// false once the window would run past the end of the recording.
-func (s *Store) Window(set *SignalSet, offset, n int) ([]float64, bool) {
-	s.mu.RLock()
-	rec, exists := s.records[set.RecordID]
-	s.mu.RUnlock()
+// at the given offset relative to the slice start (view semantics; see
+// the package comment).
+func (sn Snapshot) Window(set *SignalSet, offset, n int) ([]float64, bool) {
+	rec, exists := sn.ensure().records[set.RecordID]
 	if !exists {
 		return nil, false
 	}
@@ -224,40 +355,19 @@ func (s *Store) Window(set *SignalSet, offset, n int) ([]float64, bool) {
 }
 
 // TotalSamples returns the total number of stored samples across all
-// recordings.
-func (s *Store) TotalSamples() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// recordings in this epoch.
+func (sn Snapshot) TotalSamples() int {
 	total := 0
-	for _, r := range s.records {
+	for _, r := range sn.ensure().records {
 		total += len(r.Samples)
 	}
 	return total
 }
 
-// SubsetSets returns a store sharing this store's recordings but
-// exposing only the first n signal-sets. It is used by experiments
-// that sweep the search-space size (Fig. 7b) without rebuilding
-// recordings. The subset is read-only by convention.
-func (s *Store) SubsetSets(n int) *Store {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if n > len(s.sets) {
-		n = len(s.sets)
-	}
-	if n < 0 {
-		n = 0
-	}
-	sub := &Store{records: s.records, order: s.order}
-	sub.sets = s.sets[:n]
-	return sub
-}
-
-// RecordIDs returns the stored recording IDs in insertion order.
-func (s *Store) RecordIDs() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, len(s.order))
-	copy(out, s.order)
+// RecordIDs returns this epoch's recording IDs in insertion order.
+func (sn Snapshot) RecordIDs() []string {
+	order := sn.ensure().order
+	out := make([]string, len(order))
+	copy(out, order)
 	return out
 }

@@ -30,12 +30,14 @@ const snapshotVersion = 1
 
 // Save serialises the store to w (gob). The paper persists its MDB in
 // MongoDB; a snapshot file plays that role here so cmd/emap-mdb can
-// build once and the cloud server can load at startup.
+// build once and the cloud server can load at startup. Save captures
+// one epoch: a concurrent Insert lands either wholly in the snapshot
+// or not at all.
 func (s *Store) Save(w io.Writer) error {
-	s.mu.RLock()
+	v := s.v.Load()
 	snap := snapshot{Version: snapshotVersion}
-	for _, id := range s.order {
-		r := s.records[id]
+	for _, id := range v.order {
+		r := v.records[id]
 		snap.Records = append(snap.Records, recordSnap{
 			ID:        r.ID,
 			Class:     int(r.Class),
@@ -44,10 +46,9 @@ func (s *Store) Save(w io.Writer) error {
 			Samples:   r.Samples,
 		})
 	}
-	for _, set := range s.sets {
+	for _, set := range v.sets {
 		snap.Sets = append(snap.Sets, *set)
 	}
-	s.mu.RUnlock()
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
@@ -60,7 +61,7 @@ func Load(r io.Reader) (*Store, error) {
 	if snap.Version != snapshotVersion {
 		return nil, fmt.Errorf("mdb: snapshot version %d unsupported (want %d)", snap.Version, snapshotVersion)
 	}
-	s := NewStore()
+	v := &view{records: make(map[string]*Record, len(snap.Records))}
 	for _, rs := range snap.Records {
 		rec := &Record{
 			ID:        rs.ID,
@@ -70,20 +71,20 @@ func Load(r io.Reader) (*Store, error) {
 			Samples:   rs.Samples,
 		}
 		rec.stats = dsp.NewSlidingStats(rec.Samples)
-		if _, dup := s.records[rec.ID]; dup {
+		if _, dup := v.records[rec.ID]; dup {
 			return nil, fmt.Errorf("mdb: snapshot has duplicate record %q", rec.ID)
 		}
-		s.records[rec.ID] = rec
-		s.order = append(s.order, rec.ID)
+		v.records[rec.ID] = rec
+		v.order = append(v.order, rec.ID)
 	}
 	for i := range snap.Sets {
 		set := snap.Sets[i]
-		if _, ok := s.records[set.RecordID]; !ok {
+		if _, ok := v.records[set.RecordID]; !ok {
 			return nil, fmt.Errorf("mdb: signal-set %d references missing record %q", set.ID, set.RecordID)
 		}
-		s.sets = append(s.sets, &set)
+		v.sets = append(v.sets, &set)
 	}
-	return s, nil
+	return newStoreView(v), nil
 }
 
 // SaveFile writes the store snapshot to the named file.

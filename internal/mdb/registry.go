@@ -1,0 +1,434 @@
+package mdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrRegistryFull is returned by Open when the registry is at its
+// tenant cap and cannot evict (no snapshot directory to save the
+// victim to — evicting would lose data).
+var ErrRegistryFull = errors.New("mdb: registry full and no snapshot directory to evict into")
+
+// snapExt is the filename extension of per-tenant snapshot files
+// inside a registry directory.
+const snapExt = ".snap"
+
+// ValidTenantID reports whether id is an acceptable tenant identifier:
+// 1–64 characters from [A-Za-z0-9._-], starting with a letter or
+// digit. The rule keeps IDs safe to embed in snapshot filenames and in
+// wire frames.
+func ValidTenantID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		case (c == '.' || c == '_' || c == '-') && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Registry manages the live tenant stores of one cloud process: each
+// tenant (patient cohort) owns an independently growing Store. Stores
+// open lazily — from a snapshot in the registry directory when one
+// exists, empty otherwise — and a bounded registry evicts the least
+// recently used store (persisting it first) when a new tenant would
+// exceed the cap. Close persists every open store, the shutdown half
+// of the paper's "continuously growing MongoDB" role.
+type Registry struct {
+	// OnEvict, when set, runs after a store leaves the registry (its
+	// snapshot, if any, already written). The cloud tier uses it to
+	// drop per-tenant serving state. Set it before the first Open.
+	// It is always invoked WITHOUT the registry lock held, so it may
+	// query the registry (but must not mutate it).
+	OnEvict func(tenant string, s *Store)
+
+	mu    sync.Mutex
+	dir   string // "" = memory-only, eviction cannot persist
+	max   int    // ≤0 = unbounded
+	clock int64
+	open  map[string]*tenantSlot
+	// evicting maps tenants whose snapshot persist is in flight (the
+	// slow disk write runs outside mu) to a channel closed when it
+	// completes; Open of such a tenant waits so it reloads the fresh
+	// snapshot, never a stale one.
+	evicting map[string]chan struct{}
+}
+
+type tenantSlot struct {
+	store   *Store
+	lastUse int64
+	// resident turns true once the store is loaded and usable;
+	// non-resident slots are invisible to Get and never evicted.
+	resident bool
+	// ready is closed when the opener finishes (store loaded or load
+	// failed); concurrent Opens wait on it instead of receiving a
+	// half-loaded store.
+	ready chan struct{}
+	// loadErr is the opener's failure, set before ready closes.
+	loadErr error
+}
+
+// NewRegistry returns a registry persisting tenant snapshots under
+// dir ("" keeps everything in memory) holding at most max open stores
+// (≤0: unbounded). The directory is created if missing.
+func NewRegistry(dir string, max int) (*Registry, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("mdb: registry dir: %w", err)
+		}
+	}
+	return &Registry{
+		dir:      dir,
+		max:      max,
+		open:     make(map[string]*tenantSlot),
+		evicting: make(map[string]chan struct{}),
+	}, nil
+}
+
+// Dir returns the registry's snapshot directory ("" when memory-only).
+func (r *Registry) Dir() string { return r.dir }
+
+// touch must be called with r.mu held.
+func (r *Registry) touch(slot *tenantSlot) {
+	r.clock++
+	slot.lastUse = r.clock
+}
+
+// Open returns the tenant's store, opening it if needed: a snapshot in
+// the registry directory is loaded lazily, otherwise a new empty store
+// is created (a tenant may start empty and fill via ingest). Opening
+// past the tenant cap evicts the least recently used resident store
+// first, saving it to the registry directory.
+func (r *Registry) Open(tenant string) (*Store, error) {
+	if !ValidTenantID(tenant) {
+		return nil, fmt.Errorf("mdb: invalid tenant ID %q", tenant)
+	}
+	for {
+		r.mu.Lock()
+		// An in-flight eviction of this tenant is still writing its
+		// snapshot; wait for the write so the reload below sees it.
+		if done, ok := r.evicting[tenant]; ok {
+			r.mu.Unlock()
+			<-done
+			continue
+		}
+		if slot, ok := r.open[tenant]; ok {
+			r.touch(slot)
+			r.mu.Unlock()
+			// Another goroutine may still be loading the snapshot;
+			// wait for it rather than returning a store the load
+			// would later overwrite (losing anything inserted
+			// meanwhile).
+			<-slot.ready
+			if slot.loadErr != nil {
+				return nil, slot.loadErr
+			}
+			return slot.store, nil
+		}
+		pend, err := r.makeRoomLocked()
+		if err != nil {
+			r.mu.Unlock()
+			if ferr := r.finishEvicts(pend); ferr != nil {
+				return nil, ferr
+			}
+			return nil, err
+		}
+		// Reserve the slot before the (possibly slow) snapshot load
+		// so a concurrent Open of the same tenant waits for this one
+		// instead of loading twice.
+		slot := &tenantSlot{ready: make(chan struct{})}
+		r.touch(slot)
+		r.open[tenant] = slot
+		dir := r.dir
+		r.mu.Unlock()
+		if err := r.finishEvicts(pend); err != nil {
+			r.mu.Lock()
+			delete(r.open, tenant)
+			slot.loadErr = err
+			r.mu.Unlock()
+			close(slot.ready)
+			return nil, err
+		}
+
+		store := NewStore()
+		var loadErr error
+		if dir != "" {
+			path := filepath.Join(dir, tenant+snapExt)
+			if _, err := os.Stat(path); err == nil {
+				loaded, err := LoadFile(path)
+				if err != nil {
+					loadErr = fmt.Errorf("mdb: loading tenant %q: %w", tenant, err)
+				} else {
+					store = loaded
+				}
+			}
+		}
+		r.mu.Lock()
+		if loadErr != nil {
+			delete(r.open, tenant)
+			slot.loadErr = loadErr
+		} else {
+			slot.store = store
+			slot.resident = true
+		}
+		r.mu.Unlock()
+		close(slot.ready)
+		return store, loadErr
+	}
+}
+
+// Adopt registers an existing store under the given tenant ID,
+// replacing nothing: adopting an already-open tenant is an error. It
+// seeds a registry with a pre-built store (e.g. the default tenant of
+// a single-store deployment).
+func (r *Registry) Adopt(tenant string, s *Store) error {
+	if !ValidTenantID(tenant) {
+		return fmt.Errorf("mdb: invalid tenant ID %q", tenant)
+	}
+	if s == nil {
+		s = NewStore()
+	}
+	r.mu.Lock()
+	if _, ok := r.open[tenant]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("mdb: tenant %q already open", tenant)
+	}
+	if _, ok := r.evicting[tenant]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("mdb: tenant %q is being evicted", tenant)
+	}
+	pend, err := r.makeRoomLocked()
+	if err != nil {
+		r.mu.Unlock()
+		if ferr := r.finishEvicts(pend); ferr != nil {
+			return ferr
+		}
+		return err
+	}
+	slot := &tenantSlot{store: s, resident: true, ready: make(chan struct{})}
+	close(slot.ready)
+	r.touch(slot)
+	r.open[tenant] = slot
+	r.mu.Unlock()
+	return r.finishEvicts(pend)
+}
+
+// Get returns the tenant's store without opening or creating it.
+// Tenants still mid-load report absent.
+func (r *Registry) Get(tenant string) (*Store, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	slot, ok := r.open[tenant]
+	if !ok || !slot.resident {
+		return nil, false
+	}
+	r.touch(slot)
+	return slot.store, true
+}
+
+// List returns the open tenant IDs, sorted.
+func (r *Registry) List() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.open))
+	for id := range r.open {
+		out = append(out, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// ListStored returns the tenant IDs with a snapshot in the registry
+// directory, sorted ("" directory: none). Together with List this is
+// the complete tenant population an operator can reach.
+func (r *Registry) ListStored() []string {
+	if r.dir == "" {
+		return nil
+	}
+	entries, err := os.ReadDir(r.dir)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapExt) {
+			continue
+		}
+		if id := strings.TrimSuffix(name, snapExt); ValidTenantID(id) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of open tenant stores.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.open)
+}
+
+// pendingEvict is one eviction begun under the lock: the slot has
+// left the open map and the tenant is barred from reopening until the
+// snapshot persist completes (finishEvicts).
+type pendingEvict struct {
+	id   string
+	slot *tenantSlot
+	done chan struct{}
+}
+
+// beginEvictLocked removes the slot from the open map and bars the
+// tenant from reopening until finishEvicts closes the barrier. Caller
+// holds r.mu.
+func (r *Registry) beginEvictLocked(id string, slot *tenantSlot) pendingEvict {
+	delete(r.open, id)
+	done := make(chan struct{})
+	r.evicting[id] = done
+	return pendingEvict{id: id, slot: slot, done: done}
+}
+
+// finishEvicts runs each begun eviction's snapshot persist — the slow
+// disk write — WITHOUT the registry lock, so one tenant's churn never
+// stalls the others' opens, then lifts the reopen barrier and fires
+// OnEvict. A persist failure re-installs the slot (losing patient
+// data is worse than exceeding the tenant cap) and is returned after
+// all evictions were attempted. Callers must not hold r.mu.
+func (r *Registry) finishEvicts(pend []pendingEvict) error {
+	var firstErr error
+	for _, p := range pend {
+		err := r.persist(p.id, p.slot.store)
+		if err == nil && r.OnEvict != nil {
+			// Notify BEFORE lifting the reopen barrier: once the
+			// barrier drops, the tenant may reopen with fresh
+			// serving state that a late notification must not
+			// destroy.
+			r.OnEvict(p.id, p.slot.store)
+		}
+		r.mu.Lock()
+		if err != nil {
+			r.open[p.id] = p.slot
+		}
+		delete(r.evicting, p.id)
+		r.mu.Unlock()
+		close(p.done)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// makeRoomLocked begins evicting least-recently-used resident tenants
+// until one more store fits, returning the evictions for the caller to
+// finish (persist + notify) after releasing r.mu.
+func (r *Registry) makeRoomLocked() ([]pendingEvict, error) {
+	var pend []pendingEvict
+	for r.max > 0 && len(r.open) >= r.max {
+		victim := ""
+		var oldest int64
+		for id, slot := range r.open {
+			if !slot.resident {
+				continue // mid-load; not safe to evict
+			}
+			if victim == "" || slot.lastUse < oldest {
+				victim, oldest = id, slot.lastUse
+			}
+		}
+		if victim == "" {
+			return pend, ErrRegistryFull
+		}
+		if r.dir == "" && r.open[victim].store.NumRecords() > 0 {
+			// Nowhere to persist a non-empty victim: refuse up
+			// front rather than beginning an eviction that must be
+			// rolled back.
+			return pend, ErrRegistryFull
+		}
+		pend = append(pend, r.beginEvictLocked(victim, r.open[victim]))
+	}
+	return pend, nil
+}
+
+// persist writes the tenant's snapshot when a directory is
+// configured; without one, eviction of a non-empty store would lose
+// data, so it is refused. Safe without r.mu (dir is immutable, Save
+// captures one store epoch).
+func (r *Registry) persist(tenant string, s *Store) error {
+	if r.dir == "" {
+		if s.NumRecords() > 0 {
+			return ErrRegistryFull
+		}
+		return nil
+	}
+	if err := s.SaveFile(filepath.Join(r.dir, tenant+snapExt)); err != nil {
+		return fmt.Errorf("mdb: saving tenant %q: %w", tenant, err)
+	}
+	return nil
+}
+
+// Evict persists the tenant's store (when a directory is configured)
+// and drops it from the registry. The next Open reloads it lazily.
+func (r *Registry) Evict(tenant string) error {
+	r.mu.Lock()
+	slot, ok := r.open[tenant]
+	if !ok || !slot.resident {
+		r.mu.Unlock()
+		return fmt.Errorf("mdb: tenant %q not open", tenant)
+	}
+	pend := r.beginEvictLocked(tenant, slot)
+	r.mu.Unlock()
+	return r.finishEvicts([]pendingEvict{pend})
+}
+
+// Close persists every open tenant store and empties the registry —
+// the shutdown flush. Memory-only registries simply drop their
+// stores. The first persistence error is returned, but every tenant
+// is attempted.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	var pend []pendingEvict
+	var dropped []pendingEvict
+	ids := make([]string, 0, len(r.open))
+	for id := range r.open {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		slot := r.open[id]
+		if !slot.resident {
+			// Mid-load: nothing of this tenant's is in memory yet;
+			// dropping the slot loses no data (the snapshot stays).
+			delete(r.open, id)
+			continue
+		}
+		if r.dir == "" {
+			// Shutdown of a memory-only registry discards stores by
+			// design; only eviction-with-nowhere-to-save is an
+			// error, not Close.
+			delete(r.open, id)
+			dropped = append(dropped, pendingEvict{id: id, slot: slot})
+			continue
+		}
+		pend = append(pend, r.beginEvictLocked(id, slot))
+	}
+	r.mu.Unlock()
+	if r.OnEvict != nil {
+		for _, p := range dropped {
+			r.OnEvict(p.id, p.slot.store)
+		}
+	}
+	return r.finishEvicts(pend)
+}

@@ -28,12 +28,28 @@
 //	payload [length]byte
 //	crc     uint32  IEEE CRC-32 of payload
 //
+// Version 3 inserts a tenant/store identifier after the request ID so
+// one cloud process can route each request to the right tenant's
+// mega-database (multi-tenant serving), and adds the TypeIngest
+// message pushing a preprocessed recording into the tenant's store:
+//
+//	magic   uint16  0xE3A7
+//	version uint8   3
+//	type    uint8   message type
+//	id      uint32  request identifier (echoed by the reply)
+//	tlen    uint8   tenant ID byte count (0 = default tenant)
+//	tenant  [tlen]byte  tenant/store identifier (UTF-8)
+//	length  uint32  payload byte count
+//	payload [length]byte
+//	crc     uint32  IEEE CRC-32 of payload
+//
 // Peers negotiate the version with a TypeHello exchange carried in a
 // v1 frame: the client announces its maximum supported version, the
 // server answers with the minimum of the two. A v1 server answers
-// Hello with TypeError (unknown message type), which a v2 client
-// treats as "speak v1". ReadFrameAny accepts both layouts, so each
-// frame self-describes its version.
+// Hello with TypeError (unknown message type), which a newer client
+// treats as "speak v1". ReadFrameAny accepts all layouts, so each
+// frame self-describes its version; v1/v2 frames carry no tenant and
+// servers route them to the default tenant.
 package proto
 
 import (
@@ -54,8 +70,12 @@ const (
 	// Version2 adds a per-request ID to every frame, enabling
 	// pipelined uploads with out-of-order replies.
 	Version2 uint8 = 2
+	// Version3 adds a tenant/store ID after the request ID, routing
+	// each request to one tenant's mega-database, and the ingest
+	// message pair.
+	Version3 uint8 = 3
 	// MaxVersion is the newest version this build speaks.
-	MaxVersion = Version2
+	MaxVersion = Version3
 
 	// Version is the legacy name for Version1, kept so v1-era
 	// callers keep compiling.
@@ -64,6 +84,10 @@ const (
 	// MaxPayload bounds a frame's payload; larger frames are
 	// rejected as corrupt before allocation.
 	MaxPayload = 16 << 20
+
+	// MaxTenantLen bounds the tenant ID carried by a v3 frame (the
+	// wire field is one length byte).
+	MaxTenantLen = 255
 )
 
 // MsgType identifies a message.
@@ -77,6 +101,11 @@ const (
 	TypePing    MsgType = 4 // liveness probe
 	TypePong    MsgType = 5 // liveness reply
 	TypeHello   MsgType = 6 // version negotiation (both directions)
+	// TypeIngest pushes a preprocessed recording into the tenant's
+	// mega-database (edge→cloud, v3); TypeIngestAck acknowledges it
+	// with the number of signal-sets created.
+	TypeIngest    MsgType = 7
+	TypeIngestAck MsgType = 8
 )
 
 // Protocol errors.
@@ -85,6 +114,7 @@ var (
 	ErrBadVersion = errors.New("proto: unsupported protocol version")
 	ErrBadCRC     = errors.New("proto: payload CRC mismatch")
 	ErrTooLarge   = errors.New("proto: frame exceeds MaxPayload")
+	ErrTenantLong = errors.New("proto: tenant ID exceeds MaxTenantLen")
 )
 
 // Upload is the edge→cloud message: the bandpass-filtered one-second
@@ -142,12 +172,54 @@ type Hello struct {
 	Features   uint32
 }
 
+// Ingest is the edge→cloud message pushing one preprocessed recording
+// (already resampled to the base rate and bandpass filtered, i.e. the
+// output of MDB preprocessing) into the tenant's mega-database, where
+// it is sliced into signal-sets and becomes searchable — the live
+// "recordings are continuously inserted" half of the paper's MongoDB
+// MDB. Samples travel quantized like uploads.
+type Ingest struct {
+	// Seq numbers the request (echoed by the ack).
+	Seq uint32
+	// RecordID names the recording; it must be unique within the
+	// tenant's store.
+	RecordID string
+	// Class and Archetype carry the clinical label metadata.
+	Class     uint8
+	Archetype uint16
+	// Onset is the ictal onset sample at the base rate, or -1 when
+	// the recording has no onset annotation (the server then labels
+	// per its class rule).
+	Onset int32
+	// Scale is the µV value of one count.
+	Scale float32
+	// Samples is the preprocessed waveform as 16-bit counts.
+	Samples []int16
+}
+
+// IngestAck is the cloud→edge acknowledgement of an Ingest.
+type IngestAck struct {
+	// Seq echoes the Ingest's sequence number.
+	Seq uint32
+	// Sets is the number of signal-sets the recording was sliced
+	// into.
+	Sets uint32
+	// TotalSets is the tenant store's signal-set count after the
+	// insert.
+	TotalSets uint32
+	// TotalRecords is the tenant store's recording count after the
+	// insert.
+	TotalRecords uint32
+}
+
 // Frame is one decoded wire frame. ID is zero for version-1 frames,
-// which carry no request identifier.
+// which carry no request identifier; Tenant is empty for version-1/-2
+// frames, which carry no tenant and route to the default tenant.
 type Frame struct {
 	Version uint8
 	Type    MsgType
 	ID      uint32
+	Tenant  string
 	Payload []byte
 }
 
@@ -224,14 +296,41 @@ func WriteFrameV2(w io.Writer, t MsgType, id uint32, payload []byte) error {
 	return writeFrame(w, hdr, payload)
 }
 
+// WriteFrameV3 writes one version-3 frame carrying a request ID and a
+// tenant/store identifier (empty = default tenant).
+func WriteFrameV3(w io.Writer, t MsgType, id uint32, tenant string, payload []byte) error {
+	if len(tenant) > MaxTenantLen {
+		return ErrTenantLong
+	}
+	hdr := make([]byte, 0, 13+len(tenant))
+	hdr = appendU16(hdr, Magic)
+	hdr = append(hdr, Version3, byte(t))
+	hdr = appendU32(hdr, id)
+	hdr = append(hdr, byte(len(tenant)))
+	hdr = append(hdr, tenant...)
+	hdr = appendU32(hdr, uint32(len(payload)))
+	return writeFrame(w, hdr, payload)
+}
+
 // WriteFrameVersion writes a frame in the given negotiated version;
-// the ID is dropped on the v1 wire (v1 replies match by order).
+// the ID is dropped on the v1 wire (v1 replies match by order). It is
+// the tenant-less form of WriteFrameTenant.
 func WriteFrameVersion(w io.Writer, version uint8, t MsgType, id uint32, payload []byte) error {
+	return WriteFrameTenant(w, version, t, id, "", payload)
+}
+
+// WriteFrameTenant writes a frame in the given negotiated version,
+// dropping whatever fields that version's layout cannot carry: v1
+// loses the ID and the tenant (replies match by order, requests land
+// on the default tenant), v2 loses the tenant only.
+func WriteFrameTenant(w io.Writer, version uint8, t MsgType, id uint32, tenant string, payload []byte) error {
 	switch version {
 	case Version1:
 		return WriteFrame(w, t, payload)
 	case Version2:
 		return WriteFrameV2(w, t, id, payload)
+	case Version3:
+		return WriteFrameV3(w, t, id, tenant, payload)
 	default:
 		return fmt.Errorf("%w: %d", ErrBadVersion, version)
 	}
@@ -258,6 +357,24 @@ func ReadFrameAny(r io.Reader) (Frame, error) {
 		var ext [4]byte
 		if _, err := io.ReadFull(r, ext[:]); err != nil {
 			return Frame{}, fmt.Errorf("proto: truncated v2 header: %w", err)
+		}
+		n = binary.LittleEndian.Uint32(ext[:])
+	case Version3:
+		f.ID = binary.LittleEndian.Uint32(hdr[4:])
+		var tl [1]byte
+		if _, err := io.ReadFull(r, tl[:]); err != nil {
+			return Frame{}, fmt.Errorf("proto: truncated v3 header: %w", err)
+		}
+		if tl[0] > 0 {
+			tenant := make([]byte, tl[0])
+			if _, err := io.ReadFull(r, tenant); err != nil {
+				return Frame{}, fmt.Errorf("proto: truncated v3 tenant: %w", err)
+			}
+			f.Tenant = string(tenant)
+		}
+		var ext [4]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return Frame{}, fmt.Errorf("proto: truncated v3 header: %w", err)
 		}
 		n = binary.LittleEndian.Uint32(ext[:])
 	default:
@@ -468,6 +585,61 @@ func DecodeHello(payload []byte) (*Hello, error) {
 		return nil, fmt.Errorf("proto: decoding Hello: %w", r.err)
 	}
 	return h, nil
+}
+
+// EncodeIngest serialises an Ingest payload.
+func EncodeIngest(g *Ingest) []byte {
+	b := make([]byte, 0, 19+len(g.RecordID)+2*len(g.Samples))
+	b = appendU32(b, g.Seq)
+	b = appendU32(b, uint32(len(g.RecordID)))
+	b = append(b, g.RecordID...)
+	b = append(b, g.Class)
+	b = appendU16(b, g.Archetype)
+	b = appendU32(b, uint32(g.Onset))
+	b = appendF32(b, g.Scale)
+	return appendSamples(b, g.Samples)
+}
+
+// DecodeIngest parses an Ingest payload.
+func DecodeIngest(payload []byte) (*Ingest, error) {
+	r := &reader{b: payload}
+	g := &Ingest{Seq: r.u32()}
+	n := int(r.u32())
+	if r.err == nil && (n < 0 || n > MaxPayload || !r.need(n)) {
+		return nil, fmt.Errorf("proto: decoding Ingest: %w", io.ErrUnexpectedEOF)
+	}
+	if r.err == nil {
+		g.RecordID = string(r.b[r.off : r.off+n])
+		r.off += n
+	}
+	g.Class = r.u8()
+	g.Archetype = r.u16()
+	g.Onset = int32(r.u32())
+	g.Scale = r.f32()
+	g.Samples = r.samples()
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decoding Ingest: %w", r.err)
+	}
+	return g, nil
+}
+
+// EncodeIngestAck serialises an IngestAck payload.
+func EncodeIngestAck(a *IngestAck) []byte {
+	b := make([]byte, 0, 16)
+	b = appendU32(b, a.Seq)
+	b = appendU32(b, a.Sets)
+	b = appendU32(b, a.TotalSets)
+	return appendU32(b, a.TotalRecords)
+}
+
+// DecodeIngestAck parses an IngestAck payload.
+func DecodeIngestAck(payload []byte) (*IngestAck, error) {
+	r := &reader{b: payload}
+	a := &IngestAck{Seq: r.u32(), Sets: r.u32(), TotalSets: r.u32(), TotalRecords: r.u32()}
+	if r.err != nil {
+		return nil, fmt.Errorf("proto: decoding IngestAck: %w", r.err)
+	}
+	return a, nil
 }
 
 // Negotiate picks the version both peers speak: the lower of the two

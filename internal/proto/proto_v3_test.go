@@ -1,0 +1,165 @@
+package proto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFrameV3RoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("tenant-routed emap")
+	if err := WriteFrameV3(&buf, TypeUpload, 0xCAFEF00D, "ward-7", payload); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrameAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Version != Version3 || f.Type != TypeUpload || f.ID != 0xCAFEF00D ||
+		f.Tenant != "ward-7" || !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("v3 frame mangled: %+v", f)
+	}
+}
+
+func TestFrameV3EmptyTenant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV3(&buf, TypePing, 1, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	f, err := ReadFrameAny(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Tenant != "" || f.Version != Version3 || f.ID != 1 {
+		t.Fatalf("empty-tenant v3 frame mangled: %+v", f)
+	}
+}
+
+func TestFrameV3TenantTooLong(t *testing.T) {
+	var buf bytes.Buffer
+	long := strings.Repeat("x", MaxTenantLen+1)
+	if err := WriteFrameV3(&buf, TypeUpload, 1, long, nil); err != ErrTenantLong {
+		t.Fatalf("oversize tenant error = %v", err)
+	}
+}
+
+func TestFrameV3Corruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrameV3(&buf, TypeCorrSet, 3, "t1", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Header: 2 magic + 1 ver + 1 type + 4 id + 1 tlen + 2 tenant + 4 len = 15.
+	bad := append([]byte{}, raw...)
+	bad[15] ^= 0x01 // first payload byte
+	if _, err := ReadFrameAny(bytes.NewReader(bad)); err != ErrBadCRC {
+		t.Fatalf("corrupt payload error = %v", err)
+	}
+	if _, err := ReadFrameAny(bytes.NewReader(raw[:9])); err == nil {
+		t.Fatal("truncated tlen should error")
+	}
+	if _, err := ReadFrameAny(bytes.NewReader(raw[:10])); err == nil {
+		t.Fatal("truncated tenant should error")
+	}
+	if _, err := ReadFrameAny(bytes.NewReader(raw[:13])); err == nil {
+		t.Fatal("truncated length should error")
+	}
+	if _, err := ReadFrameAny(bytes.NewReader(raw[:len(raw)-1])); err == nil {
+		t.Fatal("truncated CRC should error")
+	}
+}
+
+func TestWriteFrameTenantDispatch(t *testing.T) {
+	// v1 drops ID and tenant, v2 drops the tenant, v3 carries both.
+	for _, c := range []struct {
+		version    uint8
+		wantID     uint32
+		wantTenant string
+	}{
+		{Version1, 0, ""},
+		{Version2, 7, ""},
+		{Version3, 7, "icu"},
+	} {
+		var buf bytes.Buffer
+		if err := WriteFrameTenant(&buf, c.version, TypePong, 7, "icu", nil); err != nil {
+			t.Fatal(err)
+		}
+		f, err := ReadFrameAny(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Version != c.version || f.ID != c.wantID || f.Tenant != c.wantTenant {
+			t.Fatalf("v%d dispatch: %+v", c.version, f)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteFrameTenant(&buf, 9, TypePong, 0, "", nil); err == nil {
+		t.Fatal("unknown version should error")
+	}
+}
+
+func TestIngestRoundTrip(t *testing.T) {
+	in := &Ingest{
+		Seq:       42,
+		RecordID:  "patient-9/rec-3",
+		Class:     2,
+		Archetype: 11,
+		Onset:     -1,
+		Scale:     0.125,
+		Samples:   []int16{-3, 0, 7, 32000, -32000},
+	}
+	got, err := DecodeIngest(EncodeIngest(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != in.Seq || got.RecordID != in.RecordID || got.Class != in.Class ||
+		got.Archetype != in.Archetype || got.Onset != in.Onset || got.Scale != in.Scale {
+		t.Fatalf("ingest mangled: %+v", got)
+	}
+	for i, v := range in.Samples {
+		if got.Samples[i] != v {
+			t.Fatalf("sample %d: %d != %d", i, got.Samples[i], v)
+		}
+	}
+	if _, err := DecodeIngest([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short ingest should error")
+	}
+	// A record-ID length pointing past the payload must not panic.
+	bad := EncodeIngest(in)[:10]
+	if _, err := DecodeIngest(bad); err == nil {
+		t.Fatal("truncated record ID should error")
+	}
+}
+
+func TestIngestAckRoundTrip(t *testing.T) {
+	a := &IngestAck{Seq: 9, Sets: 23, TotalSets: 1023, TotalRecords: 45}
+	got, err := DecodeIngestAck(EncodeIngestAck(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *a {
+		t.Fatalf("ack mangled: %+v", got)
+	}
+	if _, err := DecodeIngestAck([]byte{1}); err == nil {
+		t.Fatal("short ack should error")
+	}
+}
+
+func TestNegotiateV3(t *testing.T) {
+	cases := []struct{ ours, theirs, want uint8 }{
+		{Version3, Version3, Version3},
+		{Version3, Version2, Version2},
+		{Version2, Version3, Version2},
+		{Version3, Version1, Version1},
+		{Version3, 9, Version3},
+	}
+	for _, c := range cases {
+		if got := Negotiate(c.ours, c.theirs); got != c.want {
+			t.Fatalf("Negotiate(%d,%d) = %d, want %d", c.ours, c.theirs, got, c.want)
+		}
+	}
+	if MaxVersion != Version3 {
+		t.Fatalf("MaxVersion = %d", MaxVersion)
+	}
+}

@@ -66,7 +66,12 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 		br.Elapsed = time.Since(start)
 		return br, nil
 	}
-	sets := s.store.Sets()
+	// One epoch snapshot serves the whole batch: the set list, the
+	// shard partition and every record lookup below come from the
+	// same immutable view, so a concurrent Insert (live ingest)
+	// neither tears the scan nor shifts its results mid-flight.
+	snap := s.store.Snapshot()
+	sets := snap.Sets()
 
 	// Z-normalize every query once and deduplicate bit-identical
 	// normalized queries: repeated windows (the tracking-loop steady
@@ -101,7 +106,7 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 	}
 	if len(uniques) > 0 {
 		groups := groupByLen(uniques)
-		shards := s.store.Shards(s.params.Workers)
+		shards := snap.Shards(s.params.Workers)
 		shardAccs := make([][]queryAccum, len(shards))
 		shardPasses := make([]int, len(shards))
 		var wg sync.WaitGroup
@@ -109,7 +114,7 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 			wg.Add(1)
 			go func(i int, shard []*mdb.SignalSet) {
 				defer wg.Done()
-				shardAccs[i], shardPasses[i] = s.scanShardBatch(shard, uniques, groups, exhaustive)
+				shardAccs[i], shardPasses[i] = s.scanShardBatch(snap, shard, uniques, groups, exhaustive)
 			}(i, shard)
 		}
 		wg.Wait()
@@ -200,7 +205,7 @@ type cursor struct {
 // window and its centred norm are materialized once and every cursor
 // standing at that offset takes its dot product against the hot data —
 // B queries cost one pass of memory traffic, not B.
-func (s *Searcher) scanShardBatch(shard []*mdb.SignalSet, uniques [][]float64, groups []lenGroup, exhaustive bool) ([]queryAccum, int) {
+func (s *Searcher) scanShardBatch(snap mdb.Snapshot, shard []*mdb.SignalSet, uniques [][]float64, groups []lenGroup, exhaustive bool) ([]queryAccum, int) {
 	p := s.params
 	accs := make([]queryAccum, len(uniques))
 	for i := range accs {
@@ -216,7 +221,7 @@ func (s *Searcher) scanShardBatch(shard []*mdb.SignalSet, uniques [][]float64, g
 		}
 	}
 	for _, set := range shard {
-		rec, ok := s.store.Record(set.RecordID)
+		rec, ok := snap.Record(set.RecordID)
 		if !ok {
 			continue
 		}

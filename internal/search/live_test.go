@@ -1,0 +1,156 @@
+package search
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"emap/internal/mdb"
+	"emap/internal/synth"
+)
+
+// TestSearchStableUnderConcurrentInsert is the live-MDB contract: a
+// batch scan in flight while Insert runs must behave exactly as if the
+// database were frozen at the epoch the scan started from. Every
+// concurrent search result is replayed against the store's prefix of
+// the same size (signal-sets are append-only, so the epoch with k sets
+// is exactly the final store's first k sets) and must match
+// bit-for-bit — no torn reads, no half-visible recordings. Run under
+// `go test -race` this also proves the memory-model half.
+func TestSearchStableUnderConcurrentInsert(t *testing.T) {
+	g := synth.NewGenerator(synth.Config{Seed: 33, ArchetypesPerClass: 2})
+	var recs []*synth.Recording
+	for i := 0; i < 4; i++ {
+		recs = append(recs, g.Instance(synth.Normal, i%2, synth.InstanceOpts{
+			OffsetSamples: i * 3000, DurSeconds: 40}))
+	}
+	store, err := mdb.Build(recs, mdb.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	query := recs[0].Samples[2048:2304]
+	params := Params{Workers: 2}
+	searcher := NewSearcher(store, params)
+
+	const inserts = 12
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < inserts; i++ {
+			rec := g.Instance(synth.Seizure, i%2, synth.InstanceOpts{
+				OffsetSamples: synth.PreictalAt*256 + i*2000, DurSeconds: 20})
+			proc, err := mdb.Preprocess(rec, mdb.DefaultBuildConfig(), nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			proc.ID = fmt.Sprintf("live-%d", i)
+			if _, err := store.Insert(proc, 1000, func(int) bool { return true }); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var results []*Result
+	for i := 0; i < 24; i++ {
+		res, err := searcher.Algorithm1(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	wg.Wait()
+
+	// Replay every concurrent result against the frozen prefix of
+	// its epoch: identical matches and counters prove the in-flight
+	// scans were untouched by the simultaneous Inserts.
+	finalSets := store.NumSets()
+	prev := 0
+	for i, res := range results {
+		if res.SetsScanned < prev || res.SetsScanned > finalSets {
+			t.Fatalf("search %d scanned %d sets outside the epoch range [%d, %d]",
+				i, res.SetsScanned, prev, finalSets)
+		}
+		prev = res.SetsScanned
+		ref, err := NewSearcher(store.SubsetSets(res.SetsScanned), params).Algorithm1(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Matches, ref.Matches) {
+			t.Fatalf("search %d (epoch %d sets): matches diverge from the frozen-epoch replay",
+				i, res.SetsScanned)
+		}
+		if res.Evaluated != ref.Evaluated || res.Candidates != ref.Candidates {
+			t.Fatalf("search %d: counters diverge: %d/%d vs %d/%d",
+				i, res.Evaluated, res.Candidates, ref.Evaluated, ref.Candidates)
+		}
+	}
+
+	// After the ingest goroutine finishes, a fresh search must see
+	// the grown database.
+	res, err := searcher.Algorithm1(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SetsScanned != finalSets {
+		t.Fatalf("post-ingest search scanned %d of %d sets", res.SetsScanned, finalSets)
+	}
+}
+
+// TestInsertDuringShardWalk hammers Insert against every read-side
+// accessor concurrently; it exists for the race detector.
+func TestInsertDuringShardWalk(t *testing.T) {
+	g := synth.NewGenerator(synth.Config{Seed: 7, ArchetypesPerClass: 1})
+	store := mdb.NewStore()
+	seedRec := func(i int) *mdb.Record {
+		rec := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+			OffsetSamples: i * 1000, DurSeconds: 10})
+		proc, err := mdb.Preprocess(rec, mdb.DefaultBuildConfig(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc.ID = fmt.Sprintf("rec-%d", i)
+		return proc
+	}
+	if _, err := store.Insert(seedRec(0), 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	query := make([]float64, 256)
+	snap := store.Snapshot()
+	if w, ok := snap.Window(snap.Sets()[0], 0, 256); ok {
+		copy(query, w)
+	}
+	searcher := NewSearcher(store, Params{Workers: 2})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= 8; i++ {
+			if _, err := store.Insert(seedRec(i), 1000, nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, err := searcher.AlgorithmN([][]float64{query, query}); err != nil {
+					t.Error(err)
+					return
+				}
+				store.Shards(3)
+				store.LabelCounts()
+				store.RecordIDs()
+				store.TotalSamples()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -77,6 +77,19 @@ func (c Class) String() string {
 // Anomalous reports whether the class is one of the three anomalies.
 func (c Class) Anomalous() bool { return c != Normal }
 
+// ClassFromCode converts a wire class code back to a Class, mapping
+// unknown codes to Normal. Both protocol endpoints (edge download
+// materialisation, cloud ingest) decode through this one mapping.
+func ClassFromCode(code uint8) Class {
+	c := Class(code)
+	for _, known := range Classes {
+		if c == known {
+			return c
+		}
+	}
+	return Normal
+}
+
 // BaseRate is the framework's base sampling frequency in Hz (paper:
 // 256 Hz, 16-bit).
 const BaseRate = 256.0

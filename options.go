@@ -5,6 +5,7 @@ import (
 
 	"emap/internal/cloud"
 	"emap/internal/core"
+	"emap/internal/mdb"
 	"emap/internal/search"
 )
 
@@ -110,7 +111,10 @@ func New(store *Store, opts ...Option) (*Session, error) {
 // cloud server needs only the root import. CloudConfig's batching
 // knobs (MaxBatch, BatchWindow) and correlation-set cache (CacheSize)
 // are what let one store serve many concurrent edges at one shard
-// pass per batch — see internal/cloud and DESIGN.md §5.
+// pass per batch — see internal/cloud and DESIGN.md §5. A server is
+// multi-tenant: a Registry of live tenant stores replaces the single
+// frozen store, protocol-v3 requests route by tenant ID, and tenants
+// ingest recordings while being searched (DESIGN.md §9).
 type (
 	// CloudConfig parameterises a cloud server (zero values take
 	// paper defaults).
@@ -118,14 +122,44 @@ type (
 	// CloudServer serves edge uploads over TCP.
 	CloudServer = cloud.Server
 	// CloudMetrics exposes a server's counters, including
-	// BatchSizeMean and the cache hit/miss totals.
+	// BatchSizeMean and the cache hit/miss totals; per-tenant
+	// breakdowns come from CloudServer.MetricsFor.
 	CloudMetrics = cloud.Metrics
 	// BatchSearchResult is the outcome of a batched multi-query
 	// search (Searcher.AlgorithmN).
 	BatchSearchResult = search.BatchResult
+	// Registry manages the live tenant stores of one cloud process:
+	// lazy snapshot loads, LRU eviction with persistence, shutdown
+	// flush.
+	Registry = mdb.Registry
+	// StoreSnapshot is an immutable epoch of a Store; searches over
+	// a snapshot are unaffected by concurrent Inserts.
+	StoreSnapshot = mdb.Snapshot
 )
 
-// NewCloudServer returns a cloud server over the given mega-database.
+// DefaultTenant is the tenant that protocol-v1/v2 peers (and
+// tenant-less v3 frames) are routed to.
+const DefaultTenant = cloud.DefaultTenant
+
+// NewRegistry returns a tenant-store registry persisting snapshots
+// under dir ("" = memory-only) and holding at most max open stores
+// (≤0: unbounded). Serve it with NewCloudFromRegistry, or let NewCloud
+// assemble registry and server together.
+func NewRegistry(dir string, max int) (*Registry, error) {
+	return mdb.NewRegistry(dir, max)
+}
+
+// NewCloudFromRegistry returns a multi-tenant cloud server over a
+// registry the caller assembled (pre-seeded tenants via
+// Registry.Adopt, custom directory layout, shared with operator
+// tooling). Most deployments can use NewCloud instead.
+func NewCloudFromRegistry(reg *Registry, cfg CloudConfig) (*CloudServer, error) {
+	return cloud.NewRegistryServer(reg, cfg)
+}
+
+// NewCloudServer returns a cloud server over the given mega-database,
+// installed as the default tenant of an in-memory registry. The store
+// may be nil or empty — tenants may start empty and fill via ingest.
 // Serve it with net.Listen + srv.Serve, stop it with Shutdown:
 //
 //	srv, _ := emap.NewCloudServer(store, emap.CloudConfig{})
@@ -133,6 +167,75 @@ type (
 //	go srv.Serve(l)
 func NewCloudServer(store *Store, cfg CloudConfig) (*CloudServer, error) {
 	return cloud.NewServer(store, cfg)
+}
+
+// cloudSetup is the deployment NewCloud assembles from CloudOptions.
+type cloudSetup struct {
+	cfg CloudConfig
+	dir string
+	max int
+}
+
+// CloudOption adjusts a multi-tenant cloud deployment assembled by
+// NewCloud.
+type CloudOption func(*cloudSetup)
+
+// WithCloudConfig sets the serving configuration (workers, batching,
+// caching, horizon — zero values take paper defaults).
+func WithCloudConfig(cfg CloudConfig) CloudOption {
+	return func(s *cloudSetup) { s.cfg = cfg }
+}
+
+// WithRegistryDir persists tenant stores as snapshot files under dir:
+// tenants load lazily from their snapshot on first use, evicted and
+// shut-down tenants are saved back.
+func WithRegistryDir(dir string) CloudOption {
+	return func(s *cloudSetup) { s.dir = dir }
+}
+
+// WithMaxTenants bounds how many tenant stores stay open at once;
+// opening one more evicts the least recently used (persisting it when
+// a registry directory is configured). ≤0 means unbounded.
+func WithMaxTenants(n int) CloudOption {
+	return func(s *cloudSetup) { s.max = n }
+}
+
+// WithTenant names the default tenant — where protocol-v1/v2 peers
+// and tenant-less v3 requests land, and where NewCloud installs the
+// seed store.
+func WithTenant(id string) CloudOption {
+	return func(s *cloudSetup) { s.cfg.DefaultTenant = id }
+}
+
+// NewCloud assembles a multi-tenant cloud server: a tenant registry
+// (optionally disk-backed and bounded) serving many independently
+// growing stores from one process. A non-nil store seeds the default
+// tenant; further tenants open lazily as protocol-v3 requests name
+// them.
+//
+//	srv, _ := emap.NewCloud(store,
+//	    emap.WithRegistryDir("/var/lib/emap/tenants"),
+//	    emap.WithMaxTenants(64),
+//	)
+func NewCloud(store *Store, opts ...CloudOption) (*CloudServer, error) {
+	var s cloudSetup
+	for _, opt := range opts {
+		opt(&s)
+	}
+	reg, err := mdb.NewRegistry(s.dir, s.max)
+	if err != nil {
+		return nil, err
+	}
+	if store != nil {
+		def := s.cfg.DefaultTenant
+		if def == "" {
+			def = DefaultTenant
+		}
+		if err := reg.Adopt(def, store); err != nil {
+			return nil, err
+		}
+	}
+	return cloud.NewRegistryServer(reg, s.cfg)
 }
 
 // Monitor is a convenience wrapper for fully streaming use: it starts
