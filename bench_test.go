@@ -13,9 +13,11 @@ import (
 	"time"
 
 	"emap"
+	"emap/internal/backoff"
 	"emap/internal/cloud"
 	"emap/internal/edge"
 	"emap/internal/experiments"
+	"emap/internal/netsim"
 )
 
 // benchEnv is the shared reduced environment for figure benches.
@@ -328,4 +330,93 @@ func BenchmarkMDBConstruction(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkDegradedRecovery measures the resilience subsystem's key
+// latency: the time from the moment a severed edge↔cloud link heals to
+// the first slot that tracks a freshly re-adopted correlation set. A
+// netsim partition cuts a live TCP session mid-stream, the device
+// rides out the outage in degraded mode (retrying with backoff), and
+// the clock runs from Heal until Status shows healthy tracking again.
+func BenchmarkDegradedRecovery(b *testing.B) {
+	gen := emap.NewGenerator(7)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(2, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := cloud.NewServer(store, cloud.Config{HorizonSeconds: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	part := netsim.NewPartition()
+	go srv.Serve(part.Listen(l))
+	defer srv.Close()
+
+	quick := backoff.Policy{Min: 2 * time.Millisecond, Max: 20 * time.Millisecond}
+	input := gen.SeizureInput(0, 30, 120)
+	windows := len(input.Samples) / 256
+	var recovery time.Duration
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		part.Heal()
+		client, err := edge.DialOpts(l.Addr().String(), edge.ClientOptions{
+			DialTimeout:    time.Second,
+			RedialAttempts: 2,
+			Redial:         quick,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dev, err := edge.NewDevice(client, edge.Config{
+			CloudTimeout:   2 * time.Second,
+			Refresh:        quick,
+			RefreshRetries: 3,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		k := 0
+		for ; k < 10; k++ {
+			if _, err := dev.Push(context.Background(), input.Samples[k*256:(k+1)*256]); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		part.Split()
+		for ; k < 25; k++ {
+			if _, err := dev.Push(context.Background(), input.Samples[k*256:(k+1)*256]); err != nil {
+				b.Fatal(err)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		part.Heal()
+		healed := time.Now()
+		b.StartTimer()
+		recovered := false
+		for ; k < windows; k++ {
+			st, err := dev.Push(context.Background(), input.Samples[k*256:(k+1)*256])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.Tracking && !st.Degraded && st.Remaining > 0 {
+				recovered = true
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		b.StopTimer()
+		if !recovered {
+			b.Fatal("device never recovered after heal")
+		}
+		recovery += time.Since(healed)
+		dev.Close()
+		client.Close()
+	}
+	b.ReportMetric(float64(recovery.Milliseconds())/float64(max(b.N, 1)), "heal-to-readopt-ms")
 }

@@ -8,11 +8,19 @@
 //	emap-edge [-addr localhost:7300] [-class seizure] [-lead 30]
 //	          [-seconds 30] [-seed 2020] [-arch 0]
 //	          [-tenant ID] [-ingest]
+//	          [-connect-retries 5] [-keepalive 30s] [-refresh-retries 5]
 //
 // -tenant routes every request to the named cloud tenant store
 // (protocol v3); -ingest additionally contributes the streamed
 // recording to that store afterwards, so the tenant's mega-database
 // grows with each session.
+//
+// The connection is resilient by default: the initial connect retries
+// with exponential backoff (-connect-retries attempts), an idle link
+// is probed and repaired by a keepalive every -keepalive (0 disables),
+// and mid-stream outages show up as DEGRADED status lines while the
+// device retries in the background — Ctrl-C interrupts any of it
+// immediately.
 package main
 
 import (
@@ -27,9 +35,38 @@ import (
 	"time"
 
 	"emap"
+	"emap/internal/backoff"
 	"emap/internal/edge"
 	"emap/internal/synth"
 )
+
+// connect dials the cloud with bounded, backoff-paced retries, giving
+// up early when ctx is cancelled (Ctrl-C must not wait out a sleep).
+func connect(ctx context.Context, addr, tenant string, retries int, keepalive time.Duration) (*edge.Client, error) {
+	if retries < 1 {
+		retries = 1 // -connect-retries 0 still means one attempt
+	}
+	pol := backoff.Policy{}
+	var lastErr error
+	for attempt := 0; attempt < retries; attempt++ {
+		if attempt > 0 {
+			fmt.Printf("connect attempt %d/%d failed (%v); retrying\n", attempt, retries, lastErr)
+			if err := pol.Sleep(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		client, err := edge.DialOpts(addr, edge.ClientOptions{
+			Tenant:      tenant,
+			DialTimeout: 5 * time.Second,
+			Keepalive:   keepalive,
+		})
+		if err == nil {
+			return client, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
 
 func main() {
 	addr := flag.String("addr", "localhost:7300", "cloud address")
@@ -42,6 +79,9 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-exchange cloud timeout")
 	tenant := flag.String("tenant", "", "cloud tenant/store ID (empty: server default)")
 	ingest := flag.Bool("ingest", false, "contribute the streamed recording to the tenant store afterwards")
+	connectRetries := flag.Int("connect-retries", 5, "initial connection attempts (exponential backoff between them)")
+	keepalive := flag.Duration("keepalive", 30*time.Second, "idle-connection probe interval (0 disables)")
+	refreshRetries := flag.Int("refresh-retries", 5, "cloud attempts per background refresh cycle during an outage")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -67,7 +107,7 @@ func main() {
 			OffsetSamples: 3000, DurSeconds: *seconds})
 	}
 
-	client, err := edge.DialTenant(*addr, *tenant, 5*time.Second)
+	client, err := connect(ctx, *addr, *tenant, *connectRetries, *keepalive)
 	if err != nil {
 		log.Fatalf("emap-edge: %v", err)
 	}
@@ -81,10 +121,15 @@ func main() {
 	}
 	fmt.Println()
 
-	dev, err := edge.NewDevice(client, edge.Config{CloudTimeout: *timeout, Tenant: *tenant})
+	dev, err := edge.NewDevice(client, edge.Config{
+		CloudTimeout:   *timeout,
+		Tenant:         *tenant,
+		RefreshRetries: *refreshRetries,
+	})
 	if err != nil {
 		log.Fatalf("emap-edge: %v", err)
 	}
+	defer dev.Close()
 
 	fmt.Printf("streaming %s (%s, %.0f s) to %s\n", input.ID, class, *seconds, *addr)
 	for k := 0; k+256 <= len(input.Samples); k += 256 {
@@ -104,6 +149,10 @@ func main() {
 		if st.CloudCalled {
 			marker = "  [cloud call]"
 		}
+		if st.Degraded {
+			marker += fmt.Sprintf("  [DEGRADED: %d failures, last: %v]",
+				st.ConsecutiveFailures, st.LastCloudErr)
+		}
 		if st.Tracking {
 			fmt.Printf("t=%3ds  P_A=%.2f  tracking %3d signals  anomalous=%v%s\n",
 				st.Window, st.PA, st.Remaining, st.Anomalous, marker)
@@ -111,7 +160,12 @@ func main() {
 			fmt.Printf("t=%3ds  (acquiring)%s\n", st.Window, marker)
 		}
 		if *realtime {
-			time.Sleep(time.Second)
+			// Pace without ignoring the signal context: Ctrl-C must
+			// interrupt the wait, not sit out the remaining second.
+			select {
+			case <-time.After(time.Second):
+			case <-ctx.Done():
+			}
 		}
 	}
 	fmt.Printf("final decision: anomalous=%v (peak smoothed P_A %.2f)\n",

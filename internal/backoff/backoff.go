@@ -1,0 +1,104 @@
+// Package backoff implements the retry pacing used everywhere the
+// edge tier talks to an unreliable network: exponential delays with
+// full jitter, capped, and always cancellable through a context. The
+// paper's deployment model (a wearable on a cellular link, §V-A)
+// makes link loss the normal case, so retry cadence is a first-class
+// tuning surface: the same Policy drives the device's background
+// correlation-set refresh, the client's reconnect path, and the
+// emap-edge command's connect loop.
+package backoff
+
+import (
+	"context"
+	"math/rand/v2"
+	"time"
+)
+
+// Policy describes an exponential backoff schedule. The zero value
+// selects the package defaults (100 ms doubling to 10 s, half
+// jittered).
+type Policy struct {
+	// Min is the delay before the first retry (default 100 ms).
+	Min time.Duration
+	// Max caps the grown delay (default 10 s).
+	Max time.Duration
+	// Factor is the per-attempt growth multiplier (default 2).
+	Factor float64
+	// Jitter is the fraction of each delay that is randomized:
+	// the waited time is uniform in [d·(1-Jitter), d]. 0 selects the
+	// default 0.5; negative disables jitter entirely (deterministic
+	// delays, used by tests).
+	Jitter float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Min <= 0 {
+		p.Min = 100 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = 10 * time.Second
+	}
+	if p.Max < p.Min {
+		p.Max = p.Min
+	}
+	if p.Factor < 1 {
+		p.Factor = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	} else if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter > 1 {
+		p.Jitter = 1
+	}
+	return p
+}
+
+// Delay returns the deterministic (un-jittered) delay before retry
+// number attempt (0-based): Min·Factor^attempt, capped at Max.
+func (p Policy) Delay(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := float64(p.Min)
+	for i := 0; i < attempt; i++ {
+		d *= p.Factor
+		if d >= float64(p.Max) {
+			return p.Max
+		}
+	}
+	if d > float64(p.Max) {
+		return p.Max
+	}
+	return time.Duration(d)
+}
+
+// Jittered returns the randomized delay before retry number attempt:
+// Delay(attempt) shrunk by up to the jitter fraction. Randomizing
+// downward keeps the cap honest — a retry never waits longer than the
+// deterministic schedule promises.
+func (p Policy) Jittered(attempt int) time.Duration {
+	p = p.withDefaults()
+	d := p.Delay(attempt)
+	if p.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	spread := time.Duration(p.Jitter * float64(d) * rand.Float64())
+	return d - spread
+}
+
+// Sleep waits the jittered delay for the given attempt, or returns
+// ctx.Err() as soon as the context is done. A nil return means the
+// full delay elapsed and the caller should retry.
+func (p Policy) Sleep(ctx context.Context, attempt int) error {
+	d := p.Jittered(attempt)
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return ctx.Err()
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,97 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayGrowsAndCaps(t *testing.T) {
+	p := Policy{Min: 10 * time.Millisecond, Max: 80 * time.Millisecond, Factor: 2, Jitter: -1}
+	want := []time.Duration{
+		10 * time.Millisecond,
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := p.Delay(i); got != w {
+			t.Fatalf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	var p Policy
+	if got := p.Delay(0); got != 100*time.Millisecond {
+		t.Fatalf("default Min = %v, want 100ms", got)
+	}
+	if got := p.Delay(100); got != 10*time.Second {
+		t.Fatalf("default Max = %v, want 10s", got)
+	}
+}
+
+func TestMaxClampedToMin(t *testing.T) {
+	p := Policy{Min: time.Second, Max: time.Millisecond, Jitter: -1}
+	if got := p.Delay(0); got != time.Second {
+		t.Fatalf("Delay(0) = %v, want Min to win over a smaller Max", got)
+	}
+}
+
+func TestJitteredStaysInBounds(t *testing.T) {
+	p := Policy{Min: 40 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	lo := 20 * time.Millisecond
+	hi := 40 * time.Millisecond
+	varied := false
+	first := p.Jittered(0)
+	for i := 0; i < 64; i++ {
+		d := p.Jittered(0)
+		if d < lo || d > hi {
+			t.Fatalf("Jittered(0) = %v, want in [%v, %v]", d, lo, hi)
+		}
+		if d != first {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter produced 64 identical delays")
+	}
+}
+
+func TestJitterDisabled(t *testing.T) {
+	p := Policy{Min: 5 * time.Millisecond, Jitter: -1}
+	for i := 0; i < 8; i++ {
+		if got := p.Jittered(0); got != 5*time.Millisecond {
+			t.Fatalf("Jittered with jitter disabled = %v, want exactly Min", got)
+		}
+	}
+}
+
+func TestSleepHonoursContext(t *testing.T) {
+	p := Policy{Min: 10 * time.Second, Jitter: -1}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- p.Sleep(ctx, 0) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Sleep = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep ignored cancellation")
+	}
+}
+
+func TestSleepElapses(t *testing.T) {
+	p := Policy{Min: time.Millisecond, Jitter: -1}
+	start := time.Now()
+	if err := p.Sleep(context.Background(), 0); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+	if time.Since(start) < time.Millisecond {
+		t.Fatal("Sleep returned before the delay elapsed")
+	}
+}

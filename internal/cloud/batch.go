@@ -60,8 +60,16 @@ func (s *Server) dispatch(t *tenant, p *pending) {
 	if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
 		// An explicit collection window trades a bounded delay for
 		// bigger batches even when workers are free. With MaxBatch 1
-		// no joiner could ever form a batch, so no wait either.
-		time.Sleep(s.cfg.BatchWindow)
+		// no joiner could ever form a batch, so no wait either. The
+		// wait aborts when the server stops, so Shutdown drains the
+		// already-collected group immediately instead of sitting out
+		// the window.
+		timer := time.NewTimer(s.cfg.BatchWindow)
+		select {
+		case <-timer.C:
+		case <-s.done:
+			timer.Stop()
+		}
 	}
 	s.sem <- struct{}{} // while the leader queues here, followers keep joining
 	defer func() { <-s.sem }()

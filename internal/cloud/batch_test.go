@@ -1,6 +1,8 @@
 package cloud
 
 import (
+	"context"
+	"fmt"
 	"net"
 	"testing"
 	"time"
@@ -154,5 +156,65 @@ func TestMaxBatchOneDisablesCoalescing(t *testing.T) {
 	}
 	if batches := srv.Metrics.Batches.Load(); batches != 3 {
 		t.Fatalf("MaxBatch=1: %d batches for 3 uploads, want 3", batches)
+	}
+}
+
+// TestShutdownCancelsBatchWindow: a batch leader sitting out a long
+// collection window must abort the wait when the server stops, so a
+// graceful drain is not delayed by up to a full BatchWindow.
+func TestShutdownCancelsBatchWindow(t *testing.T) {
+	store, g := testStore(t)
+	const window = 30 * time.Second // would dwarf the drain budget below
+	srv, err := NewServer(store, Config{
+		Workers:     1,
+		BatchWindow: window,
+		CacheSize:   -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	defer cConn.Close()
+	go srv.HandleConn(sConn)
+
+	input := g.Instance(synth.Normal, 0, synth.InstanceOpts{
+		OffsetSamples: 5200, DurSeconds: 6, NoArtifacts: true})
+	w := input.Samples[1024:1280]
+	if err := proto.WriteFrameV2(cConn, proto.TypeUpload, 1, uploadFrom(t, w, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// The reply must arrive once Shutdown cancels the window — read it
+	// concurrently so the server's writer is never blocked on us.
+	got := make(chan error, 1)
+	go func() {
+		cConn.SetReadDeadline(time.Now().Add(20 * time.Second))
+		f, err := proto.ReadFrameAny(cConn)
+		if err == nil && f.Type != proto.TypeCorrSet {
+			err = fmt.Errorf("reply type %d, want CorrSet", f.Type)
+		}
+		got <- err
+	}()
+
+	// Let the upload reach the collector and start its window wait.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Metrics.Requests.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("upload never reached the server")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed >= window/2 {
+		t.Fatalf("Shutdown took %v: batch window wait not cancelled", elapsed)
+	}
+	if err := <-got; err != nil {
+		t.Fatalf("in-flight upload not answered during drain: %v", err)
 	}
 }

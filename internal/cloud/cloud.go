@@ -212,6 +212,12 @@ type Server struct {
 	registry *mdb.Registry
 	sem      chan struct{} // bounded worker pool, shared by all tenants
 
+	// done is closed when the server stops (Close or Shutdown); batch
+	// leaders waiting out a collection window select on it so a drain
+	// is never delayed by up to a full BatchWindow.
+	done     chan struct{}
+	stopOnce sync.Once
+
 	tmu     sync.Mutex
 	tenants map[string]*tenant // serving state per open tenant
 
@@ -269,6 +275,7 @@ func NewRegistryServer(reg *mdb.Registry, cfg Config) (*Server, error) {
 		cfg:      cfg,
 		registry: reg,
 		sem:      make(chan struct{}, cfg.Workers),
+		done:     make(chan struct{}),
 		tenants:  make(map[string]*tenant),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -382,6 +389,7 @@ func (s *Server) Serve(l net.Listener) error {
 // Close stops the accept loop and terminates active connections
 // immediately, abandoning any in-flight replies.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.done) })
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.closed = true
@@ -400,6 +408,7 @@ func (s *Server) Close() error {
 // remaining connections are closed hard and ctx.Err() is returned.
 // Persisting tenant stores is the registry's job (Registry().Close()).
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() { close(s.done) })
 	s.mu.Lock()
 	s.closed = true
 	s.draining = true

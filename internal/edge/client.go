@@ -10,8 +10,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"emap/internal/backoff"
 	"emap/internal/proto"
 )
 
@@ -53,6 +55,39 @@ type ClientOptions struct {
 	// DialTimeout bounds each (re)connection attempt of a dialled
 	// client.
 	DialTimeout time.Duration
+	// RedialAttempts bounds how many connection attempts one call may
+	// spend when the previous connection has died (default 3; negative
+	// disables redialling entirely). Attempts after the first are
+	// paced by Redial.
+	RedialAttempts int
+	// Redial paces reconnection attempts (zero value: the backoff
+	// package defaults, 100 ms doubling to 10 s with jitter).
+	Redial backoff.Policy
+	// Keepalive, when positive, starts a health prober on a dialled
+	// client: whenever the connection has been idle for the interval,
+	// the prober round-trips a Ping, and a dead connection is redialled
+	// (with Redial pacing) instead of being discovered by the next
+	// search. Metrics counts the probes.
+	Keepalive time.Duration
+}
+
+// ClientMetrics exposes the client's connection-state counters (all
+// fields atomic): how often it dialled, failed, reconnected, lost a
+// live connection, and what its keepalive prober observed.
+type ClientMetrics struct {
+	// Dials counts connection attempts; DialFailures the ones that
+	// failed (including failed handshakes).
+	Dials        atomic.Int64
+	DialFailures atomic.Int64
+	// Reconnects counts connections re-established after a failure.
+	Reconnects atomic.Int64
+	// ConnLost counts live connections retired by a read or write
+	// error.
+	ConnLost atomic.Int64
+	// Keepalives counts keepalive probes sent; KeepaliveFailures the
+	// ones that failed (each failure retires the probed connection).
+	Keepalives        atomic.Int64
+	KeepaliveFailures atomic.Int64
 }
 
 // Client is a pipelined, context-aware protocol client. Multiple
@@ -65,9 +100,15 @@ type ClientOptions struct {
 // patients use separate clients (connections are cheap, stores are
 // not shared).
 type Client struct {
-	addr        string // empty: reconnect unavailable (wrapped conn)
-	dialTimeout time.Duration
-	maxVersion  uint8
+	addr           string // empty: reconnect unavailable (wrapped conn)
+	dialTimeout    time.Duration
+	maxVersion     uint8
+	redialAttempts int
+	redial         backoff.Policy
+	keepalive      time.Duration
+
+	done     chan struct{} // closed by Close; stops the keepalive prober
+	lastUsed atomic.Int64  // UnixNano of the last completed exchange
 
 	wmu    sync.Mutex // serialises frame writes
 	dialMu sync.Mutex // serialises reconnection attempts
@@ -81,6 +122,10 @@ type Client struct {
 	fifo    []*waiter          // v1: replies arrive in request order
 	connErr error              // sticky until reconnect
 	closed  bool
+
+	// Metrics exposes connection-state counters (safe to read
+	// concurrently).
+	Metrics ClientMetrics
 }
 
 func newClient(opts ClientOptions) *Client {
@@ -88,12 +133,24 @@ func newClient(opts ClientOptions) *Client {
 	if mv == 0 || mv > proto.MaxVersion {
 		mv = proto.MaxVersion
 	}
-	return &Client{
-		tenant:      opts.Tenant,
-		maxVersion:  mv,
-		dialTimeout: opts.DialTimeout,
-		pending:     make(map[uint32]*waiter),
+	attempts := opts.RedialAttempts
+	if attempts == 0 {
+		attempts = 3
+	} else if attempts < 0 {
+		attempts = 0 // never redial: surface the connection error as-is
 	}
+	c := &Client{
+		tenant:         opts.Tenant,
+		maxVersion:     mv,
+		dialTimeout:    opts.DialTimeout,
+		redialAttempts: attempts,
+		redial:         opts.Redial,
+		keepalive:      opts.Keepalive,
+		done:           make(chan struct{}),
+		pending:        make(map[uint32]*waiter),
+	}
+	c.lastUsed.Store(time.Now().UnixNano())
+	return c
 }
 
 // NewClient wraps an established connection and negotiates the
@@ -136,16 +193,54 @@ func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 		return nil, err
 	}
 	if err := c.install(context.Background(), conn); err != nil {
+		c.Metrics.DialFailures.Add(1)
 		conn.Close()
 		return nil, err
+	}
+	if c.keepalive > 0 {
+		go c.keepaliveLoop()
 	}
 	return c, nil
 }
 
+// keepaliveLoop probes the connection whenever it has been idle for a
+// full keepalive interval. A failed probe retires the connection
+// through the usual read/write failure path, and the next probe (or
+// call) redials with backoff — so a device sitting between cloud
+// refreshes discovers a dead link and repairs it before the refresh
+// deadline is on the line.
+func (c *Client) keepaliveLoop() {
+	ticker := time.NewTicker(c.keepalive)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-ticker.C:
+		}
+		if time.Since(time.Unix(0, c.lastUsed.Load())) < c.keepalive {
+			continue // the connection is carrying traffic; no probe needed
+		}
+		timeout := c.keepalive
+		if timeout > 5*time.Second {
+			timeout = 5 * time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), timeout)
+		err := c.Ping(ctx)
+		cancel()
+		c.Metrics.Keepalives.Add(1)
+		if err != nil {
+			c.Metrics.KeepaliveFailures.Add(1)
+		}
+	}
+}
+
 func (c *Client) dial(ctx context.Context) (net.Conn, error) {
+	c.Metrics.Dials.Add(1)
 	d := net.Dialer{Timeout: c.dialTimeout}
 	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
+		c.Metrics.DialFailures.Add(1)
 		return nil, fmt.Errorf("edge: dialing cloud: %w", err)
 	}
 	return conn, nil
@@ -228,16 +323,42 @@ func (c *Client) SetTenant(tenant string) {
 	c.mu.Unlock()
 }
 
-// Close closes the connection and fails every in-flight request.
+// Close closes the connection, stops the keepalive prober, and fails
+// every in-flight request with ErrClosed immediately — waiters do not
+// linger until the read loop notices the closed socket.
 func (c *Client) Close() error {
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
 	conn := c.conn
+	pending := c.pending
+	fifo := c.fifo
+	c.pending = make(map[uint32]*waiter)
+	c.fifo = nil
+	c.connErr = ErrClosed
 	c.mu.Unlock()
+	close(c.done)
+	for _, w := range pending {
+		w.ch <- result{err: ErrClosed}
+	}
+	for _, w := range fifo {
+		w.ch <- result{err: ErrClosed}
+	}
 	if conn != nil {
 		return conn.Close()
 	}
 	return nil
+}
+
+// Connected reports whether the client currently holds a live,
+// negotiated connection.
+func (c *Client) Connected() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !c.closed && c.conn != nil && c.connErr == nil
 }
 
 // readLoop is the connection's demultiplexer: it reads frames until
@@ -271,7 +392,11 @@ func (c *Client) readLoop(conn net.Conn) {
 // connection's waiters.
 func (c *Client) failAll(conn net.Conn, err error) {
 	c.mu.Lock()
-	if c.conn != conn {
+	// A read/write failure on a connection Close already retired is
+	// the close's own echo, not a lost connection: Close drained the
+	// waiters and set the sticky ErrClosed, so there is nothing to
+	// fail and nothing to count.
+	if c.conn != conn || c.closed {
 		c.mu.Unlock()
 		conn.Close()
 		return
@@ -282,6 +407,7 @@ func (c *Client) failAll(conn net.Conn, err error) {
 	c.pending = make(map[uint32]*waiter)
 	c.fifo = nil
 	c.mu.Unlock()
+	c.Metrics.ConnLost.Add(1)
 	conn.Close()
 	for _, w := range pending {
 		w.ch <- result{err: err}
@@ -295,8 +421,12 @@ func (c *Client) failAll(conn net.Conn, err error) {
 // whose previous connection died. Reconnection is serialised so two
 // concurrent callers never race to install competing connections
 // (the loser's in-flight request would become unfailable), and the
-// caller's ctx bounds both the dial and the handshake.
+// caller's ctx bounds the dials, the handshakes, and the backoff
+// sleeps between them. Up to redialAttempts connection attempts are
+// made, paced by the redial policy; the sticky connection error (or
+// the last dial failure) surfaces when they are exhausted.
 func (c *Client) ensure(ctx context.Context) (net.Conn, uint8, error) {
+	var lastErr error
 	for attempt := 0; ; attempt++ {
 		c.mu.Lock()
 		if c.closed {
@@ -308,17 +438,24 @@ func (c *Client) ensure(ctx context.Context) (net.Conn, uint8, error) {
 			c.mu.Unlock()
 			return conn, v, nil
 		}
-		lastErr := c.connErr
+		if lastErr == nil {
+			lastErr = c.connErr
+		}
 		canRedial := c.addr != ""
 		c.mu.Unlock()
-		if !canRedial {
-			if lastErr == nil {
-				lastErr = errors.New("edge: no connection")
-			}
+		if lastErr == nil {
+			lastErr = errors.New("edge: no connection")
+		}
+		if !canRedial || attempt >= c.redialAttempts {
 			return nil, 0, lastErr
 		}
 		if attempt > 0 {
-			return nil, 0, lastErr
+			// Cancellation during the backoff sleep surfaces as the
+			// caller's ctx error, not as the stale network failure:
+			// an abort must be distinguishable from a flaky link.
+			if err := c.redial.Sleep(ctx, attempt-1); err != nil {
+				return nil, 0, err
+			}
 		}
 		c.dialMu.Lock()
 		// Another caller may have reconnected while we waited; the
@@ -326,19 +463,26 @@ func (c *Client) ensure(ctx context.Context) (net.Conn, uint8, error) {
 		c.mu.Lock()
 		fresh := c.connErr == nil && c.conn != nil
 		c.mu.Unlock()
-		if !fresh {
-			conn, err := c.dial(ctx)
-			if err != nil {
-				c.dialMu.Unlock()
-				return nil, 0, err
-			}
-			if err := c.install(ctx, conn); err != nil {
-				c.dialMu.Unlock()
+		if fresh {
+			c.dialMu.Unlock()
+			continue
+		}
+		conn, err := c.dial(ctx)
+		if err == nil {
+			if err = c.install(ctx, conn); err != nil {
+				c.Metrics.DialFailures.Add(1)
 				conn.Close()
-				return nil, 0, err
 			}
 		}
 		c.dialMu.Unlock()
+		if err != nil {
+			if errors.Is(err, ErrClosed) || ctx.Err() != nil {
+				return nil, 0, err
+			}
+			lastErr = err
+			continue
+		}
+		c.Metrics.Reconnects.Add(1)
 	}
 }
 
@@ -367,6 +511,11 @@ func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, minVersion uint
 	w := &waiter{ch: make(chan result, 1)}
 	c.wmu.Lock()
 	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wmu.Unlock()
+		return 0, nil, ErrClosed
+	}
 	if c.conn != conn || c.connErr != nil {
 		c.mu.Unlock()
 		c.wmu.Unlock()
@@ -407,6 +556,7 @@ func (c *Client) roundTrip(ctx context.Context, t proto.MsgType, minVersion uint
 
 	select {
 	case r := <-w.ch:
+		c.lastUsed.Store(time.Now().UnixNano())
 		if r.err != nil {
 			return 0, nil, r.err
 		}

@@ -2,9 +2,12 @@ package edge
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"time"
 
+	"emap/internal/backoff"
 	"emap/internal/dsp"
 	"emap/internal/mdb"
 	"emap/internal/proto"
@@ -12,6 +15,9 @@ import (
 	"emap/internal/synth"
 	"emap/internal/track"
 )
+
+// ErrDeviceClosed is returned by Push on a closed device.
+var ErrDeviceClosed = errors.New("edge: device closed")
 
 // Config parameterises a Device. Zero values select paper defaults.
 type Config struct {
@@ -35,6 +41,18 @@ type Config struct {
 	WarmupWindows int
 	// CloudTimeout bounds each cloud exchange (default 30 s).
 	CloudTimeout time.Duration
+	// Refresh paces background-refresh retries while the cloud is
+	// unreachable: exponential backoff with jitter, and the
+	// consecutive-failure count carries across refresh cycles so
+	// retry pressure keeps easing through a long outage. The zero
+	// value selects the backoff defaults (100 ms doubling to 10 s,
+	// half jittered).
+	Refresh backoff.Policy
+	// RefreshRetries bounds how many cloud attempts one background
+	// refresh cycle may make before giving up (default 5). A cycle
+	// that gives up is not the end of retrying: the next slot that
+	// still needs a set starts a new cycle against a fresher window.
+	RefreshRetries int
 	// Tenant routes this device's cloud traffic (searches and
 	// ingests) to one tenant store. NewDevice installs it on the
 	// client; empty leaves the client's tenant untouched.
@@ -68,6 +86,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.CloudTimeout <= 0 {
 		c.CloudTimeout = 30 * time.Second
 	}
+	if c.RefreshRetries <= 0 {
+		c.RefreshRetries = 5
+	}
 	return c, nil
 }
 
@@ -85,6 +106,19 @@ type Status struct {
 	CloudCalled bool
 	// Anomalous is the predictor's current decision.
 	Anomalous bool
+	// Degraded reports that the device is operating without a fresh,
+	// trackable correlation set: cloud exchanges are failing, or the
+	// one that finally succeeded landed past its own horizon. Tracking
+	// continues on the last downloaded set while refresh retries run
+	// in the background; the flag clears when a fresh set is adopted.
+	Degraded bool
+	// ConsecutiveFailures counts cloud attempts failed since the last
+	// successful exchange. It can read 0 while Degraded is still set:
+	// the link has recovered and the fresh set is one refresh away.
+	ConsecutiveFailures int
+	// LastCloudErr is the most recent cloud failure, nil when the
+	// last exchange succeeded (even if Degraded has not cleared yet).
+	LastCloudErr error
 }
 
 // Device is the edge node: it consumes raw samples one second at a
@@ -100,10 +134,24 @@ type Device struct {
 	tracker   *track.Tracker
 	predictor *track.Predictor
 
-	window     int
-	lastAdopt  int // window at which the live set was adopted
-	refreshing chan adoptable
-	pending    bool
+	window      int
+	refreshing  chan adoptable
+	pending     bool
+	forceRecall bool      // next slot must request a fresh search
+	lastGood    adoptable // last adopted download; degraded mode re-arms it
+
+	ctx    context.Context // cancelled by Close; bounds background refreshes
+	cancel context.CancelFunc
+	wg     sync.WaitGroup // in-flight refresh cycles
+
+	// hmu guards the health fields, which the background refresh
+	// cycle writes while Push reads them into each Status.
+	hmu      sync.Mutex
+	closed   bool
+	degraded bool
+	failures int   // consecutive failed cloud attempts
+	attempts int64 // total cloud refresh attempts (tests assert boundedness)
+	lastErr  error
 }
 
 type adoptable struct {
@@ -126,17 +174,85 @@ func NewDevice(client *Client, cfg Config) (*Device, error) {
 	if cfg.Tenant != "" {
 		client.SetTenant(cfg.Tenant)
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Device{
 		cfg:        cfg,
 		client:     client,
 		stream:     fir.NewStream(),
 		predictor:  track.NewPredictor(cfg.Predict),
 		refreshing: make(chan adoptable, 1),
+		ctx:        ctx,
+		cancel:     cancel,
 	}, nil
 }
 
 // Predictor exposes the accumulated anomaly decision state.
 func (d *Device) Predictor() *track.Predictor { return d.predictor }
+
+// Close ends the device's life: it cancels any in-flight background
+// refresh and waits for the refresh goroutine to exit, so no cloud
+// exchange outlives the device. The client is not closed — the caller
+// owns it. Push calls after Close fail with ErrDeviceClosed.
+func (d *Device) Close() error {
+	d.hmu.Lock()
+	if d.closed {
+		d.hmu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.hmu.Unlock()
+	d.cancel()
+	d.wg.Wait()
+	return nil
+}
+
+// noteCloudFailure records one failed cloud attempt and returns the
+// consecutive-failure count (which paces the next backoff sleep).
+func (d *Device) noteCloudFailure(err error) int {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	d.attempts++
+	d.failures++
+	d.degraded = true
+	d.lastErr = err
+	return d.failures
+}
+
+// noteCloudSuccess records one successful cloud exchange. The degraded
+// flag survives until the downloaded set is actually adopted by a Push.
+func (d *Device) noteCloudSuccess() {
+	d.hmu.Lock()
+	d.attempts++
+	d.failures = 0
+	d.lastErr = nil
+	d.hmu.Unlock()
+}
+
+// clearDegraded marks the device healthy again (a fresh set was
+// adopted).
+func (d *Device) clearDegraded() {
+	d.hmu.Lock()
+	d.degraded = false
+	d.hmu.Unlock()
+}
+
+// Attempts returns the total number of cloud refresh attempts made so
+// far (successes and failures); resilience tests assert it stays
+// bounded during an outage instead of growing with every slot.
+func (d *Device) Attempts() int64 {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return d.attempts
+}
+
+// fillHealth populates a Status with the device's outage state.
+func (d *Device) fillHealth(st *Status) {
+	d.hmu.Lock()
+	st.Degraded = d.degraded
+	st.ConsecutiveFailures = d.failures
+	st.LastCloudErr = d.lastErr
+	d.hmu.Unlock()
+}
 
 // PushSecond consumes one acquisition slot with a background context;
 // see Push.
@@ -148,13 +264,22 @@ func (d *Device) PushSecond(raw []float64) (Status, error) {
 // them) and advances the pipeline. ctx bounds any synchronous cloud
 // exchange this slot issues (each exchange is additionally capped by
 // Config.CloudTimeout).
-func (d *Device) Push(ctx context.Context, raw []float64) (Status, error) {
+func (d *Device) Push(ctx context.Context, raw []float64) (st Status, err error) {
 	if len(raw) != d.cfg.WindowLen {
 		return Status{}, fmt.Errorf("edge: slot must be %d samples, got %d", d.cfg.WindowLen, len(raw))
 	}
-	st := Status{Window: d.window}
+	d.hmu.Lock()
+	closed := d.closed
+	d.hmu.Unlock()
+	if closed {
+		return Status{}, ErrDeviceClosed
+	}
+	st = Status{Window: d.window}
 	filtered := d.stream.NextBlock(raw)
 	defer func() { d.window++ }()
+	// st is a named return so the deferred fill reaches the caller on
+	// every path, error returns included.
+	defer d.fillHealth(&st)
 
 	if d.window < d.cfg.WarmupWindows {
 		return st, nil
@@ -165,10 +290,26 @@ func (d *Device) Push(ctx context.Context, raw []float64) (Status, error) {
 	case a := <-d.refreshing:
 		d.pending = false
 		if a.err == nil {
-			tr := track.NewTracker(a.store, a.matches, d.trackParams(a.store, len(a.matches)))
-			tr.Skip(d.window - a.seq - 1)
-			d.tracker = tr
-			d.lastAdopt = d.window
+			params := d.trackParams(a.store, len(a.matches))
+			skip := d.window - a.seq - 1
+			if params.HorizonWindows > 0 && skip >= params.HorizonWindows {
+				// The search succeeded but took so long to land —
+				// outage retries, typically — that its continuation
+				// horizon is already spent. It still carries the
+				// freshest cloud picture, so it replaces the
+				// degraded-mode fallback, and the next slot is forced
+				// to request a fresh set right away: the link just
+				// proved healthy, so recovery must not wait out the
+				// stale tracker's horizon.
+				d.lastGood = a
+				d.forceRecall = true
+			} else {
+				tr := track.NewTracker(a.store, a.matches, params)
+				tr.Skip(skip)
+				d.tracker = tr
+				d.lastGood = a
+				d.clearDegraded()
+			}
 		}
 	default:
 	}
@@ -185,6 +326,23 @@ func (d *Device) Push(ctx context.Context, raw []float64) (Status, error) {
 	}
 
 	step := d.tracker.Step(filtered)
+	if step.Remaining == 0 && d.isDegraded() && d.lastGood.store != nil && len(d.lastGood.matches) > 0 {
+		// Degraded mode: the horizon ran out (or every signal starved)
+		// with the cloud still unreachable. Rather than going dark, the
+		// device re-arms the last downloaded correlation set and holds
+		// its retrieval-time composition as the P_A estimate — the
+		// alignment to the live input was lost with the link, so
+		// re-stepping the stale set would just eliminate everything,
+		// and the last known match distribution is the best estimate
+		// the edge has. The re-arm repeats each slot until a fresh set
+		// is adopted, and the next slot's Step still eliminates
+		// whatever no longer resembles the input.
+		d.tracker = track.NewTracker(d.lastGood.store, d.lastGood.matches,
+			d.trackParams(d.lastGood.store, len(d.lastGood.matches)))
+		step.Remaining = d.tracker.Remaining()
+		step.PA = d.tracker.PA()
+		step.NeedsCloud = true
+	}
 	// P_A is only an estimate while signals are being tracked; an
 	// empty set (horizon exhausted, refresh in flight) carries no
 	// information and must not poison the predictor's trajectory.
@@ -196,14 +354,31 @@ func (d *Device) Push(ctx context.Context, raw []float64) (Status, error) {
 	st.Remaining = step.Remaining
 	st.Anomalous = d.predictor.Anomalous()
 
-	needRecall := step.NeedsCloud ||
+	needRecall := d.forceRecall || step.NeedsCloud ||
 		(d.tracker.HorizonLeft() >= 0 && d.tracker.HorizonLeft() <= d.cfg.RecallMargin)
 	if needRecall && !d.pending {
-		d.pending = true
-		st.CloudCalled = true
-		go d.refreshAsync(append([]float64(nil), filtered...), d.window)
+		// The closed re-check and the Add share the health lock with
+		// Close's closed-set, so a racing Close either sees no cycle
+		// (and spawns are refused from here on) or waits for this one
+		// — never a 0→1 wg.Add concurrent with wg.Wait.
+		d.hmu.Lock()
+		if !d.closed {
+			d.pending = true
+			d.forceRecall = false
+			st.CloudCalled = true
+			d.wg.Add(1)
+			go d.refreshAsync(append([]float64(nil), filtered...), d.window)
+		}
+		d.hmu.Unlock()
 	}
 	return st, nil
+}
+
+// isDegraded reports whether cloud exchanges are currently failing.
+func (d *Device) isDegraded() bool {
+	d.hmu.Lock()
+	defer d.hmu.Unlock()
+	return d.degraded
 }
 
 // Ingest contributes a raw recording to the cloud mega-database of
@@ -240,9 +415,17 @@ func (d *Device) Ingest(ctx context.Context, raw *synth.Recording) (int, error) 
 	return int(ack.Sets), nil
 }
 
-// cloudCtx derives the per-exchange context from the caller's.
+// cloudCtx derives the per-exchange context from the caller's, bounded
+// by CloudTimeout and by the device's own life: Close cancels every
+// exchange, synchronous ones included, so no cloud round-trip outlives
+// the device.
 func (d *Device) cloudCtx(ctx context.Context) (context.Context, context.CancelFunc) {
-	return context.WithTimeout(ctx, d.cfg.CloudTimeout)
+	ctx, cancel := context.WithTimeout(ctx, d.cfg.CloudTimeout)
+	stop := context.AfterFunc(d.ctx, cancel)
+	return ctx, func() {
+		stop()
+		cancel()
+	}
 }
 
 // trackParams derives local tracking parameters: the horizon matches
@@ -284,19 +467,49 @@ func (d *Device) trackParams(local *mdb.Store, matches int) track.Params {
 func (d *Device) refreshNow(ctx context.Context, window []float64) error {
 	store, matches, err := d.fetch(ctx, window)
 	if err != nil {
+		d.noteCloudFailure(err)
 		return err
 	}
+	d.noteCloudSuccess()
 	d.tracker = track.NewTracker(store, matches, d.trackParams(store, len(matches)))
-	d.lastAdopt = d.window
+	d.lastGood = adoptable{store: store, matches: matches, seq: d.window}
+	d.clearDegraded()
 	return nil
 }
 
-// refreshAsync performs a background search; PushSecond adopts the
-// result on a later slot, mirroring Fig. 9's overlap of tracking and
-// cloud search.
+// refreshAsync runs one background refresh cycle; a later Push adopts
+// the result, mirroring Fig. 9's overlap of tracking and cloud search.
+// Failed exchanges are retried inside the cycle with exponential
+// backoff and jitter — one goroutine per cycle, never one per slot, so
+// an outage cannot pile up attempts. The consecutive-failure count
+// paces the backoff and carries across cycles: when this cycle exhausts
+// RefreshRetries and a later slot starts a new one, the new cycle
+// resumes the eased cadence instead of hammering the link again. The
+// device-lifetime context bounds every exchange and sleep, so Close
+// promptly cancels an in-flight refresh.
 func (d *Device) refreshAsync(window []float64, seq int) {
-	store, matches, err := d.fetch(context.Background(), window)
-	d.refreshing <- adoptable{store: store, matches: matches, seq: seq, err: err}
+	defer d.wg.Done()
+	var lastErr error
+	for i := 0; i < d.cfg.RefreshRetries; i++ {
+		if err := d.ctx.Err(); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
+		store, matches, err := d.fetch(d.ctx, window)
+		if err == nil {
+			d.noteCloudSuccess()
+			d.refreshing <- adoptable{store: store, matches: matches, seq: seq}
+			return
+		}
+		lastErr = err
+		fails := d.noteCloudFailure(err)
+		if err := d.cfg.Refresh.Sleep(d.ctx, fails-1); err != nil {
+			break
+		}
+	}
+	d.refreshing <- adoptable{seq: seq, err: lastErr}
 }
 
 // fetch round-trips one search and materialises the response into a

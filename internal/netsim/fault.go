@@ -1,0 +1,310 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrPartitioned is the error fault-injected I/O fails with while the
+// partition is in drop mode.
+var ErrPartitioned = errors.New("netsim: link partitioned")
+
+// Mode is a partition's current fault state.
+type Mode int
+
+const (
+	// Healthy passes all I/O through untouched.
+	Healthy Mode = iota
+	// Drop fails every I/O operation immediately and severs existing
+	// connections — a hard network split.
+	Drop
+	// Stall blocks every new I/O operation until the partition heals
+	// (or the operation's deadline trips) — a blackholed link where
+	// packets vanish without resets.
+	Stall
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Healthy:
+		return "healthy"
+	case Drop:
+		return "drop"
+	case Stall:
+		return "stall"
+	}
+	return "unknown"
+}
+
+// Partition is a deterministic fault injector for the TCP deployment:
+// it wraps connections (and listeners) so a test or demo can cut the
+// edge↔cloud link on command, keep it cut or blackholed for a chosen
+// stretch, and heal it — the network-split scenario as a first-class,
+// repeatable code path instead of an ad-hoc server kill.
+//
+// All methods are safe for concurrent use. Mode changes apply to every
+// wrapped connection at once: Split severs in-flight I/O immediately,
+// Stall lets in-flight reads keep blocking (as a blackholed link
+// would) while gating new operations, and Heal releases stalled
+// operations. Connections severed by a Split stay dead after a Heal —
+// real sockets do not resurrect — so recovery exercises the client's
+// reconnect path, which is the point.
+type Partition struct {
+	mu     sync.Mutex
+	mode   Mode
+	signal chan struct{} // closed and replaced on every mode change
+	conns  map[*FaultyConn]struct{}
+
+	// Drops counts I/O operations failed by drop mode; Stalls counts
+	// operations that blocked in stall mode; Severed counts
+	// connections killed by Split. Tests use these to assert the
+	// fault actually bit.
+	Drops   atomic.Int64
+	Stalls  atomic.Int64
+	Severed atomic.Int64
+}
+
+// NewPartition returns a healthy partition.
+func NewPartition() *Partition {
+	return &Partition{
+		signal: make(chan struct{}),
+		conns:  make(map[*FaultyConn]struct{}),
+	}
+}
+
+// Mode returns the current fault state.
+func (p *Partition) Mode() Mode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode
+}
+
+// Healthy reports whether I/O currently passes through.
+func (p *Partition) Healthy() bool { return p.Mode() == Healthy }
+
+// setMode flips the fault state, wakes every stalled operation so it
+// re-checks, and returns the connections a Split must sever.
+func (p *Partition) setMode(m Mode) []*FaultyConn {
+	p.mu.Lock()
+	if p.mode == m {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mode = m
+	close(p.signal)
+	p.signal = make(chan struct{})
+	var sever []*FaultyConn
+	if m == Drop {
+		for c := range p.conns {
+			sever = append(sever, c)
+		}
+	}
+	p.mu.Unlock()
+	return sever
+}
+
+// Split cuts the link hard: existing connections are severed (blocked
+// reads and writes fail now, not at the next timeout) and every
+// operation on a wrapped connection fails with ErrPartitioned until
+// Heal.
+func (p *Partition) Split() {
+	for _, c := range p.setMode(Drop) {
+		c.sever()
+		p.Severed.Add(1)
+	}
+}
+
+// StallLink blackholes the link: new operations on wrapped connections
+// block until Heal or their deadline; nothing is severed.
+func (p *Partition) StallLink() { p.setMode(Stall) }
+
+// Heal restores the link. Operations stalled by StallLink resume;
+// connections severed by Split stay dead and must be re-dialled.
+func (p *Partition) Heal() { p.setMode(Healthy) }
+
+// SplitAfter schedules a Split; the returned timer can cancel it.
+func (p *Partition) SplitAfter(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, p.Split)
+}
+
+// StallAfter schedules a StallLink.
+func (p *Partition) StallAfter(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, p.StallLink)
+}
+
+// HealAfter schedules a Heal.
+func (p *Partition) HealAfter(d time.Duration) *time.Timer {
+	return time.AfterFunc(d, p.Heal)
+}
+
+// state snapshots the mode and its change-signal channel.
+func (p *Partition) state() (Mode, chan struct{}) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode, p.signal
+}
+
+// Wrap subjects conn to the partition's faults. Use on either side of
+// the link; wrapping the server side (or the whole listener, see
+// Listen) faults every protocol exchange including handshakes.
+func (p *Partition) Wrap(conn net.Conn) *FaultyConn {
+	c := &FaultyConn{Conn: conn, p: p, closed: make(chan struct{})}
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+	return c
+}
+
+func (p *Partition) forget(c *FaultyConn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+// Listen wraps a listener so every accepted connection is subject to
+// the partition. While the partition is in drop mode, accepted
+// connections are closed immediately — a dial completes the TCP
+// handshake but the protocol handshake fails, which is how a client
+// behind a stateful middlebox experiences a split.
+func (p *Partition) Listen(l net.Listener) net.Listener {
+	return &faultyListener{Listener: l, p: p}
+}
+
+type faultyListener struct {
+	net.Listener
+	p *Partition
+}
+
+func (l *faultyListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if mode, _ := l.p.state(); mode == Drop {
+			l.p.Drops.Add(1)
+			conn.Close()
+			continue
+		}
+		return l.p.Wrap(conn), nil
+	}
+}
+
+// FaultyConn is a net.Conn whose I/O is gated by a Partition.
+type FaultyConn struct {
+	net.Conn
+	p *Partition
+
+	closeOnce sync.Once
+	closed    chan struct{}
+
+	dmu       sync.Mutex
+	rDeadline time.Time
+	wDeadline time.Time
+}
+
+// timeoutError satisfies net.Error for deadline trips inside a stall,
+// mirroring what the kernel would report.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "netsim: i/o timeout (stalled link)" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// gate applies the partition's current fault to one operation.
+func (c *FaultyConn) gate(deadline time.Time) error {
+	for {
+		mode, signal := c.p.state()
+		switch mode {
+		case Healthy:
+			return nil
+		case Drop:
+			c.p.Drops.Add(1)
+			return ErrPartitioned
+		case Stall:
+			c.p.Stalls.Add(1)
+			var timer <-chan time.Time
+			var t *time.Timer
+			if !deadline.IsZero() {
+				d := time.Until(deadline)
+				if d <= 0 {
+					return timeoutError{}
+				}
+				t = time.NewTimer(d)
+				timer = t.C
+			}
+			select {
+			case <-signal: // mode changed; re-check
+			case <-c.closed:
+				if t != nil {
+					t.Stop()
+				}
+				return net.ErrClosed
+			case <-timer:
+				return timeoutError{}
+			}
+			if t != nil {
+				t.Stop()
+			}
+		}
+	}
+}
+
+func (c *FaultyConn) Read(b []byte) (int, error) {
+	c.dmu.Lock()
+	deadline := c.rDeadline
+	c.dmu.Unlock()
+	if err := c.gate(deadline); err != nil {
+		return 0, err
+	}
+	return c.Conn.Read(b)
+}
+
+func (c *FaultyConn) Write(b []byte) (int, error) {
+	c.dmu.Lock()
+	deadline := c.wDeadline
+	c.dmu.Unlock()
+	if err := c.gate(deadline); err != nil {
+		return 0, err
+	}
+	return c.Conn.Write(b)
+}
+
+// sever kills the underlying transport (a Split hit this connection).
+func (c *FaultyConn) sever() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.Conn.Close()
+	})
+}
+
+// Close closes the connection and detaches it from the partition.
+func (c *FaultyConn) Close() error {
+	c.p.forget(c)
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}
+
+func (c *FaultyConn) SetDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.rDeadline, c.wDeadline = t, t
+	c.dmu.Unlock()
+	return c.Conn.SetDeadline(t)
+}
+
+func (c *FaultyConn) SetReadDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.rDeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetReadDeadline(t)
+}
+
+func (c *FaultyConn) SetWriteDeadline(t time.Time) error {
+	c.dmu.Lock()
+	c.wDeadline = t
+	c.dmu.Unlock()
+	return c.Conn.SetWriteDeadline(t)
+}

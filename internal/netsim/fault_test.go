@@ -1,0 +1,211 @@
+package netsim
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestPartitionDropFailsIO(t *testing.T) {
+	p := NewPartition()
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := p.Wrap(a)
+	defer fc.Close()
+
+	p.Split()
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("write during drop = %v, want ErrPartitioned", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("read during drop = %v, want ErrPartitioned", err)
+	}
+	if p.Drops.Load() < 2 {
+		t.Fatalf("Drops = %d, want ≥ 2", p.Drops.Load())
+	}
+}
+
+func TestSplitSeversBlockedRead(t *testing.T) {
+	p := NewPartition()
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := p.Wrap(a)
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 1)) // blocks: peer never writes
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the read block in the pipe
+	p.Split()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("severed read returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Split did not unblock an in-flight read")
+	}
+	if p.Severed.Load() != 1 {
+		t.Fatalf("Severed = %d, want 1", p.Severed.Load())
+	}
+	// A severed connection stays dead after heal: sockets don't resurrect.
+	p.Heal()
+	if _, err := fc.Write([]byte("x")); err == nil {
+		t.Fatal("severed connection wrote successfully after heal")
+	}
+}
+
+func TestStallBlocksUntilHeal(t *testing.T) {
+	p := NewPartition()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := p.Wrap(a)
+
+	p.StallLink()
+	wrote := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		wrote <- err
+	}()
+	go func() {
+		buf := make([]byte, 1)
+		b.Read(buf)
+	}()
+	select {
+	case err := <-wrote:
+		t.Fatalf("write completed during stall: %v", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+	p.Heal()
+	select {
+	case err := <-wrote:
+		if err != nil {
+			t.Fatalf("write after heal: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("heal did not release the stalled write")
+	}
+	if p.Stalls.Load() == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestStallHonoursDeadline(t *testing.T) {
+	p := NewPartition()
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := p.Wrap(a)
+	p.StallLink()
+	fc.SetWriteDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := fc.Write([]byte("x"))
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("stalled write with deadline = %v, want a net timeout", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline did not bound the stall")
+	}
+}
+
+func TestStallCloseUnblocks(t *testing.T) {
+	p := NewPartition()
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := p.Wrap(a)
+	p.StallLink()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Write([]byte("x"))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("write on a closed stalled conn returned nil")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not unblock a stalled write")
+	}
+}
+
+func TestHealthyPassesThrough(t *testing.T) {
+	p := NewPartition()
+	a, b := net.Pipe()
+	defer b.Close()
+	fc := p.Wrap(a)
+	defer fc.Close()
+	go func() {
+		buf := make([]byte, 5)
+		n, _ := b.Read(buf)
+		b.Write(buf[:n])
+	}()
+	if _, err := fc.Write([]byte("hello")); err != nil {
+		t.Fatalf("healthy write: %v", err)
+	}
+	buf := make([]byte, 5)
+	if _, err := fc.Read(buf); err != nil {
+		t.Fatalf("healthy read: %v", err)
+	}
+	if string(buf) != "hello" {
+		t.Fatalf("echoed %q", buf)
+	}
+}
+
+func TestListenerDropsAcceptedConnsDuringSplit(t *testing.T) {
+	p := NewPartition()
+	inner, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := p.Listen(inner)
+	defer l.Close()
+	accepted := make(chan net.Conn, 4)
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			accepted <- c
+		}
+	}()
+
+	p.Split()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The TCP dial completes, but the server side was closed at once:
+	// the first protocol exchange must fail.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on a dropped accept succeeded")
+	}
+	conn.Close()
+
+	p.Heal()
+	conn2, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	select {
+	case sc := <-accepted:
+		sc.Close()
+	case <-time.After(2 * time.Second):
+		t.Fatal("healed listener accepted nothing")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Healthy.String() != "healthy" || Drop.String() != "drop" || Stall.String() != "stall" {
+		t.Fatal("mode names drifted")
+	}
+}
