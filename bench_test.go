@@ -15,9 +15,12 @@ import (
 	"emap"
 	"emap/internal/backoff"
 	"emap/internal/cloud"
+	"emap/internal/dsp"
 	"emap/internal/edge"
 	"emap/internal/experiments"
+	"emap/internal/kernel"
 	"emap/internal/netsim"
+	"emap/internal/search"
 )
 
 // benchEnv is the shared reduced environment for figure benches.
@@ -318,6 +321,134 @@ func BenchmarkCloudSearchMultiTenant(b *testing.B) {
 		b.ReportMetric(float64(srv.Metrics.CacheHits.Load())/float64(n), "cache-hit-ratio")
 	}
 	b.ReportMetric(float64(srv.Metrics.Evaluations.Load())/float64(max(b.N, 1)), "ω-evals/op")
+}
+
+// BenchmarkKernelDot measures the scan's innermost operation — the
+// 256-sample dot product behind every scalar ω — across the kernel
+// variants (naive single-accumulator loop vs the engine's unrolled and
+// pairwise kernels).
+func BenchmarkKernelDot(b *testing.B) {
+	gen := emap.NewGenerator(3)
+	rec := gen.SeizureInput(0, 30, 4)
+	x, y := rec.Samples[0:256], rec.Samples[256:512]
+	naive := func(a, b []float64) float64 {
+		var acc float64
+		for i := range a {
+			acc += a[i] * b[i]
+		}
+		return acc
+	}
+	var sink float64
+	for _, bc := range []struct {
+		name string
+		k    func(a, b []float64) float64
+	}{{"naive", naive}, {"unroll8", kernel.Dot}, {"pairwise", kernel.DotPairwise}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink += bc.k(x, y)
+			}
+		})
+	}
+	_ = sink
+}
+
+// BenchmarkKernelProfile compares one signal-set's FULL ω-numerator
+// profile computed the two ways the engine can: scalar dot products at
+// every offset (O(n·L)) vs one cached-plan FFT multiply+inverse
+// (O(L log L)) — the per-set arithmetic behind BenchmarkExhaustiveFFT.
+func BenchmarkKernelProfile(b *testing.B) {
+	gen := emap.NewGenerator(3)
+	rec := gen.SeizureInput(0, 30, 10)
+	const n, segLen = 256, 1255 // one-second query, full-coverage slice segment
+	seg := rec.Samples[:segLen]
+	q := dsp.ZNormalize(rec.Samples[segLen : segLen+n])
+	b.Run("scalar", func(b *testing.B) {
+		out := make([]float64, segLen-n+1)
+		for i := 0; i < b.N; i++ {
+			for beta := range out {
+				out[beta] = kernel.Dot(q, seg[beta:beta+n])
+			}
+		}
+	})
+	b.Run("fft", func(b *testing.B) {
+		e := kernel.NewEngine()
+		p := e.Profiler(segLen)
+		segSpec := make([]complex128, p.Bins())
+		qSpec := make([]complex128, p.Bins())
+		work := make([]complex128, p.Bins())
+		profile := make([]float64, p.M())
+		p.Spectrum(qSpec, q)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Spectrum(segSpec, seg)
+			p.Correlate(profile, segSpec, qSpec, work)
+		}
+	})
+}
+
+// BenchmarkExhaustiveFFT is the kernel engine's headline number: a
+// batched exhaustive search over the default synthetic store, scalar
+// kernel vs FFT profile path. The speedup sub-benchmark times both
+// paths in one run, reports the ratio, and FAILS if the FFT path is
+// not faster — CI's bench smoke turns a kernel regression into a red
+// job, not a quietly worse BENCH_pr5.json point.
+func BenchmarkExhaustiveFFT(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	input := gen.SeizureInput(0, 30, 10)
+	windows := make([][]float64, 8)
+	for i := range windows {
+		windows[i] = input.Samples[i*256 : i*256+256]
+	}
+	// One long-lived searcher per mode, as the cloud tier holds one
+	// per tenant: FFT plans and query spectra amortize across scans.
+	searchers := map[emap.KernelMode]*search.Searcher{}
+	for _, mode := range []emap.KernelMode{emap.KernelScalar, emap.KernelFFT} {
+		searchers[mode] = emap.NewSearcher(store, emap.SearchParams{Kernel: mode})
+	}
+	run := func(mode emap.KernelMode) (*emap.BatchSearchResult, error) {
+		return searchers[mode].ExhaustiveN(windows)
+	}
+	for _, mode := range []emap.KernelMode{emap.KernelScalar, emap.KernelFFT} {
+		b.Run(string(mode), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := run(mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("speedup", func(b *testing.B) {
+		var scalarNs, fftNs int64
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			rs, err := run(emap.KernelScalar)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			rf, err := run(emap.KernelFFT)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scalarNs += t1.Sub(t0).Nanoseconds()
+			fftNs += time.Since(t1).Nanoseconds()
+			if rf.Evaluated != rs.Evaluated {
+				b.Fatalf("paths disagree: fft evaluated %d, scalar %d", rf.Evaluated, rs.Evaluated)
+			}
+			if rf.ProfileSets == 0 {
+				b.Fatal("fft path computed no profiles")
+			}
+		}
+		speedup := float64(scalarNs) / float64(max(fftNs, 1))
+		b.ReportMetric(speedup, "speedup")
+		if speedup < 1 {
+			b.Fatalf("FFT exhaustive path is SLOWER than scalar: %.2fx", speedup)
+		}
+	})
 }
 
 // BenchmarkMDBConstruction measures the full corpus-to-store pipeline.

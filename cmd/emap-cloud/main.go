@@ -17,7 +17,8 @@
 //	           [-workers N] [-drain 10s] [-max-batch 32]
 //	           [-batch-window 0s] [-cache 256]
 //	           [-store-dir DIR] [-max-tenants N] [-tenant default]
-//	           [-empty]
+//	           [-empty] [-kernel auto|scalar|fft]
+//	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // The default tenant's store comes from, in order of precedence: an
 // explicit -mdb snapshot; a persisted DIR/default.snap in -store-dir
@@ -36,13 +37,17 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"sync"
 	"syscall"
 	"time"
 
 	"emap"
 	"emap/internal/cloud"
 	"emap/internal/mdb"
+	"emap/internal/search"
 )
 
 func main() {
@@ -60,13 +65,68 @@ func main() {
 	maxTenants := flag.Int("max-tenants", 0, "max open tenant stores, LRU-evicted beyond (0: unbounded)")
 	defTenant := flag.String("tenant", cloud.DefaultTenant, "default tenant ID (v1/v2 peers land here)")
 	empty := flag.Bool("empty", false, "build no synthetic default store; the default tenant lazy-loads its -store-dir snapshot if one exists, else starts empty")
+	kernelFlag := flag.String("kernel", "auto", "correlation kernel dispatch: auto|scalar|fft")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
 
+	kernelMode, ok := search.ParseKernelMode(*kernelFlag)
+	if !ok {
+		logger.Fatalf("-kernel %q invalid (want auto, scalar or fft)", *kernelFlag)
+	}
+	// Every fatal exit below routes through stopProfiles first:
+	// logger.Fatal skips deferred functions (os.Exit), which would
+	// otherwise leave a truncated CPU profile and no heap profile at
+	// all — the capture an operator asked for would be lost exactly
+	// when the process dies.
+	stopProfiles := func() {}
+	fatal := func(v ...any) { stopProfiles(); logger.Fatal(v...) }
+	fatalf := func(format string, v ...any) { stopProfiles(); logger.Fatalf(format, v...) }
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			logger.Fatalf("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			logger.Fatalf("-cpuprofile: %v", err)
+		}
+		cpuFile = f
+	}
+	if cpuFile != nil || *memprofile != "" {
+		var once sync.Once
+		stopProfiles = func() {
+			once.Do(func() {
+				if cpuFile != nil {
+					pprof.StopCPUProfile()
+					cpuFile.Close()
+					logger.Printf("CPU profile written to %s", *cpuprofile)
+				}
+				if *memprofile == "" {
+					return
+				}
+				f, err := os.Create(*memprofile)
+				if err != nil {
+					logger.Printf("-memprofile: %v", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC()
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					logger.Printf("-memprofile: %v", err)
+					return
+				}
+				logger.Printf("heap profile written to %s", *memprofile)
+			})
+		}
+		defer stopProfiles()
+	}
+
 	reg, err := mdb.NewRegistry(*storeDir, *maxTenants)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	// A default-tenant snapshot in the registry directory outranks
 	// building a synthetic store: adopting a fresh store over it
@@ -80,7 +140,7 @@ func main() {
 	}
 	switch {
 	case *snapshot != "" && *empty:
-		logger.Fatal("-mdb and -empty conflict; pass one")
+		fatal("-mdb and -empty conflict; pass one")
 	case persisted && *snapshot == "":
 		logger.Printf("default tenant %q will lazy-load from %s", *defTenant, *storeDir)
 	case *empty:
@@ -90,21 +150,21 @@ func main() {
 		if *snapshot != "" {
 			store, err = mdb.LoadFile(*snapshot)
 			if err != nil {
-				logger.Fatalf("loading %s: %v", *snapshot, err)
+				fatalf("loading %s: %v", *snapshot, err)
 			}
 			logger.Printf("loaded %s", *snapshot)
 		} else {
 			logger.Printf("building synthetic mega-database (seed %d, %d per corpus)…", *seed, *per)
 			store, err = emap.BuildMDBFromCorpora(emap.NewGenerator(*seed), *per)
 			if err != nil {
-				logger.Fatalf("building store: %v", err)
+				fatalf("building store: %v", err)
 			}
 		}
 		normal, anomalous := store.LabelCounts()
 		logger.Printf("default tenant %q: %d signal-sets (%d normal / %d anomalous)",
 			*defTenant, store.NumSets(), normal, anomalous)
 		if err := reg.Adopt(*defTenant, store); err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 	}
 	if stored := reg.ListStored(); len(stored) > 0 {
@@ -112,6 +172,7 @@ func main() {
 	}
 
 	srv, err := cloud.NewRegistryServer(reg, cloud.Config{
+		Search:         search.Params{Kernel: kernelMode},
 		HorizonSeconds: *horizon,
 		Workers:        *workers,
 		MaxBatch:       *maxBatch,
@@ -121,11 +182,11 @@ func main() {
 		Logger:         logger,
 	})
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		logger.Fatal(err)
+		fatal(err)
 	}
 	fmt.Printf("emap-cloud listening on %s\n", l.Addr())
 
@@ -136,7 +197,7 @@ func main() {
 	select {
 	case err := <-serveDone:
 		if err != nil {
-			logger.Fatal(err)
+			fatal(err)
 		}
 	case <-ctx.Done():
 		stop()

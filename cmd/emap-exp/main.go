@@ -2,11 +2,14 @@
 //
 // Usage:
 //
-//	emap-exp [-quick] [experiment ...]
+//	emap-exp [-quick] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	         [experiment ...]
 //
 // Experiments: fig2 fig4 fig7a fig7b fig8a fig8b fig9 fig10 fig11
 // table1, or "all" (the default). -quick shrinks workloads for smoke
-// runs.
+// runs. The profile flags wrap the selected experiments in pprof
+// collection — the measurement loop for kernel work (see
+// EXPERIMENTS.md "Profiling the hot path").
 package main
 
 import (
@@ -15,13 +18,19 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
 	"emap/internal/experiments"
 )
 
-var quick = flag.Bool("quick", false, "use small workloads (smoke run)")
+var (
+	quick      = flag.Bool("quick", false, "use small workloads (smoke run)")
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile = flag.String("memprofile", "", "write a heap profile to this file after the selected experiments")
+)
 
 func env() experiments.EnvConfig {
 	if *quick {
@@ -154,13 +163,39 @@ var order = []string{"fig2", "fig4", "fig7a", "fig7b", "fig8a", "fig8b", "fig9",
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: emap-exp [-quick] [experiment ...]\nexperiments: %v or all\n", order)
+		fmt.Fprintf(os.Stderr, "usage: emap-exp [-quick] [-cpuprofile FILE] [-memprofile FILE] [experiment ...]\nexperiments: %v or all\n", order)
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	// os.Exit must not skip the profile writes, so the run loop lives
+	// in its own function and profiles flush here, before exiting.
+	code := run()
+	writeProfiles()
+	if code != 0 {
+		os.Exit(code)
+	}
+}
+
+func run() int {
 	names := flag.Args()
 	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
 		names = order
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "emap-exp: -cpuprofile: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "emap-exp: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "emap-exp: CPU profile written to %s\n", *cpuprofile)
+		}()
 	}
 	rs := runners()
 	// Full-size regenerations run for minutes; a signal stops cleanly
@@ -171,17 +206,36 @@ func main() {
 		run, ok := rs[name]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "emap-exp: unknown experiment %q (have %v)\n", name, order)
-			os.Exit(2)
+			return 2
 		}
 		if ctx.Err() != nil {
 			fmt.Fprintln(os.Stderr, "emap-exp: interrupted")
-			os.Exit(130)
+			return 130
 		}
 		start := time.Now()
 		if err := run(); err != nil {
 			fmt.Fprintf(os.Stderr, "emap-exp: %s: %v\n", name, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+func writeProfiles() {
+	if *memprofile == "" {
+		return
+	}
+	f, err := os.Create(*memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "emap-exp: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "emap-exp: -memprofile: %v\n", err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "emap-exp: heap profile written to %s\n", *memprofile)
 }

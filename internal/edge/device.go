@@ -285,11 +285,20 @@ func (d *Device) Push(ctx context.Context, raw []float64) (st Status, err error)
 		return st, nil
 	}
 
-	// Adopt a completed background refresh.
+	// Adopt a completed background refresh. An EMPTY retrieval (the
+	// window correlated with nothing above δ) still arms the live
+	// tracker — that is the cloud's honest answer — but never
+	// replaces a non-empty lastGood: the degraded-mode fallback
+	// exists to hold the last known match DISTRIBUTION through an
+	// outage, and an empty set carries none, so clobbering the
+	// fallback with it would send the device dark exactly when the
+	// stale estimate is most needed (one no-match window right
+	// before a partition).
 	select {
 	case a := <-d.refreshing:
 		d.pending = false
 		if a.err == nil {
+			keepGood := len(a.matches) > 0 || d.lastGood.store == nil
 			params := d.trackParams(a.store, len(a.matches))
 			skip := d.window - a.seq - 1
 			if params.HorizonWindows > 0 && skip >= params.HorizonWindows {
@@ -301,13 +310,17 @@ func (d *Device) Push(ctx context.Context, raw []float64) (st Status, err error)
 				// to request a fresh set right away: the link just
 				// proved healthy, so recovery must not wait out the
 				// stale tracker's horizon.
-				d.lastGood = a
+				if keepGood {
+					d.lastGood = a
+				}
 				d.forceRecall = true
 			} else {
 				tr := track.NewTracker(a.store, a.matches, params)
 				tr.Skip(skip)
 				d.tracker = tr
-				d.lastGood = a
+				if keepGood {
+					d.lastGood = a
+				}
 				d.clearDegraded()
 			}
 		}

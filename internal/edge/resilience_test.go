@@ -561,3 +561,101 @@ func TestClientKeepalive(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestEmptyRefreshKeepsDegradedFallback: a retrieval that comes back
+// EMPTY (the uploaded window correlated with nothing above δ) must
+// never replace the non-empty last-good correlation set that degraded
+// mode re-arms — otherwise one no-match window landing right before a
+// partition sends the device dark for the whole outage. The kernel
+// engine made searches fast enough to lose exactly that race, which
+// is how this gap was found.
+func TestEmptyRefreshKeepsDegradedFallback(t *testing.T) {
+	store, g := buildResilienceStore(t)
+	srv, err := cloud.NewServer(store, resilienceCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := netsim.NewPartition()
+	go srv.Serve(part.Listen(l))
+	defer srv.Close()
+
+	client, err := DialOpts(l.Addr().String(), ClientOptions{
+		DialTimeout: time.Second, RedialAttempts: 1, Redial: fastBackoff(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dev, err := NewDevice(client, Config{
+		CloudTimeout: time.Second, Refresh: fastBackoff(), RefreshRetries: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The injected adoption below breaks the device's one-in-flight
+	// invariant: a real refresh can be left blocked on the full
+	// channel, which Close waits out. Drain the channel until Close
+	// returns so teardown can't deadlock.
+	defer func() {
+		closed := make(chan struct{})
+		go func() {
+			dev.Close()
+			close(closed)
+		}()
+		for {
+			select {
+			case <-dev.refreshing:
+			case <-closed:
+				return
+			}
+		}
+	}()
+
+	input := g.SeizureInput(0, 30, 60)
+	ctx := context.Background()
+	k := 0
+	for ; k < 10; k++ {
+		if _, err := dev.Push(ctx, input.Samples[k*256:(k+1)*256]); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(dev.lastGood.matches) == 0 {
+		t.Fatal("fixture never adopted a non-empty correlation set")
+	}
+	part.Split()
+	// Deterministically deliver the race: an empty retrieval is
+	// adopted at the next slot, exactly as if a no-match search
+	// completed a moment before the link died. A real refresh may
+	// already be parked in the channel — discard it and park ours.
+	inject := adoptable{store: mdb.NewStore(), seq: k - 1}
+	for parked := true; parked; {
+		select {
+		case dev.refreshing <- inject:
+			parked = false
+		case <-dev.refreshing:
+		}
+	}
+	observed := 0
+	windows := len(input.Samples) / 256
+	for ; k < windows && observed == 0; k++ {
+		st, err := dev.Push(ctx, input.Samples[k*256:(k+1)*256])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Degraded && st.Tracking && st.Remaining > 0 {
+			observed++
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(dev.lastGood.matches) == 0 {
+		t.Fatal("empty retrieval clobbered the degraded fallback set")
+	}
+	if observed == 0 {
+		t.Fatal("no degraded tracking after an empty retrieval preceded the outage")
+	}
+}

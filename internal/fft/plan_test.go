@@ -1,0 +1,112 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"emap/internal/rng"
+)
+
+func randomSignal(r *rng.Source, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.NormFloat64() * 40
+	}
+	return out
+}
+
+// TestPlanMatchesFFT: the planned transform must agree with the
+// one-shot FFT/IFFT across sizes, forward and inverse.
+func TestPlanMatchesFFT(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1, 2, 4, 8, 64, 256, 1024} {
+		p, err := NewPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(r.NormFloat64(), r.NormFloat64())
+		}
+		want := append([]complex128(nil), x...)
+		if err := FFT(want); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+				t.Fatalf("n=%d forward bin %d: plan %v, fft %v", n, i, got[i], want[i])
+			}
+		}
+		p.Inverse(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d roundtrip sample %d: %v, want %v", n, i, got[i], x[i])
+			}
+		}
+	}
+	if _, err := NewPlan(12); err == nil {
+		t.Fatal("non-power-of-two plan must be rejected")
+	}
+}
+
+// TestRealPlanForwardMatchesRealFFT: the packed real transform must
+// produce the same half-spectrum as the complex FFT of the same
+// signal, including when the input is shorter than the plan
+// (zero-padding semantics).
+func TestRealPlanForwardMatchesRealFFT(t *testing.T) {
+	r := rng.New(11)
+	for _, n := range []int{2, 4, 8, 16, 256, 2048} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inLen := range []int{n, n / 2, n - 1, 1} {
+			if inLen < 1 {
+				continue
+			}
+			x := randomSignal(r, inLen)
+			full := make([]complex128, n)
+			for i, v := range x {
+				full[i] = complex(v, 0)
+			}
+			if err := FFT(full); err != nil {
+				t.Fatal(err)
+			}
+			spec := make([]complex128, p.Bins())
+			p.Forward(spec, x)
+			for k := 0; k <= n/2; k++ {
+				if cmplx.Abs(spec[k]-full[k]) > 1e-9*(1+cmplx.Abs(full[k])) {
+					t.Fatalf("n=%d inLen=%d bin %d: real plan %v, fft %v", n, inLen, k, spec[k], full[k])
+				}
+			}
+		}
+	}
+	if _, err := NewRealPlan(3); err == nil {
+		t.Fatal("non-power-of-two real plan must be rejected")
+	}
+}
+
+// TestRealPlanRoundtrip: Forward→Inverse must reproduce the padded
+// signal to near machine precision.
+func TestRealPlanRoundtrip(t *testing.T) {
+	r := rng.New(13)
+	for _, n := range []int{2, 4, 8, 64, 512, 4096} {
+		p, err := NewRealPlan(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := randomSignal(r, n)
+		spec := make([]complex128, p.Bins())
+		p.Forward(spec, x)
+		got := make([]float64, n)
+		p.Inverse(got, spec)
+		for i := range x {
+			if math.Abs(got[i]-x[i]) > 1e-9 {
+				t.Fatalf("n=%d sample %d: %g, want %g", n, i, got[i], x[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package kernel
+
+import (
+	"sync"
+
+	"emap/internal/fft"
+)
+
+// Engine caches FFT plans per transform size. Building a plan costs
+// O(m) trig and table setup — trivial once, ruinous if paid per scan —
+// so one Engine is shared by every scan over a store (per tenant in
+// the cloud tier, sized off its slice length). All methods are safe
+// for concurrent use; the plans handed out are immutable.
+type Engine struct {
+	mu    sync.RWMutex
+	plans map[int]*fft.RealPlan
+}
+
+// NewEngine returns an empty plan cache.
+func NewEngine() *Engine {
+	return &Engine{plans: make(map[int]*fft.RealPlan)}
+}
+
+// Prewarm builds and caches plans for the given transform sizes (each
+// rounded up to a power of two ≥ 2), so the first scan doesn't pay
+// plan construction. Typical use passes the sizes implied by the
+// store's slice length.
+func (e *Engine) Prewarm(sizes ...int) {
+	for _, n := range sizes {
+		if n > 0 {
+			e.plan(PlanSizeFor(n))
+		}
+	}
+}
+
+// Sizes returns how many distinct plan sizes are cached.
+func (e *Engine) Sizes() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.plans)
+}
+
+// PlanSizeFor returns the transform size a segment of segLen real
+// samples profiles at: the next power of two, floored at 2
+// (RealPlan's minimum). Callers use it to cost a dense pass before
+// asking for the Profiler.
+func PlanSizeFor(segLen int) int {
+	m := fft.NextPow2(segLen)
+	if m < 2 {
+		m = 2
+	}
+	return m
+}
+
+func (e *Engine) plan(m int) *fft.RealPlan {
+	e.mu.RLock()
+	p := e.plans[m]
+	e.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p = e.plans[m]; p != nil {
+		return p
+	}
+	p, err := fft.NewRealPlan(m)
+	if err != nil {
+		// PlanSizeFor only produces valid powers of two; reaching here
+		// is a programming error, not an input condition.
+		panic(err)
+	}
+	e.plans[m] = p
+	return p
+}
+
+// Profiler computes sliding-dot profiles for segments up to segLen
+// samples through one cached plan. It is a small value handle — copy
+// freely; the shared plan underneath is concurrency-safe.
+func (e *Engine) Profiler(segLen int) Profiler {
+	return Profiler{plan: e.plan(PlanSizeFor(segLen))}
+}
+
+// Profiler is a fixed-size correlation profiler: Spectrum transforms
+// real inputs (segment or query) into half-spectra, Correlate turns a
+// segment spectrum and a query spectrum into the full profile of
+// sliding dot products. Buffers are caller-owned so a scan worker can
+// run allocation-free.
+type Profiler struct {
+	plan *fft.RealPlan
+}
+
+// M returns the transform size (profile buffers must hold M floats).
+func (p Profiler) M() int { return p.plan.Len() }
+
+// Bins returns the half-spectrum length (spectrum buffers must hold
+// Bins complex values).
+func (p Profiler) Bins() int { return p.plan.Bins() }
+
+// Spectrum writes the half-spectrum of x (zero-padded to M) into
+// spec[:Bins]. x must not be longer than M.
+func (p Profiler) Spectrum(spec []complex128, x []float64) {
+	p.plan.Forward(spec, x)
+}
+
+// Correlate computes dst[β] = Σ_j q[j]·seg[β+j] for every offset β
+// from the two half-spectra: one pointwise multiply (seg ⊙ conj(q))
+// into work, one inverse real transform into dst. Offsets where the
+// query window runs past the real segment read the zero padding —
+// callers use dst[0..segLen−len(q)]. work must hold Bins complex
+// values (it is scratch, destroyed by the inverse); dst must hold M
+// floats. segSpec and qSpec are read-only and reusable across calls —
+// the amortization the engine exists for: one segment transform per
+// (set, length-group), one query transform per unique query, one
+// multiply+inverse per pair.
+func (p Profiler) Correlate(dst []float64, segSpec, qSpec, work []complex128) {
+	bins := p.plan.Bins()
+	s, q, w := segSpec[:bins], qSpec[:bins], work[:bins]
+	for k := range w {
+		w[k] = s[k] * complex(real(q[k]), -imag(q[k]))
+	}
+	p.plan.Inverse(dst, w)
+}

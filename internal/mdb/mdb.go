@@ -90,6 +90,10 @@ type view struct {
 	records map[string]*Record
 	order   []string // insertion order of record IDs
 	sets    []*SignalSet
+	// totalSamples is Σ len(Samples) over records, computed at view
+	// construction: TotalSamples sits on status/metrics paths, which
+	// must not re-sum every record per call.
+	totalSamples int
 }
 
 var emptyView = &view{records: map[string]*Record{}}
@@ -162,9 +166,10 @@ func (s *Store) insertBatch(items []insertion) (int, error) {
 	defer s.wmu.Unlock()
 	cur := s.v.Load()
 	next := &view{
-		records: make(map[string]*Record, len(cur.records)+len(items)),
-		order:   make([]string, len(cur.order), len(cur.order)+len(items)),
-		sets:    append([]*SignalSet(nil), cur.sets...),
+		records:      make(map[string]*Record, len(cur.records)+len(items)),
+		order:        make([]string, len(cur.order), len(cur.order)+len(items)),
+		sets:         append([]*SignalSet(nil), cur.sets...),
+		totalSamples: cur.totalSamples,
 	}
 	for id, r := range cur.records {
 		next.records[id] = r
@@ -180,6 +185,7 @@ func (s *Store) insertBatch(items []insertion) (int, error) {
 		rec.stats = dsp.NewSlidingStats(rec.Samples)
 		next.records[rec.ID] = rec
 		next.order = append(next.order, rec.ID)
+		next.totalSamples += len(rec.Samples)
 		for start := 0; start+it.sliceLen <= len(rec.Samples); start += it.sliceLen {
 			anomalous := false
 			if it.labelFn != nil {
@@ -251,7 +257,8 @@ func (s *Store) SubsetSets(n int) *Store {
 	if n < 0 {
 		n = 0
 	}
-	return newStoreView(&view{records: cur.records, order: cur.order, sets: cur.sets[:n]})
+	return newStoreView(&view{records: cur.records, order: cur.order, sets: cur.sets[:n],
+		totalSamples: cur.totalSamples})
 }
 
 // RecordIDs returns the stored recording IDs in insertion order.
@@ -355,13 +362,10 @@ func (sn Snapshot) Window(set *SignalSet, offset, n int) ([]float64, bool) {
 }
 
 // TotalSamples returns the total number of stored samples across all
-// recordings in this epoch.
+// recordings in this epoch. The sum is computed once at view
+// construction — this is an O(1) read, safe on hot status paths.
 func (sn Snapshot) TotalSamples() int {
-	total := 0
-	for _, r := range sn.ensure().records {
-		total += len(r.Samples)
-	}
-	return total
+	return sn.ensure().totalSamples
 }
 
 // RecordIDs returns this epoch's recording IDs in insertion order.

@@ -151,6 +151,44 @@ func TestRecordLookup(t *testing.T) {
 	}
 }
 
+// TestTotalSamplesCachedAcrossEpochs: the per-view cached total must
+// track inserts, survive SubsetSets (which shares the record map) and
+// the persistence round trip.
+func TestTotalSamplesCachedAcrossEpochs(t *testing.T) {
+	s := NewStore()
+	if s.TotalSamples() != 0 {
+		t.Fatalf("empty store TotalSamples = %d", s.TotalSamples())
+	}
+	if _, err := s.Insert(makeRecord("a", 1500), 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+	if _, err := s.Insert(makeRecord("b", 2500), 1000, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalSamples(); got != 4000 {
+		t.Fatalf("TotalSamples after two inserts = %d, want 4000", got)
+	}
+	if got := snap.TotalSamples(); got != 1500 {
+		t.Fatalf("captured epoch TotalSamples = %d, want 1500", got)
+	}
+	// SubsetSets trims the set spine, not the records.
+	if got := s.SubsetSets(1).TotalSamples(); got != 4000 {
+		t.Fatalf("SubsetSets TotalSamples = %d, want 4000", got)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.TotalSamples(); got != 4000 {
+		t.Fatalf("loaded TotalSamples = %d, want 4000", got)
+	}
+}
+
 func TestConcurrentReads(t *testing.T) {
 	s := NewStore()
 	if _, err := s.Insert(makeRecord("r", 50000), 1000, nil); err != nil {

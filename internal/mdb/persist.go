@@ -76,6 +76,7 @@ func Load(r io.Reader) (*Store, error) {
 		}
 		v.records[rec.ID] = rec
 		v.order = append(v.order, rec.ID)
+		v.totalSamples += len(rec.Samples)
 	}
 	for i := range snap.Sets {
 		set := snap.Sets[i]

@@ -1,8 +1,9 @@
 package search
 
 import (
-	"encoding/binary"
 	"math"
+	"math/bits"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -27,7 +28,9 @@ type BatchResult struct {
 	// Evaluated is the total number of ω evaluations performed for
 	// the whole batch. With B identical queries it equals the cost of
 	// a single-query search; it never exceeds the sum of B separate
-	// searches.
+	// searches. Offsets served from an FFT profile count exactly like
+	// scalar ones: Evaluated is the algorithmic exploration metric of
+	// Fig. 7, independent of which kernel produced each ω.
 	Evaluated int
 	// SetPasses counts signal-set visits: one per signal-set per
 	// query-length group, however many queries ride on the pass. For
@@ -36,6 +39,13 @@ type BatchResult struct {
 	// is the memory-bandwidth amortization the batched path exists
 	// for.
 	SetPasses int
+	// ProfileSets counts (signal-set × query) ω profiles computed by
+	// the FFT kernel engine instead of scalar dot products — the
+	// kernel-dispatch counter EXPERIMENTS states the speedup with.
+	// Exhaustive scans drive it to Unique × SetPasses; the skip walk
+	// raises it only where its evaluation density crossed the dense
+	// crossover.
+	ProfileSets int
 	// Elapsed is the wall-clock duration of the whole batch search.
 	Elapsed time.Duration
 }
@@ -77,9 +87,12 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 	// normalized queries: repeated windows (the tracking-loop steady
 	// state) collapse to one scan slot. slot[i] is the unique-query
 	// index serving input i, or -1 for a flat (uncorrelatable) input.
+	// The dedup probe is a 128-bit hash of the float bits — one map
+	// lookup, no per-query byte-string garbage — confirmed by an
+	// exact element compare on every hash hit.
 	var uniques [][]float64
 	slot := make([]int, len(inputs))
-	seen := make(map[string]int, len(inputs))
+	seen := make(map[zqKey][]int, len(inputs))
 	for i, input := range inputs {
 		if len(input) == 0 {
 			return nil, ErrShortInput
@@ -89,12 +102,21 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 			slot[i] = -1
 			continue
 		}
-		key := zqKey(zq)
-		if j, ok := seen[key]; ok {
-			slot[i] = j
+		key := zqHash(zq)
+		dup := -1
+		for _, j := range seen[key] {
+			// The collision-confirm compare behind the dedup hash: a
+			// hash hit only merges bit-equal windows.
+			if slices.Equal(uniques[j], zq) {
+				dup = j
+				break
+			}
+		}
+		if dup >= 0 {
+			slot[i] = dup
 			continue
 		}
-		seen[key] = len(uniques)
+		seen[key] = append(seen[key], len(uniques))
 		slot[i] = len(uniques)
 		uniques = append(uniques, zq)
 	}
@@ -124,11 +146,13 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 				accs[q].top.Merge(shardAccs[i][q].top)
 				accs[q].evaluated += shardAccs[i][q].evaluated
 				accs[q].candidates += shardAccs[i][q].candidates
+				accs[q].profiled += shardAccs[i][q].profiled
 			}
 		}
 	}
 	for q := range accs {
 		br.Evaluated += accs[q].evaluated
+		br.ProfileSets += accs[q].profiled
 	}
 	br.Elapsed = time.Since(start)
 
@@ -138,6 +162,7 @@ func (s *Searcher) runBatch(inputs [][]float64, exhaustive bool) (*BatchResult, 
 			Matches:     accs[q].top.SortedDesc(),
 			Evaluated:   accs[q].evaluated,
 			Candidates:  accs[q].candidates,
+			ProfileSets: accs[q].profiled,
 			SetsScanned: len(sets),
 			Elapsed:     br.Elapsed,
 		}
@@ -159,6 +184,7 @@ type queryAccum struct {
 	top        *TopK
 	evaluated  int
 	candidates int
+	profiled   int
 }
 
 // lenGroup is the set of unique-query indexes sharing one window
@@ -197,134 +223,33 @@ type cursor struct {
 	bestOmega float64
 	bestBeta  int
 	found     bool
+	// evals counts this cursor's ω evaluations within the CURRENT
+	// set pass; in auto kernel mode, crossing the dense budget flips
+	// the cursor onto the FFT profile for the rest of the set.
+	evals int
+	dense bool
 }
 
-// scanShardBatch scans a contiguous run of signal-sets for all unique
-// queries at once. Per signal-set and per length group it performs one
-// merged walk: at every offset any cursor has reached, the stored
-// window and its centred norm are materialized once and every cursor
-// standing at that offset takes its dot product against the hot data —
-// B queries cost one pass of memory traffic, not B.
-func (s *Searcher) scanShardBatch(snap mdb.Snapshot, shard []*mdb.SignalSet, uniques [][]float64, groups []lenGroup, exhaustive bool) ([]queryAccum, int) {
-	p := s.params
-	accs := make([]queryAccum, len(uniques))
-	for i := range accs {
-		accs[i].top = NewTopK(p.TopK)
-	}
-	passes := 0
-	// One reusable cursor slice per group, reset for every set.
-	cursors := make([][]cursor, len(groups))
-	for gi, g := range groups {
-		cursors[gi] = make([]cursor, len(g.qs))
-		for ci, q := range g.qs {
-			cursors[gi][ci] = cursor{q: q, zq: uniques[q]}
-		}
-	}
-	for _, set := range shard {
-		rec, ok := snap.Record(set.RecordID)
-		if !ok {
-			continue
-		}
-		stats := rec.Stats()
-		for gi := range groups {
-			n := groups[gi].n
-			var maxOff int
-			if p.PaperSliceScan {
-				maxOff = set.Length - n // paper: while β < Length(S) − Length(I_N)
-			} else {
-				maxOff = set.Length - 1 // full coverage; window may cross into the parent recording
-			}
-			if set.Start+maxOff+n > stats.Len() {
-				maxOff = stats.Len() - n - set.Start
-			}
-			if maxOff < 0 {
-				continue
-			}
-			passes++
-			cs := cursors[gi]
-			for ci := range cs {
-				cs[ci].beta, cs[ci].env, cs[ci].found = 0, 0, false
-			}
-			s.walkSet(cs, stats, set.Start, n, maxOff, exhaustive, accs, set.ID)
-			for ci := range cs {
-				if c := &cs[ci]; c.found && !p.AllOffsets {
-					accs[c.q].top.Push(Match{SetID: set.ID, Omega: c.bestOmega, Beta: c.bestBeta})
-				}
-			}
-		}
-	}
-	return accs, passes
-}
+// zqKey is the 128-bit FNV-style fingerprint of a z-normalized query:
+// two 64-bit lanes folded word-at-a-time over the float bits, with the
+// length mixed into the bases. Map probes cost one 16-byte compare
+// instead of an 8·n-byte string allocation per query; hash hits are
+// confirmed by an exact element compare, so a collision can never
+// merge two distinct queries.
+type zqKey struct{ hi, lo uint64 }
 
-// walkSet advances every cursor through one signal-set. Offsets are
-// visited in ascending order; cursors whose trajectories coincide at
-// an offset share the window load and the normalization denominator.
-func (s *Searcher) walkSet(cs []cursor, stats *dsp.SlidingStats, setStart, n, maxOff int, exhaustive bool, accs []queryAccum, setID int) {
-	p := s.params
-	signal := stats.Signal()
-	for {
-		// The frontier: the smallest pending offset of any cursor.
-		beta := -1
-		for i := range cs {
-			if cs[i].beta <= maxOff && (beta < 0 || cs[i].beta < beta) {
-				beta = cs[i].beta
-			}
-		}
-		if beta < 0 {
-			return
-		}
-		abs := setStart + beta
-		// Shared across all cursors at this offset: the centred norm
-		// (O(1) from prefix sums) and the window data itself.
-		den := stats.WindowNorm(abs, n)
-		degenerate := den < 1e-12
-		x := signal[abs : abs+n]
-		for i := range cs {
-			c := &cs[i]
-			if c.beta != beta {
-				continue
-			}
-			// Degenerate (constant) stored windows correlate as 0,
-			// matching dsp.SlidingStats.CorrAt.
-			omega := 0.0
-			if !degenerate {
-				var dot float64
-				zq := c.zq
-				for j := 0; j < n; j++ {
-					dot += zq[j] * x[j]
-				}
-				omega = dot / den
-			}
-			acc := &accs[c.q]
-			acc.evaluated++
-			if omega > p.Delta {
-				acc.candidates++
-				if p.AllOffsets {
-					acc.top.Push(Match{SetID: setID, Omega: omega, Beta: beta})
-				} else if !c.found || omega > c.bestOmega {
-					c.bestOmega, c.bestBeta, c.found = omega, beta, true
-				}
-			}
-			if exhaustive {
-				c.beta++
-				continue
-			}
-			if a := math.Abs(omega); a > c.env {
-				c.env = a
-			}
-			adv := skipFor(c.env, p)
-			c.beta += adv
-			c.env *= decayPow(p.EnvDecay, adv)
-		}
-	}
-}
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
-// zqKey is the exact-equality fingerprint of a z-normalized query used
-// for batch deduplication.
-func zqKey(zq []float64) string {
-	b := make([]byte, 8*len(zq))
-	for i, v := range zq {
-		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+func zqHash(zq []float64) zqKey {
+	hi := (uint64(fnvOffset64) ^ uint64(len(zq))) * fnvPrime64
+	lo := (hi ^ 0x9e3779b97f4a7c15) * fnvPrime64
+	for _, v := range zq {
+		b := math.Float64bits(v)
+		hi = (hi ^ b) * fnvPrime64
+		lo = (lo ^ bits.RotateLeft64(b, 31)) * fnvPrime64
 	}
-	return string(b)
+	return zqKey{hi, lo}
 }

@@ -37,6 +37,7 @@ import (
 	"runtime"
 	"time"
 
+	"emap/internal/kernel"
 	"emap/internal/mdb"
 )
 
@@ -88,6 +89,14 @@ type Params struct {
 	// redundant corpora mask but a precise reproduction should not
 	// inherit.
 	PaperSliceScan bool
+	// Kernel selects the correlation kernel dispatch: KernelAuto
+	// (default) picks per set and per query, KernelScalar forces the
+	// unrolled dot-product reference, KernelFFT forces the dense
+	// O(L log L) profile. Whatever the mode, match selection is
+	// identical to the scalar reference and every reported ω agrees
+	// within 1e-9 (the golden equivalence contract; see
+	// kernelwalk.go).
+	Kernel KernelMode
 }
 
 // DefaultParams returns the paper's search configuration.
@@ -125,6 +134,11 @@ func (p Params) withDefaults() Params {
 	if p.Workers <= 0 {
 		p.Workers = runtime.NumCPU()
 	}
+	if m, ok := ParseKernelMode(string(p.Kernel)); ok {
+		p.Kernel = m
+	} else {
+		p.Kernel = KernelAuto
+	}
 	return p
 }
 
@@ -139,6 +153,10 @@ type Result struct {
 	// Candidates counts offsets that cleared δ before top-K
 	// truncation (the "number of matches" of Fig. 7a / Fig. 8a).
 	Candidates int
+	// ProfileSets counts the signal-set passes whose ω values for
+	// this query came from the FFT kernel engine's dense profile
+	// rather than scalar dot products (see BatchResult.ProfileSets).
+	ProfileSets int
 	// SetsScanned is the number of signal-sets visited.
 	SetsScanned int
 	// Elapsed is the wall-clock search duration.
@@ -176,13 +194,29 @@ func (r *Result) MinOmega() float64 {
 type Searcher struct {
 	store  *mdb.Store
 	params Params
+	engine *kernel.Engine
 }
 
 // NewSearcher returns a Searcher over store with the given parameters
-// (zero-valued fields take paper defaults).
+// (zero-valued fields take paper defaults) and a private kernel-engine
+// plan cache.
 func NewSearcher(store *mdb.Store, params Params) *Searcher {
-	return &Searcher{store: store, params: params.withDefaults()}
+	return NewSearcherWithEngine(store, params, kernel.NewEngine())
 }
+
+// NewSearcherWithEngine returns a Searcher sharing the given kernel
+// engine — the cloud tier hands every tenant's searcher a per-tenant
+// engine prewarmed for its slice length, so FFT plans are built once
+// per tenant, not once per searcher or scan.
+func NewSearcherWithEngine(store *mdb.Store, params Params, engine *kernel.Engine) *Searcher {
+	if engine == nil {
+		engine = kernel.NewEngine()
+	}
+	return &Searcher{store: store, params: params.withDefaults(), engine: engine}
+}
+
+// Engine returns the searcher's kernel-engine plan cache.
+func (s *Searcher) Engine() *kernel.Engine { return s.engine }
 
 // Params returns the effective search parameters.
 func (s *Searcher) Params() Params { return s.params }
