@@ -18,7 +18,16 @@
 //	           [-batch-window 0s] [-cache 256]
 //	           [-store-dir DIR] [-max-tenants N] [-tenant default]
 //	           [-empty] [-kernel auto|scalar|fft]
+//	           [-node ID] [-advertise HOST:PORT]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// With -node ID the process serves as one member of an emap-router
+// cluster: it owns only its consistent-hash share of tenants, answers
+// MOVED for the rest, migrates tenants when the router pushes a new
+// ring, and ships each owned tenant's snapshot to its ring replica
+// after every ingest. -advertise sets the address peers and the router
+// dial (defaults to the listen address, which only works when everyone
+// shares a network namespace).
 //
 // The default tenant's store comes from, in order of precedence: an
 // explicit -mdb snapshot; a persisted DIR/default.snap in -store-dir
@@ -46,6 +55,7 @@ import (
 
 	"emap"
 	"emap/internal/cloud"
+	"emap/internal/cluster"
 	"emap/internal/mdb"
 	"emap/internal/search"
 )
@@ -64,6 +74,8 @@ func main() {
 	storeDir := flag.String("store-dir", "", "tenant snapshot directory (empty: in-memory registry)")
 	maxTenants := flag.Int("max-tenants", 0, "max open tenant stores, LRU-evicted beyond (0: unbounded)")
 	defTenant := flag.String("tenant", cloud.DefaultTenant, "default tenant ID (v1/v2 peers land here)")
+	nodeID := flag.String("node", "", "cluster node ID: serve as a member of an emap-router cluster instead of a standalone cloud")
+	advertise := flag.String("advertise", "", "address peers and the router dial to reach this node (default: the listen address)")
 	empty := flag.Bool("empty", false, "build no synthetic default store; the default tenant lazy-loads its -store-dir snapshot if one exists, else starts empty")
 	kernelFlag := flag.String("kernel", "auto", "correlation kernel dispatch: auto|scalar|fft")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
@@ -171,7 +183,7 @@ func main() {
 		logger.Printf("%d tenant snapshots available in %s", len(stored), *storeDir)
 	}
 
-	srv, err := cloud.NewRegistryServer(reg, cloud.Config{
+	cfg := cloud.Config{
 		Search:         search.Params{Kernel: kernelMode},
 		HorizonSeconds: *horizon,
 		Workers:        *workers,
@@ -180,23 +192,68 @@ func main() {
 		CacheSize:      *cacheSize,
 		DefaultTenant:  *defTenant,
 		Logger:         logger,
-	})
-	if err != nil {
-		fatal(err)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("emap-cloud listening on %s\n", l.Addr())
+
+	// Standalone cloud or cluster member: both expose the same serve /
+	// drain surface over the same engine.
+	type service interface {
+		Serve(net.Listener) error
+		Shutdown(context.Context) error
+	}
+	var svc service
+	var eng *cloud.Engine
+	if *nodeID != "" {
+		peerAddr := *advertise
+		if peerAddr == "" {
+			peerAddr = l.Addr().String()
+		}
+		node, err := cluster.NewNode(reg, cluster.NodeConfig{
+			ID:     *nodeID,
+			Addr:   peerAddr,
+			Cloud:  cfg,
+			Logger: logger,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		svc, eng = node, node.Engine()
+		fmt.Printf("emap-cloud node %q listening on %s (peers dial %s)\n", *nodeID, l.Addr(), peerAddr)
+	} else {
+		srv, err := cloud.NewRegistryServer(reg, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		svc, eng = srv, srv.Engine
+		fmt.Printf("emap-cloud listening on %s\n", l.Addr())
+	}
+
+	// persistTenants flushes every open store to -store-dir; it runs on
+	// every exit path that may hold ingested data — the clean drain AND
+	// a listener that dies under the process — so a fatal Accept error
+	// cannot discard what edges already pushed.
+	persistTenants := func() {
+		if *storeDir == "" {
+			return
+		}
+		if err := reg.Close(); err != nil {
+			logger.Printf("persisting tenants: %v", err)
+		} else {
+			logger.Printf("tenant stores persisted to %s", *storeDir)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	serveDone := make(chan error, 1)
-	go func() { serveDone <- srv.Serve(l) }()
+	go func() { serveDone <- svc.Serve(l) }()
 	select {
 	case err := <-serveDone:
 		if err != nil {
+			persistTenants()
 			fatal(err)
 		}
 	case <-ctx.Done():
@@ -204,15 +261,15 @@ func main() {
 		logger.Printf("signal received; draining (≤%v)…", *drain)
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		if err := srv.Shutdown(drainCtx); err != nil {
+		if err := svc.Shutdown(drainCtx); err != nil {
 			logger.Printf("forced shutdown: %v", err)
 		}
 		<-serveDone
 	}
-	tenants := srv.Tenants()
+	tenants := eng.Tenants()
 	sort.Strings(tenants)
 	for _, id := range tenants {
-		if m := srv.MetricsFor(id); m != nil {
+		if m := eng.MetricsFor(id); m != nil {
 			logger.Printf("tenant %q: %d requests, %d ingests (+%d sets), cache %d/%d, %d batches (mean %.2f)",
 				id, m.Requests.Load(), m.Ingests.Load(), m.IngestedSets.Load(),
 				m.CacheHits.Load(), m.CacheHits.Load()+m.CacheMisses.Load(),
@@ -220,16 +277,10 @@ func main() {
 		}
 	}
 	logger.Printf("served %d requests (%d errors, mean latency %v, peak in-flight %d)",
-		srv.Metrics.Requests.Load(), srv.Metrics.Errors.Load(),
-		srv.Metrics.MeanLatency(), srv.Metrics.PeakInFlight.Load())
+		eng.Metrics.Requests.Load(), eng.Metrics.Errors.Load(),
+		eng.Metrics.MeanLatency(), eng.Metrics.PeakInFlight.Load())
 	logger.Printf("scan amortization: %d batches (mean size %.2f), cache %d hits / %d misses",
-		srv.Metrics.Batches.Load(), srv.Metrics.BatchSizeMean(),
-		srv.Metrics.CacheHits.Load(), srv.Metrics.CacheMisses.Load())
-	if *storeDir != "" {
-		if err := reg.Close(); err != nil {
-			logger.Printf("persisting tenants: %v", err)
-		} else {
-			logger.Printf("tenant stores persisted to %s", *storeDir)
-		}
-	}
+		eng.Metrics.Batches.Load(), eng.Metrics.BatchSizeMean(),
+		eng.Metrics.CacheHits.Load(), eng.Metrics.CacheMisses.Load())
+	persistTenants()
 }

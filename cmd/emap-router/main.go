@@ -1,0 +1,114 @@
+// Command emap-router runs the cluster coordinator: edges dial it
+// exactly like a single emap-cloud, and every Search/Ingest is proxied
+// to the cluster node owning the request's tenant (consistent hashing
+// over the tenant ID). Nodes are emap-cloud processes started with
+// -node; the router seeds them with the ring at startup and re-pushes
+// it whenever membership changes — administratively via -nodes, or
+// reactively when a node stops answering and is evicted so the
+// tenant's replica holder can take over.
+//
+// Usage:
+//
+//	emap-router [-addr :7400] [-drain 10s]
+//	            -nodes id1=host:port,id2=host:port[,...]
+//	            [-vnodes 64]
+//
+// Each -nodes entry is a stable node ID and the address the router
+// dials; IDs determine ring placement and must match each node's
+// -node flag.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"emap/internal/cluster"
+	"emap/internal/proto"
+)
+
+// parseNodes turns "a=h:p,b=h:p" into ring members.
+func parseNodes(s string) ([]proto.RingNode, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("no nodes given; pass -nodes id=host:port[,...]")
+	}
+	var members []proto.RingNode
+	for _, entry := range strings.Split(s, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q (want id=host:port)", entry)
+		}
+		members = append(members, proto.RingNode{ID: id, Addr: addr})
+	}
+	return members, nil
+}
+
+func main() {
+	addr := flag.String("addr", ":7400", "listen address for edges")
+	nodesFlag := flag.String("nodes", "", "cluster members as id=host:port, comma separated")
+	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per member on the hash ring")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "emap-router: ", log.LstdFlags)
+	members, err := parseNodes(*nodesFlag)
+	if err != nil {
+		logger.Fatal(err)
+	}
+
+	router := cluster.NewRouter(cluster.RouterConfig{
+		VirtualNodes: *vnodes,
+		Logger:       logger,
+	})
+	seedCtx, cancelSeed := context.WithTimeout(context.Background(), 2*time.Minute)
+	if err := router.SetNodes(seedCtx, members); err != nil {
+		// A node that cannot hear the seed push is not fatal: the ring
+		// is installed router-side and the request-path failure
+		// detector handles the node when traffic needs it.
+		logger.Printf("seeding ring: %v (continuing; unreachable nodes are evicted on demand)", err)
+	}
+	cancelSeed()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	fmt.Printf("emap-router listening on %s, %d nodes on the ring\n", l.Addr(), router.Ring().Len())
+	for _, n := range router.Ring().Nodes() {
+		logger.Printf("ring member %s at %s", n.ID, n.Addr)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- router.Serve(l) }()
+	select {
+	case err := <-serveDone:
+		if err != nil {
+			logger.Fatal(err)
+		}
+	case <-ctx.Done():
+		stop()
+		logger.Printf("signal received; draining (≤%v)…", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := router.Shutdown(drainCtx); err != nil {
+			logger.Printf("forced shutdown: %v", err)
+		}
+		<-serveDone
+	}
+	logger.Printf("routed %d requests (%d errors, %d moved-retries, %d node failures)",
+		router.Metrics.Requests.Load(), router.Metrics.Errors.Load(),
+		router.Routing.MovedRetries.Load(), router.Routing.NodeFailures.Load())
+}

@@ -1,0 +1,165 @@
+// Cluster: three emap-cloud nodes behind one router form a single
+// logical cloud. A consistent-hash ring spreads patient tenants across
+// the nodes; edges dial only the router and never learn the topology.
+// Every ingest ships the tenant's snapshot to its ring replica, so
+// when one node is killed outright — mid-service, no drain — the
+// router evicts it, pushes the shrunk ring, the replica holders
+// promote their parked copies, and every patient keeps answering with
+// the exact correlation sets it answered before: zero lost tenants.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"reflect"
+	"time"
+
+	"emap"
+	"emap/internal/cluster"
+	"emap/internal/edge"
+	"emap/internal/mdb"
+	"emap/internal/proto"
+)
+
+// member is one in-process cluster node.
+type member struct {
+	node *cluster.Node
+	l    net.Listener
+	id   string
+}
+
+func startMember(id string) (*member, error) {
+	dir, err := os.MkdirTemp("", "emap-cluster-"+id+"-*")
+	if err != nil {
+		return nil, err
+	}
+	reg, err := mdb.NewRegistry(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	node, err := cluster.NewNode(reg, cluster.NodeConfig{
+		ID:   id,
+		Addr: l.Addr().String(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	go node.Serve(l)
+	return &member{node: node, l: l, id: id}, nil
+}
+
+func main() {
+	ctx := context.Background()
+	gen := emap.NewGeneratorConfig(emap.GeneratorConfig{Seed: 7, ArchetypesPerClass: 3})
+
+	// Cluster tier: three nodes and the router that fronts them.
+	var members []*member
+	var ringNodes []proto.RingNode
+	for _, id := range []string{"node-a", "node-b", "node-c"} {
+		m, err := startMember(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer m.node.Close()
+		members = append(members, m)
+		ringNodes = append(ringNodes, proto.RingNode{ID: m.id, Addr: m.l.Addr().String()})
+	}
+	router := cluster.NewRouter(cluster.RouterConfig{})
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go router.Serve(rl)
+	defer router.Close()
+	if err := router.SetNodes(ctx, ringNodes); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("router on %s fronting %d nodes\n", rl.Addr(), router.Ring().Len())
+
+	// Six patients ingest their histories through the router; the ring
+	// decides where each tenant lives. Remember every patient's query
+	// window and its answer — the bar the failover must clear exactly.
+	windows := map[string][]float64{}
+	before := map[string][]proto.CorrEntry{}
+	ring := router.Ring()
+	for pi := 0; pi < 6; pi++ {
+		tenant := fmt.Sprintf("patient-%d", pi)
+		client, err := edge.DialTenant(rl.Addr().String(), tenant, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := edge.NewDevice(client, edge.Config{Tenant: tenant})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rec := gen.Instance(emap.Seizure, pi%3, emap.InstanceOpts{
+			OffsetSamples: 30000 + pi*5000, DurSeconds: 45})
+		sets, err := dev.Ingest(ctx, rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		proc, err := mdb.Preprocess(rec, mdb.DefaultBuildConfig(), nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		windows[tenant] = proc.Samples[4096:4352]
+		cs, err := client.Search(ctx, windows[tenant])
+		if err != nil {
+			log.Fatal(err)
+		}
+		before[tenant] = cs.Entries
+		owner, _ := ring.Owner(tenant)
+		fmt.Printf("%s: %d signal-sets on %s, %d correlation entries\n",
+			tenant, sets, owner.ID, len(cs.Entries))
+		client.Close()
+	}
+
+	// Kill the busiest node outright: no drain, no migration, the
+	// listener and engine just die.
+	counts := map[string]int{}
+	for tenant := range windows {
+		o, _ := ring.Owner(tenant)
+		counts[o.ID]++
+	}
+	victim := members[0]
+	for _, m := range members {
+		if counts[m.id] > counts[victim.id] {
+			victim = m
+		}
+	}
+	victim.node.Close()
+	victim.l.Close()
+	fmt.Printf("\nkilled %s (owned %d tenants)\n", victim.id, counts[victim.id])
+
+	// Every patient must still answer through the router — including
+	// the orphans, now served by their promoted replicas — with the
+	// identical correlation set.
+	lost := 0
+	for tenant, window := range windows {
+		client, err := edge.DialTenant(rl.Addr().String(), tenant, 2*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cs, err := client.Search(ctx, window)
+		client.Close()
+		if err != nil || !reflect.DeepEqual(cs.Entries, before[tenant]) {
+			lost++
+			fmt.Printf("%s: LOST (err=%v)\n", tenant, err)
+			continue
+		}
+		owner, _ := router.Ring().Owner(tenant)
+		fmt.Printf("%s: intact on %s (%d entries, bit-identical)\n", tenant, owner.ID, len(cs.Entries))
+	}
+	fmt.Printf("\nring now %d nodes, %d node failures detected, %d tenants lost\n",
+		router.Ring().Len(), router.Routing.NodeFailures.Load(), lost)
+	if lost > 0 {
+		log.Fatalf("%d tenants lost", lost)
+	}
+}

@@ -43,36 +43,36 @@ type batchGroup struct {
 // Each tenant owns its collector: only same-tenant uploads coalesce,
 // because one batched pass walks exactly one tenant's shards. The
 // worker pool underneath is shared across tenants.
-func (s *Server) dispatch(t *tenant, p *pending) {
+func (e *Engine) dispatch(t *tenant, p *pending) {
 	t.batchMu.Lock()
-	if g := t.forming; g != nil && len(g.pendings) < s.cfg.MaxBatch {
+	if g := t.forming; g != nil && len(g.pendings) < e.cfg.MaxBatch {
 		g.pendings = append(g.pendings, p)
 		t.batchMu.Unlock()
 		<-g.done
 		return
 	}
 	g := &batchGroup{pendings: []*pending{p}, done: make(chan struct{})}
-	if s.cfg.MaxBatch > 1 {
+	if e.cfg.MaxBatch > 1 {
 		t.forming = g
 	}
 	t.batchMu.Unlock()
 
-	if s.cfg.BatchWindow > 0 && s.cfg.MaxBatch > 1 {
+	if e.cfg.BatchWindow > 0 && e.cfg.MaxBatch > 1 {
 		// An explicit collection window trades a bounded delay for
 		// bigger batches even when workers are free. With MaxBatch 1
 		// no joiner could ever form a batch, so no wait either. The
 		// wait aborts when the server stops, so Shutdown drains the
 		// already-collected group immediately instead of sitting out
 		// the window.
-		timer := time.NewTimer(s.cfg.BatchWindow)
+		timer := time.NewTimer(e.cfg.BatchWindow)
 		select {
 		case <-timer.C:
-		case <-s.done:
+		case <-e.done:
 			timer.Stop()
 		}
 	}
-	s.sem <- struct{}{} // while the leader queues here, followers keep joining
-	defer func() { <-s.sem }()
+	e.sem <- struct{}{} // while the leader queues here, followers keep joining
+	defer func() { <-e.sem }()
 
 	t.batchMu.Lock()
 	if t.forming == g {
@@ -81,16 +81,16 @@ func (s *Server) dispatch(t *tenant, p *pending) {
 	batch := g.pendings
 	t.batchMu.Unlock()
 
-	s.searchBatch(t, batch)
+	e.searchBatch(t, batch)
 	close(g.done)
 }
 
 // searchBatch runs one batched search over tenant t's store and fans
 // the per-query results back out to every pending upload, populating
 // the tenant's cache on the way.
-func (s *Server) searchBatch(t *tenant, batch []*pending) {
-	s.Metrics.Batches.Add(1)
-	s.Metrics.BatchedRequests.Add(int64(len(batch)))
+func (e *Engine) searchBatch(t *tenant, batch []*pending) {
+	e.Metrics.Batches.Add(1)
+	e.Metrics.BatchedRequests.Add(int64(len(batch)))
 	t.metrics.Batches.Add(1)
 	t.metrics.BatchedRequests.Add(int64(len(batch)))
 	windows := make([][]float64, len(batch))
@@ -104,7 +104,7 @@ func (s *Server) searchBatch(t *tenant, batch []*pending) {
 		}
 		return
 	}
-	s.Metrics.Evaluations.Add(int64(br.Evaluated))
+	e.Metrics.Evaluations.Add(int64(br.Evaluated))
 	t.metrics.Evaluations.Add(int64(br.Evaluated))
 	// Deduplicated queries share one *Result (pointer equality, see
 	// search.BatchResult); assemble each distinct result's
@@ -114,7 +114,7 @@ func (s *Server) searchBatch(t *tenant, batch []*pending) {
 		res := br.Results[i]
 		entries, ok := assembled[res]
 		if !ok {
-			entries = s.assembleEntries(t, res, len(p.window))
+			entries = e.assembleEntries(t, res, len(p.window))
 			assembled[res] = entries
 		}
 		p.entries = entries

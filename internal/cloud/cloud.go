@@ -15,6 +15,15 @@
 // same store is being searched — the store's epoch snapshots keep
 // in-flight scans stable (see internal/mdb).
 //
+// The package is layered so the cluster tier (internal/cluster) can
+// recombine the pieces: Transport (transport.go) owns the connection
+// machinery — listener, per-connection reader/writer goroutines,
+// version negotiation, pipelining — and serves frames through any
+// FrameHandler; Engine (engine.go) is the canonical handler — the
+// tenant registry, per-tenant serving state, and the shared worker
+// pool — with no networking of its own. Server composes the two, and
+// is what single-process deployments use.
+//
 // The service speaks all protocol versions (see internal/proto): v1
 // connections are served serially in request order, while v2/v3 frames
 // carry request IDs, so each connection runs a reader goroutine that
@@ -38,13 +47,10 @@ package cloud
 
 import (
 	"context"
-	"errors"
 	"fmt"
-	"io"
 	"log"
 	"net"
 	"runtime"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -132,6 +138,16 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// transportConfig derives the connection-layer slice of a Config.
+func (c Config) TransportConfig(m *Metrics) TransportConfig {
+	return TransportConfig{
+		MaxInFlight: c.MaxInFlight,
+		MaxVersion:  c.MaxVersion,
+		Logger:      c.Logger,
+		Metrics:     m,
+	}
+}
+
 // Metrics counts server activity (all fields atomic). The server
 // keeps one registry-wide Metrics plus one per tenant (MetricsFor).
 type Metrics struct {
@@ -195,47 +211,13 @@ func (m *Metrics) enterFlight() {
 
 func (m *Metrics) leaveFlight() { m.InFlight.Add(-1) }
 
-// outFrame is one queued response awaiting the writer goroutine.
-type outFrame struct {
-	version uint8
-	typ     proto.MsgType
-	id      uint32
-	tenant  string
-	payload []byte
-}
-
-// Server is the cloud tier: a registry of live tenant stores behind
-// one listener. Each request routes to its tenant's store, searcher,
-// cache and batch collector; the worker pool is shared.
+// Server is the cloud tier as one process: a tenant Engine behind its
+// own Transport. Engine methods (Search, Ingest, MetricsFor, Tenants,
+// Registry, the Metrics field) promote through the embedding; the
+// transport methods below put the engine on the wire.
 type Server struct {
-	cfg      Config
-	registry *mdb.Registry
-	sem      chan struct{} // bounded worker pool, shared by all tenants
-
-	// done is closed when the server stops (Close or Shutdown); batch
-	// leaders waiting out a collection window select on it so a drain
-	// is never delayed by up to a full BatchWindow.
-	done     chan struct{}
-	stopOnce sync.Once
-
-	tmu     sync.Mutex
-	tenants map[string]*tenant // serving state per open tenant
-
-	mu       sync.Mutex
-	listener net.Listener
-	closed   bool
-	draining bool
-	conns    map[net.Conn]struct{}
-	handlers sync.WaitGroup
-
-	// searchHook, when set, runs on the request path after decoding,
-	// before the cache and the batching collector — tests use it to
-	// hold requests in flight.
-	searchHook func(*proto.Upload)
-
-	// Metrics exposes registry-wide request counters and gauges;
-	// MetricsFor exposes the per-tenant breakdown.
-	Metrics Metrics
+	*Engine
+	tr *Transport
 }
 
 // NewServer returns a single-tenant server over the given
@@ -262,144 +244,31 @@ func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
 // tenant registry. Stores open lazily as requests name them; v1/v2
 // peers land on Config.DefaultTenant.
 func NewRegistryServer(reg *mdb.Registry, cfg Config) (*Server, error) {
-	if reg == nil {
-		return nil, errors.New("cloud: nil registry")
+	eng, err := NewEngine(reg, cfg)
+	if err != nil {
+		return nil, err
 	}
-	cfg = cfg.withDefaults()
-	// Fail at construction, not on the first v1/v2 request: every
-	// tenant-less frame routes here.
-	if !mdb.ValidTenantID(cfg.DefaultTenant) {
-		return nil, fmt.Errorf("cloud: invalid default tenant ID %q", cfg.DefaultTenant)
-	}
-	s := &Server{
-		cfg:      cfg,
-		registry: reg,
-		sem:      make(chan struct{}, cfg.Workers),
-		done:     make(chan struct{}),
-		tenants:  make(map[string]*tenant),
-		conns:    make(map[net.Conn]struct{}),
-	}
-	// Evicted tenants lose their serving state too: a reopened
-	// tenant must not search through a searcher over the old store.
-	// The delete is conditional on store identity so a notification
-	// racing a reopen can never destroy the reopened tenant's fresh
-	// state.
-	reg.OnEvict = func(id string, store *mdb.Store) {
-		s.tmu.Lock()
-		if t, ok := s.tenants[id]; ok && t.store == store {
-			delete(s.tenants, id)
-		}
-		s.tmu.Unlock()
-	}
-	return s, nil
-}
-
-// Registry exposes the server's tenant registry (for shutdown flushes
-// and operator tooling).
-func (s *Server) Registry() *mdb.Registry { return s.registry }
-
-// tenantFor resolves a wire tenant ID ("" = default tenant) to its
-// serving state, opening the store through the registry if needed.
-func (s *Server) tenantFor(id string) (*tenant, error) {
-	if id == "" {
-		id = s.cfg.DefaultTenant
-	}
-	for {
-		s.tmu.Lock()
-		if t, ok := s.tenants[id]; ok {
-			s.tmu.Unlock()
-			return t, nil
-		}
-		s.tmu.Unlock()
-		// Open outside tmu: the registry may evict another tenant
-		// here, and its OnEvict hook takes tmu.
-		store, err := s.registry.Open(id)
-		if err != nil {
-			return nil, err
-		}
-		s.tmu.Lock()
-		if t, ok := s.tenants[id]; ok {
-			s.tmu.Unlock()
-			return t, nil
-		}
-		// The registry may have evicted this very tenant between the
-		// Open and here (another tenant's Open needed the slot); a
-		// serving state built on the detached store would route all
-		// future traffic to a store the registry no longer persists.
-		// Re-check under tmu — OnEvict also takes tmu, so an eviction
-		// observed here has already dropped (or will drop) the map
-		// entry, and a miss sends us back around to reopen.
-		if cur, ok := s.registry.Get(id); !ok || cur != store {
-			s.tmu.Unlock()
-			continue
-		}
-		t := newTenant(id, store, s.cfg)
-		s.tenants[id] = t
-		s.tmu.Unlock()
-		return t, nil
-	}
-}
-
-// Tenants returns the tenants with live serving state.
-func (s *Server) Tenants() []string {
-	s.tmu.Lock()
-	defer s.tmu.Unlock()
-	out := make([]string, 0, len(s.tenants))
-	for id := range s.tenants {
-		out = append(out, id)
-	}
-	return out
-}
-
-// MetricsFor returns the metrics of one tenant ("" = default tenant),
-// or nil when the tenant has no serving state yet. Per-tenant counts
-// are isolated: tenant A's cache hits never show up under tenant B.
-func (s *Server) MetricsFor(id string) *Metrics {
-	if id == "" {
-		id = s.cfg.DefaultTenant
-	}
-	s.tmu.Lock()
-	defer s.tmu.Unlock()
-	if t, ok := s.tenants[id]; ok {
-		return &t.metrics
-	}
-	return nil
+	// Engine and transport share one Metrics: the transport counts
+	// connections and request flight, the engine counts everything
+	// else, and callers read it all off Server.Metrics.
+	return &Server{
+		Engine: eng,
+		tr:     NewTransport(eng, eng.cfg.TransportConfig(&eng.Metrics)),
+	}, nil
 }
 
 // Serve accepts connections until the listener is closed.
-func (s *Server) Serve(l net.Listener) error {
-	s.mu.Lock()
-	s.listener = l
-	s.mu.Unlock()
-	for {
-		conn, err := l.Accept()
-		if err != nil {
-			s.mu.Lock()
-			closed := s.closed
-			s.mu.Unlock()
-			if closed {
-				return nil
-			}
-			return err
-		}
-		go s.HandleConn(conn)
-	}
-}
+func (s *Server) Serve(l net.Listener) error { return s.tr.Serve(l) }
+
+// HandleConn serves one edge connection until it fails, the peer
+// disconnects, or the server drains.
+func (s *Server) HandleConn(conn net.Conn) { s.tr.HandleConn(conn) }
 
 // Close stops the accept loop and terminates active connections
 // immediately, abandoning any in-flight replies.
 func (s *Server) Close() error {
-	s.stopOnce.Do(func() { close(s.done) })
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.closed = true
-	for conn := range s.conns {
-		conn.Close()
-	}
-	if s.listener != nil {
-		return s.listener.Close()
-	}
-	return nil
+	s.Engine.Stop()
+	return s.tr.Close()
 }
 
 // Shutdown drains the server gracefully: it stops accepting, stops
@@ -408,397 +277,6 @@ func (s *Server) Close() error {
 // remaining connections are closed hard and ctx.Err() is returned.
 // Persisting tenant stores is the registry's job (Registry().Close()).
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.stopOnce.Do(func() { close(s.done) })
-	s.mu.Lock()
-	s.closed = true
-	s.draining = true
-	l := s.listener
-	// Wake blocked readers: their next ReadFrameAny fails with a
-	// deadline error and the per-connection drain path runs.
-	past := time.Unix(1, 0)
-	for conn := range s.conns {
-		conn.SetReadDeadline(past)
-	}
-	s.mu.Unlock()
-	if l != nil {
-		l.Close()
-	}
-	done := make(chan struct{})
-	go func() {
-		s.handlers.Wait()
-		close(done)
-	}()
-	select {
-	case <-done:
-		return nil
-	case <-ctx.Done():
-		// Force-close; handlers exit on their own once their
-		// in-flight searches return.
-		s.Close()
-		return ctx.Err()
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logger != nil {
-		s.cfg.Logger.Printf(format, args...)
-	}
-}
-
-// HandleConn serves one edge connection until it fails, the peer
-// disconnects, or the server drains. The calling goroutine is the
-// frame reader; uploads and ingests are dispatched to the server-wide
-// worker pool and all replies funnel through one writer goroutine, so
-// v2/v3 clients can keep many windows in flight on one connection.
-func (s *Server) HandleConn(conn net.Conn) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		conn.Close()
-		return
-	}
-	s.conns[conn] = struct{}{}
-	s.handlers.Add(1)
-	s.mu.Unlock()
-	defer func() {
-		s.mu.Lock()
-		delete(s.conns, conn)
-		s.mu.Unlock()
-		conn.Close()
-		s.handlers.Done()
-	}()
-	s.Metrics.Connections.Add(1)
-
-	out := make(chan outFrame, 16)
-	writerDone := make(chan struct{})
-	var writeFailed atomic.Bool
-	go func() {
-		defer close(writerDone)
-		for f := range out {
-			if writeFailed.Load() {
-				continue // drain abandoned replies
-			}
-			if err := proto.WriteFrameTenant(conn, f.version, f.typ, f.id, f.tenant, f.payload); err != nil {
-				// A dead write means a dead peer: tear the
-				// connection down so the reader unblocks and
-				// the handler exits, instead of looping on a
-				// broken conn.
-				s.Metrics.Errors.Add(1)
-				s.logf("cloud: write: %v", err)
-				writeFailed.Store(true)
-				conn.Close()
-			}
-		}
-	}()
-
-	var jobs sync.WaitGroup
-	connSem := make(chan struct{}, s.cfg.MaxInFlight)
-	for {
-		frame, err := proto.ReadFrameAny(conn)
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !isDrainErr(err, s) {
-				s.Metrics.Errors.Add(1)
-				s.logf("cloud: read: %v", err)
-			}
-			break
-		}
-		switch frame.Type {
-		case proto.TypeHello:
-			hello, herr := proto.DecodeHello(frame.Payload)
-			if herr != nil {
-				s.Metrics.Errors.Add(1)
-				s.enqueueError(out, frame, 400, herr.Error())
-				continue
-			}
-			v := proto.Negotiate(s.cfg.MaxVersion, hello.MaxVersion)
-			// The reply travels as a v1 frame: every client
-			// understands it, whatever it announced.
-			out <- outFrame{version: proto.Version1, typ: proto.TypeHello,
-				payload: proto.EncodeHello(&proto.Hello{MaxVersion: v})}
-		case proto.TypePing:
-			out <- outFrame{version: frame.Version, typ: proto.TypePong,
-				id: frame.ID, tenant: frame.Tenant}
-		case proto.TypeUpload, proto.TypeIngest:
-			s.Metrics.Requests.Add(1)
-			s.Metrics.enterFlight()
-			serve := s.serveUpload
-			if frame.Type == proto.TypeIngest {
-				serve = s.serveIngest
-			}
-			if frame.Version >= proto.Version2 {
-				// Pipelined: independent requests run in
-				// parallel, replies matched by request ID.
-				// The per-connection cap blocks the reader
-				// when a client pipelines too far ahead.
-				connSem <- struct{}{}
-				jobs.Add(1)
-				go func(f proto.Frame) {
-					defer jobs.Done()
-					defer func() { <-connSem }()
-					serve(f, out)
-				}(frame)
-			} else {
-				// v1 carries no IDs: replies must keep
-				// request order, so serve inline.
-				serve(frame, out)
-			}
-		default:
-			s.Metrics.Errors.Add(1)
-			s.enqueueError(out, frame, 400, fmt.Sprintf("unexpected message type %d", frame.Type))
-		}
-	}
-	// Let in-flight searches finish and their replies flush before
-	// the deferred close — this is the graceful-drain half of
-	// Shutdown, and it also runs on ordinary disconnects.
-	jobs.Wait()
-	close(out)
-	<-writerDone
-}
-
-// isDrainErr reports whether a read error is the deadline Shutdown
-// planted to stop this connection's intake.
-func isDrainErr(err error, s *Server) bool {
-	var ne net.Error
-	if !errors.As(err, &ne) || !ne.Timeout() {
-		return false
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.draining
-}
-
-// serveUpload answers one upload and queues its reply (mirroring the
-// request's frame version, ID and tenant). Cache hits reply
-// immediately; everything else goes through the tenant's batching
-// collector, which bounds concurrent shard scans by the shared worker
-// pool.
-func (s *Server) serveUpload(frame proto.Frame, out chan<- outFrame) {
-	defer s.Metrics.leaveFlight()
-	start := time.Now()
-	// Errored requests count toward the latency sum too, so
-	// MeanLatency stays an honest per-request figure.
-	defer func() { s.Metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
-	upload, err := proto.DecodeUpload(frame.Payload)
-	if err != nil {
-		s.Metrics.Errors.Add(1)
-		s.enqueueError(out, frame, 400, err.Error())
-		return
-	}
-	if s.searchHook != nil {
-		s.searchHook(upload)
-	}
-	t, err := s.tenantFor(frame.Tenant)
-	if err != nil {
-		s.Metrics.Errors.Add(1)
-		s.enqueueError(out, frame, 404, err.Error())
-		return
-	}
-	t.metrics.Requests.Add(1)
-	defer func() { t.metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
-	p := &pending{window: proto.Dequantize(upload.Samples, upload.Scale)}
-	hit := false
-	if t.cache != nil {
-		if key, ok := windowFingerprint(p.window); ok {
-			p.key = key
-			entries, gen, cached := t.cache.get(key)
-			p.gen = gen
-			if cached {
-				s.Metrics.CacheHits.Add(1)
-				t.metrics.CacheHits.Add(1)
-				p.entries, hit = entries, true
-			} else {
-				s.Metrics.CacheMisses.Add(1)
-				t.metrics.CacheMisses.Add(1)
-			}
-		}
-	}
-	if !hit {
-		s.dispatch(t, p)
-	}
-	if p.err != nil {
-		s.Metrics.Errors.Add(1)
-		t.metrics.Errors.Add(1)
-		s.enqueueError(out, frame, 500, p.err.Error())
-		return
-	}
-	payload := proto.EncodeCorrSet(&proto.CorrSet{Seq: upload.Seq, Entries: p.entries})
-	out <- outFrame{version: frame.Version, typ: proto.TypeCorrSet,
-		id: frame.ID, tenant: frame.Tenant, payload: payload}
-}
-
-// serveIngest inserts one pushed recording into its tenant's store and
-// queues the acknowledgement. The store keeps serving searches while
-// the insert runs — in-flight scans hold their epoch snapshot.
-func (s *Server) serveIngest(frame proto.Frame, out chan<- outFrame) {
-	defer s.Metrics.leaveFlight()
-	start := time.Now()
-	defer func() { s.Metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
-	ing, err := proto.DecodeIngest(frame.Payload)
-	if err != nil {
-		s.Metrics.Errors.Add(1)
-		s.enqueueError(out, frame, 400, err.Error())
-		return
-	}
-	t, err := s.tenantFor(frame.Tenant)
-	if err != nil {
-		s.Metrics.Errors.Add(1)
-		s.enqueueError(out, frame, 404, err.Error())
-		return
-	}
-	t.metrics.Requests.Add(1)
-	defer func() { t.metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
-	// Inserts share the search worker pool: the copy-on-write view
-	// rebuild and the SlidingStats construction are CPU/memory work
-	// just like a scan, and must stay bounded however many
-	// connections pipeline ingests.
-	s.sem <- struct{}{}
-	ack, err := s.ingestInto(t, ing)
-	<-s.sem
-	if err != nil {
-		s.Metrics.Errors.Add(1)
-		t.metrics.Errors.Add(1)
-		code := uint16(409)
-		if errors.Is(err, errTenantEvicted) {
-			code = 503
-		}
-		s.enqueueError(out, frame, code, err.Error())
-		return
-	}
-	out <- outFrame{version: frame.Version, typ: proto.TypeIngestAck,
-		id: frame.ID, tenant: frame.Tenant, payload: proto.EncodeIngestAck(ack)}
-}
-
-// errTenantEvicted marks an ingest that kept colliding with tenant
-// evictions (see ingestInto); the client may retry.
-var errTenantEvicted = errors.New("cloud: tenant evicted during ingest; retry")
-
-// ingestInto runs the insert, and — when the tenant was evicted while
-// it ran — recovers by reopening the tenant and re-running the insert
-// against the live store, so the caller's ack always describes a
-// store the registry tracks. The eviction's snapshot may or may not
-// have captured the first attempt: if it did, the rerun's
-// duplicate-ID refusal proves the record is already in the reloaded
-// store and is acknowledged as such; if not, the rerun inserts it
-// afresh. Only repeated eviction collisions surface as an error.
-func (s *Server) ingestInto(t *tenant, ing *proto.Ingest) (*proto.IngestAck, error) {
-	for attempt := 0; ; attempt++ {
-		ack, err := t.ingest(ing, s.cfg)
-		if err != nil {
-			if attempt > 0 {
-				// The reopened store may already hold the record —
-				// the evicted snapshot captured the first attempt.
-				if existing, ok := t.ackExisting(ing); ok {
-					ack, err = existing, nil
-				}
-			}
-			if err != nil {
-				return nil, err
-			}
-		}
-		if cur, ok := s.registry.Get(t.id); ok && cur == t.store {
-			s.Metrics.Ingests.Add(1)
-			s.Metrics.IngestedSets.Add(int64(ack.Sets))
-			return ack, nil
-		}
-		if attempt >= 2 {
-			return nil, fmt.Errorf("%w (tenant %q)", errTenantEvicted, t.id)
-		}
-		fresh, terr := s.tenantFor(t.id)
-		if terr != nil {
-			return nil, fmt.Errorf("%w (tenant %q): %v", errTenantEvicted, t.id, terr)
-		}
-		t = fresh
-	}
-}
-
-// enqueueError queues an ErrorMsg reply mirroring the offending
-// frame's version, ID and tenant.
-func (s *Server) enqueueError(out chan<- outFrame, frame proto.Frame, code uint16, text string) {
-	out <- outFrame{version: frame.Version, typ: proto.TypeError, id: frame.ID,
-		tenant: frame.Tenant, payload: proto.EncodeError(&proto.ErrorMsg{Code: code, Text: text})}
-}
-
-// Search answers one upload against the default tenant: run Algorithm
-// 1 and assemble the correlation set with continuation samples. It is
-// safe for concurrent use. It bypasses the batching collector and the
-// cache — the network path adds those; Search is the direct,
-// always-fresh surface.
-func (s *Server) Search(upload *proto.Upload) (*proto.CorrSet, error) {
-	return s.SearchTenant("", upload)
-}
-
-// SearchTenant answers one upload against the named tenant's store
-// ("" = default tenant), opening it if needed.
-func (s *Server) SearchTenant(tenantID string, upload *proto.Upload) (*proto.CorrSet, error) {
-	t, err := s.tenantFor(tenantID)
-	if err != nil {
-		return nil, err
-	}
-	window := proto.Dequantize(upload.Samples, upload.Scale)
-	res, err := t.searcher.Algorithm1(window)
-	if err != nil {
-		return nil, err
-	}
-	s.Metrics.Evaluations.Add(int64(res.Evaluated))
-	t.metrics.Evaluations.Add(int64(res.Evaluated))
-	return &proto.CorrSet{Seq: upload.Seq, Entries: s.assembleEntries(t, res, len(window))}, nil
-}
-
-// Ingest inserts one preprocessed recording into the named tenant's
-// store ("" = default tenant) — the in-process twin of the TypeIngest
-// wire message.
-func (s *Server) Ingest(tenantID string, ing *proto.Ingest) (*proto.IngestAck, error) {
-	t, err := s.tenantFor(tenantID)
-	if err != nil {
-		return nil, err
-	}
-	return s.ingestInto(t, ing)
-}
-
-// assembleEntries attaches the continuation samples to every retrieved
-// match: from the matched offset forward, the configured horizon,
-// clipped exactly to the end of the parent recording. Matches with
-// less than one window of continuation left are dropped — the edge
-// cannot track them even one iteration. One store snapshot serves the
-// whole assembly; signal-set IDs are stable across epochs (the set
-// list is append-only), so matches from a slightly older scan epoch
-// always resolve.
-func (s *Server) assembleEntries(t *tenant, res *search.Result, windowLen int) []proto.CorrEntry {
-	horizon := int(s.cfg.HorizonSeconds * s.cfg.BaseRate)
-	snap := t.store.Snapshot()
-	sets := snap.Sets()
-	var entries []proto.CorrEntry
-	for _, m := range res.Matches {
-		if m.SetID < 0 || m.SetID >= len(sets) {
-			continue
-		}
-		set := sets[m.SetID]
-		rec, ok := snap.Record(set.RecordID)
-		if !ok {
-			continue
-		}
-		n := horizon
-		if avail := len(rec.Samples) - (set.Start + m.Beta); avail < n {
-			n = avail
-		}
-		if n < windowLen {
-			continue
-		}
-		samples, ok := snap.Window(set, m.Beta, n)
-		if !ok {
-			continue
-		}
-		counts, scale := proto.Quantize(samples)
-		entries = append(entries, proto.CorrEntry{
-			SetID:     int32(m.SetID),
-			Omega:     float32(m.Omega),
-			Beta:      int32(m.Beta),
-			Anomalous: set.Anomalous,
-			Class:     uint8(set.Class),
-			Archetype: uint16(set.Archetype),
-			Scale:     scale,
-			Samples:   counts,
-		})
-	}
-	return entries
+	s.Engine.Stop()
+	return s.tr.Shutdown(ctx)
 }

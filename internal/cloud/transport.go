@@ -1,0 +1,326 @@
+package cloud
+
+import (
+	"context"
+	"errors"
+	"io"
+	"log"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"emap/internal/proto"
+)
+
+// FrameHandler is the serving side of a Transport: it answers one
+// decoded request frame with one reply (type + payload). The transport
+// mirrors the request's version, ID and tenant onto the reply frame, so
+// handlers deal purely in message semantics. Handlers must be safe for
+// concurrent use — pipelined connections serve frames in parallel.
+//
+// The tenant-engine layer (Engine) is the canonical handler; the
+// cluster tier adds others (a node wrapping an Engine with ownership
+// checks, a router proxying to owner nodes) without re-implementing the
+// connection machinery.
+type FrameHandler interface {
+	ServeFrame(f proto.Frame) (proto.MsgType, []byte)
+}
+
+// TransportConfig parameterises the connection layer alone; the
+// tenant-engine knobs live in Config.
+type TransportConfig struct {
+	// MaxInFlight bounds how many requests one connection may have
+	// queued or serving (default 4×GOMAXPROCS); past it the reader
+	// stops consuming frames and TCP backpressure does the rest.
+	MaxInFlight int
+	// MaxVersion caps the protocol version negotiated with peers
+	// (default proto.MaxVersion).
+	MaxVersion uint8
+	// Logger receives per-connection diagnostics; nil disables
+	// logging.
+	Logger *log.Logger
+	// Metrics, when non-nil, is where the transport counts
+	// connections, write errors and request flight; the owner shares
+	// one Metrics between its engine and its transport.
+	Metrics *Metrics
+}
+
+func (c TransportConfig) withDefaults() TransportConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxVersion == 0 || c.MaxVersion > proto.MaxVersion {
+		c.MaxVersion = proto.MaxVersion
+	}
+	if c.Metrics == nil {
+		c.Metrics = &Metrics{}
+	}
+	return c
+}
+
+// outFrame is one queued response awaiting the writer goroutine.
+type outFrame struct {
+	version uint8
+	typ     proto.MsgType
+	id      uint32
+	tenant  string
+	payload []byte
+}
+
+// Transport is the connection layer of the cloud tier, split out from
+// the tenant engine so a process can host engines without owning the
+// listener (and vice versa — the cluster router owns a listener with no
+// engine behind it). It speaks every protocol version: v1 connections
+// are served serially in request order, v2/v3 frames carry request IDs,
+// so each connection runs a reader goroutine dispatching requests
+// concurrently and a single writer goroutine draining a response queue.
+// Hello and Ping are answered by the transport itself; every other
+// frame goes to the FrameHandler.
+type Transport struct {
+	h   FrameHandler
+	cfg TransportConfig
+
+	mu       sync.Mutex
+	listener net.Listener
+	closed   bool
+	draining bool
+	conns    map[net.Conn]struct{}
+	handlers sync.WaitGroup
+}
+
+// NewTransport returns a transport serving frames through h.
+func NewTransport(h FrameHandler, cfg TransportConfig) *Transport {
+	return &Transport{
+		h:     h,
+		cfg:   cfg.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+func (t *Transport) logf(format string, args ...any) {
+	if t.cfg.Logger != nil {
+		t.cfg.Logger.Printf(format, args...)
+	}
+}
+
+// Serve accepts connections until the listener is closed.
+func (t *Transport) Serve(l net.Listener) error {
+	t.mu.Lock()
+	t.listener = l
+	t.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go t.HandleConn(conn)
+	}
+}
+
+// Close stops the accept loop and terminates active connections
+// immediately, abandoning any in-flight replies.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	for conn := range t.conns {
+		conn.Close()
+	}
+	if t.listener != nil {
+		return t.listener.Close()
+	}
+	return nil
+}
+
+// Shutdown drains the transport gracefully: it stops accepting, stops
+// reading new requests, lets every in-flight request complete and its
+// reply flush, then closes the connections. If ctx expires first the
+// remaining connections are closed hard and ctx.Err() is returned.
+func (t *Transport) Shutdown(ctx context.Context) error {
+	t.mu.Lock()
+	t.closed = true
+	t.draining = true
+	l := t.listener
+	// Wake blocked readers: their next ReadFrameAny fails with a
+	// deadline error and the per-connection drain path runs.
+	past := time.Unix(1, 0)
+	for conn := range t.conns {
+		conn.SetReadDeadline(past)
+	}
+	t.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		t.handlers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		// Force-close; handlers exit on their own once their
+		// in-flight requests return.
+		t.Close()
+		return ctx.Err()
+	}
+}
+
+// isDrainErr reports whether a read error is the deadline Shutdown
+// planted to stop this connection's intake.
+func (t *Transport) isDrainErr(err error) bool {
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.draining
+}
+
+// HandleConn serves one peer connection until it fails, the peer
+// disconnects, or the transport drains. The calling goroutine is the
+// frame reader; requests on v2+ connections are dispatched concurrently
+// (bounded by MaxInFlight) and all replies funnel through one writer
+// goroutine, so pipelined peers can keep many requests in flight on one
+// connection.
+func (t *Transport) HandleConn(conn net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	t.conns[conn] = struct{}{}
+	t.handlers.Add(1)
+	t.mu.Unlock()
+	defer func() {
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+		conn.Close()
+		t.handlers.Done()
+	}()
+	m := t.cfg.Metrics
+	m.Connections.Add(1)
+
+	out := make(chan outFrame, 16)
+	writerDone := make(chan struct{})
+	var writeFailed atomic.Bool
+	go func() {
+		defer close(writerDone)
+		for f := range out {
+			if writeFailed.Load() {
+				continue // drain abandoned replies
+			}
+			if err := proto.WriteFrameTenant(conn, f.version, f.typ, f.id, f.tenant, f.payload); err != nil {
+				// A dead write means a dead peer: tear the
+				// connection down so the reader unblocks and
+				// the handler exits, instead of looping on a
+				// broken conn.
+				m.Errors.Add(1)
+				t.logf("cloud: write: %v", err)
+				writeFailed.Store(true)
+				conn.Close()
+			}
+		}
+	}()
+
+	var jobs sync.WaitGroup
+	connSem := make(chan struct{}, t.cfg.MaxInFlight)
+	for {
+		frame, err := proto.ReadFrameAny(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !t.isDrainErr(err) {
+				m.Errors.Add(1)
+				t.logf("cloud: read: %v", err)
+			}
+			break
+		}
+		switch frame.Type {
+		case proto.TypeHello:
+			hello, herr := proto.DecodeHello(frame.Payload)
+			if herr != nil {
+				m.Errors.Add(1)
+				out <- errorFrame(frame, 400, herr.Error())
+				continue
+			}
+			v := proto.Negotiate(t.cfg.MaxVersion, hello.MaxVersion)
+			// The reply travels as a v1 frame: every client
+			// understands it, whatever it announced.
+			out <- outFrame{version: proto.Version1, typ: proto.TypeHello,
+				payload: proto.EncodeHello(&proto.Hello{MaxVersion: v})}
+		case proto.TypePing:
+			out <- outFrame{version: frame.Version, typ: proto.TypePong,
+				id: frame.ID, tenant: frame.Tenant}
+		default:
+			// Uploads and ingests are the tracked request load; the
+			// flight gauges and the request counter describe them.
+			// Control frames (cluster replication, ring pushes) and
+			// unknown types still route through the handler — and
+			// still occupy a connSem slot, so one connection cannot
+			// flood the process with unbounded concurrent control
+			// work — but they are not "requests served".
+			tracked := frame.Type == proto.TypeUpload || frame.Type == proto.TypeIngest
+			if tracked {
+				m.Requests.Add(1)
+				m.enterFlight()
+			}
+			if frame.Version >= proto.Version2 {
+				// Pipelined: independent requests run in
+				// parallel, replies matched by request ID.
+				// The per-connection cap blocks the reader
+				// when a client pipelines too far ahead.
+				connSem <- struct{}{}
+				jobs.Add(1)
+				go func(f proto.Frame) {
+					defer jobs.Done()
+					defer func() { <-connSem }()
+					t.serveFrame(f, out, tracked)
+				}(frame)
+			} else {
+				// v1 carries no IDs: replies must keep
+				// request order, so serve inline.
+				t.serveFrame(frame, out, tracked)
+			}
+		}
+	}
+	// Let in-flight requests finish and their replies flush before
+	// the deferred close — this is the graceful-drain half of
+	// Shutdown, and it also runs on ordinary disconnects.
+	jobs.Wait()
+	close(out)
+	<-writerDone
+}
+
+// serveFrame runs one frame through the handler and queues its reply,
+// mirroring the request's frame version, ID and tenant.
+func (t *Transport) serveFrame(f proto.Frame, out chan<- outFrame, tracked bool) {
+	if tracked {
+		defer t.cfg.Metrics.leaveFlight()
+	}
+	typ, payload := t.h.ServeFrame(f)
+	out <- outFrame{version: f.Version, typ: typ, id: f.ID, tenant: f.Tenant, payload: payload}
+}
+
+// errorFrame builds an ErrorMsg reply mirroring the offending frame's
+// version, ID and tenant.
+func errorFrame(frame proto.Frame, code uint16, text string) outFrame {
+	return outFrame{version: frame.Version, typ: proto.TypeError, id: frame.ID,
+		tenant: frame.Tenant, payload: proto.EncodeError(&proto.ErrorMsg{Code: code, Text: text})}
+}
+
+// errorPayload builds an ErrorMsg payload; handlers return it with
+// proto.TypeError.
+func errorPayload(code uint16, text string) []byte {
+	return proto.EncodeError(&proto.ErrorMsg{Code: code, Text: text})
+}

@@ -1,0 +1,374 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"emap/internal/backoff"
+	"emap/internal/cloud"
+	"emap/internal/edge"
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/synth"
+)
+
+func fastRetry() backoff.Policy {
+	return backoff.Policy{Min: 5 * time.Millisecond, Max: 50 * time.Millisecond}
+}
+
+// clusterCloudConfig keeps the engine horizon generous so race-slowed
+// searches still land inside it.
+func clusterCloudConfig() cloud.Config {
+	return cloud.Config{HorizonSeconds: 16}
+}
+
+// testNode is one in-process cluster member.
+type testNode struct {
+	node *Node
+	reg  *mdb.Registry
+	l    net.Listener
+	addr string
+	id   string
+}
+
+func (tn *testNode) ringNode() proto.RingNode {
+	return proto.RingNode{ID: tn.id, Addr: tn.addr}
+}
+
+func startTestNode(t testing.TB, id string) *testNode {
+	t.Helper()
+	reg, err := mdb.NewRegistry(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(reg, NodeConfig{
+		ID:    id,
+		Addr:  l.Addr().String(),
+		Cloud: clusterCloudConfig(),
+		Retry: fastRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go node.Serve(l)
+	return &testNode{node: node, reg: reg, l: l, addr: l.Addr().String(), id: id}
+}
+
+func startTestRouter(t testing.TB) (*Router, string) {
+	t.Helper()
+	r := NewRouter(RouterConfig{Retry: fastRetry()})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go r.Serve(l)
+	t.Cleanup(func() { r.Close() })
+	return r, l.Addr().String()
+}
+
+// tenantRecording builds a deterministic per-tenant recording plus a
+// query window from its stored (preprocessed) form, so a later search
+// must return it exactly.
+func tenantRecording(t testing.TB, g *synth.Generator, i int) (*synth.Recording, []float64) {
+	t.Helper()
+	rec := g.Instance(synth.Seizure, i%3, synth.InstanceOpts{
+		OffsetSamples: synth.PreictalAt*256 + i*1500, DurSeconds: 45})
+	proc, err := mdb.Preprocess(rec, mdb.DefaultBuildConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rec, proc.Samples[4096:4352]
+}
+
+// ingestAndQuery pushes the recording through addr for the tenant and
+// returns the search entries the deployment serves for its window.
+func ingestAndQuery(t testing.TB, addr, tenant string, rec *synth.Recording, window []float64) []proto.CorrEntry {
+	t.Helper()
+	ctx := context.Background()
+	client, err := edge.DialTenant(addr, tenant, 5*time.Second)
+	if err != nil {
+		t.Fatalf("%s: dial: %v", tenant, err)
+	}
+	defer client.Close()
+	dev, err := edge.NewDevice(client, edge.Config{Tenant: tenant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets, err := dev.Ingest(ctx, rec)
+	if err != nil {
+		t.Fatalf("%s: ingest: %v", tenant, err)
+	}
+	if sets == 0 {
+		t.Fatalf("%s: ingest created no sets", tenant)
+	}
+	cs, err := client.Search(ctx, window)
+	if err != nil {
+		t.Fatalf("%s: search: %v", tenant, err)
+	}
+	return cs.Entries
+}
+
+func searchEntries(t testing.TB, addr, tenant string, window []float64) ([]proto.CorrEntry, error) {
+	t.Helper()
+	client, err := edge.DialTenant(addr, tenant, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer client.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cs, err := client.Search(ctx, window)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Entries, nil
+}
+
+// TestClusterKillNodeLosesNothing is the tentpole acceptance test: a
+// 3-node ring ingests tenants through the router, every tenant's
+// correlation set is bit-identical to a single-node baseline, and
+// killing one node outright — no drain, no goodbye — loses zero
+// tenants: the router evicts the corpse, the replica holders promote,
+// and every tenant still answers with the identical correlation set.
+func TestClusterKillNodeLosesNothing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node integration test")
+	}
+	ctx := context.Background()
+	nodes := []*testNode{
+		startTestNode(t, "node-a"),
+		startTestNode(t, "node-b"),
+		startTestNode(t, "node-c"),
+	}
+	router, routerAddr := startTestRouter(t)
+	members := []proto.RingNode{nodes[0].ringNode(), nodes[1].ringNode(), nodes[2].ringNode()}
+	if err := router.SetNodes(ctx, members); err != nil {
+		t.Fatal(err)
+	}
+
+	// The single-node baseline the cluster must match bit for bit.
+	baseReg, err := mdb.NewRegistry(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := cloud.NewRegistryServer(baseReg, clusterCloudConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go baseline.Serve(bl)
+	defer baseline.Close()
+
+	g := synth.NewGenerator(synth.Config{Seed: 93, ArchetypesPerClass: 3})
+	const tenants = 6
+	windows := make(map[string][]float64, tenants)
+	want := make(map[string][]proto.CorrEntry, tenants)
+	for i := 0; i < tenants; i++ {
+		tenant := fmt.Sprintf("ward-%d", i)
+		rec, window := tenantRecording(t, g, i)
+		windows[tenant] = window
+		got := ingestAndQuery(t, routerAddr, tenant, rec, window)
+		want[tenant] = ingestAndQuery(t, bl.Addr().String(), tenant, rec, window)
+		if len(want[tenant]) == 0 {
+			t.Fatalf("%s: baseline returned no entries", tenant)
+		}
+		if !reflect.DeepEqual(got, want[tenant]) {
+			t.Fatalf("%s: cluster entries differ from single-node baseline (%d vs %d entries)",
+				tenant, len(got), len(want[tenant]))
+		}
+	}
+
+	// The ring must actually spread the tenants; otherwise the kill
+	// below proves nothing.
+	ring := router.Ring()
+	owned := map[string][]string{}
+	for tenant := range windows {
+		o, _ := ring.Owner(tenant)
+		owned[o.ID] = append(owned[o.ID], tenant)
+	}
+	if len(owned) < 2 {
+		t.Fatalf("all %d tenants landed on one node: %v", tenants, owned)
+	}
+	// Every ingest must have reached the tenant's replica holder.
+	var replicated int64
+	for _, tn := range nodes {
+		replicated += tn.node.Metrics.Replications.Load()
+	}
+	if replicated < tenants {
+		t.Fatalf("only %d replications for %d tenants", replicated, tenants)
+	}
+
+	// Kill the node owning the most tenants — hard: close the engine
+	// and the listener, no migration, no goodbye.
+	victim := nodes[0]
+	for _, tn := range nodes {
+		if len(owned[tn.id]) > len(owned[victim.id]) {
+			victim = tn
+		}
+	}
+	lost := owned[victim.id]
+	if len(lost) == 0 {
+		t.Fatalf("victim %s owns no tenants: %v", victim.id, owned)
+	}
+	victim.node.Close()
+	victim.l.Close()
+	t.Logf("killed %s, orphaning tenants %v", victim.id, lost)
+
+	// Every tenant — the orphaned ones included — must still answer
+	// through the router with the exact baseline correlation set.
+	for tenant, window := range windows {
+		got, err := searchEntries(t, routerAddr, tenant, window)
+		if err != nil {
+			t.Fatalf("%s: search after node kill: %v", tenant, err)
+		}
+		if !reflect.DeepEqual(got, want[tenant]) {
+			t.Fatalf("%s: entries after failover differ from baseline (%d vs %d entries)",
+				tenant, len(got), len(want[tenant]))
+		}
+	}
+	if router.Ring().Len() != 2 {
+		t.Fatalf("router ring still has %d nodes after the kill", router.Ring().Len())
+	}
+	if router.Routing.NodeFailures.Load() != 1 {
+		t.Fatalf("router recorded %d node failures, want 1", router.Routing.NodeFailures.Load())
+	}
+	for _, tn := range nodes {
+		if tn != victim {
+			tn.node.Close()
+		}
+	}
+}
+
+// TestEdgeFollowsMovedRedirect covers the router-less deployment: an
+// edge dialled straight at the wrong node gets a MOVED redirect and
+// transparently re-dials the owner — one redirect, then the request
+// succeeds.
+func TestEdgeFollowsMovedRedirect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node integration test")
+	}
+	ctx := context.Background()
+	a := startTestNode(t, "node-a")
+	b := startTestNode(t, "node-b")
+	defer a.node.Close()
+	defer b.node.Close()
+	router, routerAddr := startTestRouter(t)
+	if err := router.SetNodes(ctx, []proto.RingNode{a.ringNode(), b.ringNode()}); err != nil {
+		t.Fatal(err)
+	}
+
+	const tenant = "ward-x"
+	owner, _ := router.Ring().Owner(tenant)
+	wrong := a
+	if owner.ID == "node-a" {
+		wrong = b
+	}
+	g := synth.NewGenerator(synth.Config{Seed: 29, ArchetypesPerClass: 3})
+	rec, window := tenantRecording(t, g, 0)
+	ingestAndQuery(t, routerAddr, tenant, rec, window)
+
+	client, err := edge.DialTenant(wrong.addr, tenant, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	cs, err := client.Search(ctx, window)
+	if err != nil {
+		t.Fatalf("search via wrong node: %v", err)
+	}
+	if len(cs.Entries) == 0 {
+		t.Fatal("search after redirect returned no entries")
+	}
+	if got := client.Metrics.Redirects.Load(); got != 1 {
+		t.Fatalf("client followed %d redirects, want 1", got)
+	}
+	if wrong.node.Metrics.Redirects.Load() == 0 {
+		t.Fatal("wrong node answered without a MOVED redirect")
+	}
+}
+
+// TestClusterMembershipChangeMigrates exercises the administrative
+// rebalance path: tenants ingested on a 2-node ring migrate when a
+// third node joins, the donors answer MOVED (or forward) afterwards,
+// and every tenant still serves its exact correlation set — now from
+// the new owner.
+func TestClusterMembershipChangeMigrates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node integration test")
+	}
+	ctx := context.Background()
+	a := startTestNode(t, "node-a")
+	b := startTestNode(t, "node-b")
+	defer a.node.Close()
+	defer b.node.Close()
+	router, routerAddr := startTestRouter(t)
+	if err := router.SetNodes(ctx, []proto.RingNode{a.ringNode(), b.ringNode()}); err != nil {
+		t.Fatal(err)
+	}
+
+	g := synth.NewGenerator(synth.Config{Seed: 17, ArchetypesPerClass: 3})
+	const tenants = 5
+	windows := make(map[string][]float64, tenants)
+	want := make(map[string][]proto.CorrEntry, tenants)
+	for i := 0; i < tenants; i++ {
+		tenant := fmt.Sprintf("icu-%d", i)
+		rec, window := tenantRecording(t, g, i)
+		windows[tenant] = window
+		want[tenant] = ingestAndQuery(t, routerAddr, tenant, rec, window)
+		if len(want[tenant]) == 0 {
+			t.Fatalf("%s: no entries before rebalance", tenant)
+		}
+	}
+
+	// A third node joins; AddNode pushes the grown ring and each
+	// member hands off the tenants the new placement takes from it.
+	c := startTestNode(t, "node-c")
+	defer c.node.Close()
+	if err := router.AddNode(ctx, c.ringNode()); err != nil {
+		t.Fatal(err)
+	}
+	ring := router.Ring()
+	movedToC := 0
+	for tenant := range windows {
+		if o, _ := ring.Owner(tenant); o.ID == "node-c" {
+			movedToC++
+		}
+	}
+	migrated := a.node.Metrics.Migrations.Load() + b.node.Metrics.Migrations.Load()
+	if migrated != int64(movedToC) {
+		t.Fatalf("%d tenants now owned by node-c but %d migrations ran", movedToC, migrated)
+	}
+	for tenant, window := range windows {
+		got, err := searchEntries(t, routerAddr, tenant, window)
+		if err != nil {
+			t.Fatalf("%s: search after rebalance: %v", tenant, err)
+		}
+		if !reflect.DeepEqual(got, want[tenant]) {
+			t.Fatalf("%s: entries after rebalance differ", tenant)
+		}
+	}
+	// The joiner's tenants must live on node-c itself now, not be
+	// proxied back: its registry holds them.
+	if movedToC > 0 {
+		have := map[string]bool{}
+		for _, tn := range c.reg.List() {
+			have[tn] = true
+		}
+		for tenant := range windows {
+			if o, _ := ring.Owner(tenant); o.ID == "node-c" && !have[tenant] {
+				t.Fatalf("tenant %q owned by node-c but absent from its registry (has %v)", tenant, c.reg.List())
+			}
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"emap/internal/edge"
+	"emap/internal/mdb"
+	"emap/internal/netsim"
+	"emap/internal/proto"
+	"emap/internal/synth"
+)
+
+// startFaultyNode is startTestNode behind a netsim partition, so the
+// test can sever the node from the cluster with fault injection
+// instead of a clean close.
+func startFaultyNode(t testing.TB, id string) (*testNode, *netsim.Partition) {
+	t.Helper()
+	reg, err := mdb.NewRegistry(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(reg, NodeConfig{
+		ID:    id,
+		Addr:  l.Addr().String(),
+		Cloud: clusterCloudConfig(),
+		Retry: fastRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := netsim.NewPartition()
+	go node.Serve(part.Listen(l))
+	return &testNode{node: node, reg: reg, l: l, addr: l.Addr().String(), id: id}, part
+}
+
+// TestRouterPartitionFailsOverMidBatch is the router-tier chaos test:
+// an edge device streams windows through the router while the node
+// owning its tenant is severed by a fault-injected partition mid-batch.
+// The router must absorb the failure — evict the dead node, push the
+// shrunk ring, retry against the survivor that promotes its parked
+// replica — fast enough that the device sees at most one degraded
+// refresh cycle before tracking resumes.
+func TestRouterPartitionFailsOverMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node integration test")
+	}
+	ctx := context.Background()
+	a, partA := startFaultyNode(t, "node-a")
+	b, partB := startFaultyNode(t, "node-b")
+	defer a.node.Close()
+	defer b.node.Close()
+	router, routerAddr := startTestRouter(t)
+	if err := router.SetNodes(ctx, []proto.RingNode{a.ringNode(), b.ringNode()}); err != nil {
+		t.Fatal(err)
+	}
+
+	const tenant = "icu-7"
+	owner, _ := router.Ring().Owner(tenant)
+	victimPart, survivor := partA, b
+	if owner.ID == "node-b" {
+		victimPart, survivor = partB, a
+	}
+
+	// Seed the tenant through the router; the ingest ack means the
+	// owner also shipped the snapshot to its replica — the survivor.
+	g := synth.NewGenerator(synth.Config{Seed: 51, ArchetypesPerClass: 3})
+	rec := g.Instance(synth.Seizure, 0, synth.InstanceOpts{
+		OffsetSamples: synth.PreictalAt * 256, DurSeconds: 90})
+	seedClient, err := edge.DialTenant(routerAddr, tenant, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedDev, err := edge.NewDevice(seedClient, edge.Config{Tenant: tenant})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets, err := seedDev.Ingest(ctx, rec); err != nil || sets == 0 {
+		t.Fatalf("seeding tenant: sets=%d err=%v", sets, err)
+	}
+	seedClient.Close()
+	if survivor.node.ID() == owner.ID {
+		t.Fatalf("survivor %q is the owner: victim selection broken", survivor.id)
+	}
+
+	// The monitoring device, dialled to the router like to any cloud.
+	client, err := edge.DialOpts(routerAddr, edge.ClientOptions{
+		Tenant:         tenant,
+		DialTimeout:    time.Second,
+		RedialAttempts: 2,
+		Redial:         fastRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	dev, err := edge.NewDevice(client, edge.Config{
+		Tenant:         tenant,
+		CloudTimeout:   5 * time.Second,
+		Refresh:        fastRetry(),
+		RefreshRetries: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+
+	input := g.SeizureInput(0, 30, 150)
+	windows := len(input.Samples) / 256
+	push := func(k int) edge.Status {
+		st, err := dev.Push(ctx, input.Samples[k*256:(k+1)*256])
+		if err != nil {
+			t.Fatalf("window %d: %v", k, err)
+		}
+		return st
+	}
+
+	// Phase 1: healthy streaming until tracking is established.
+	const splitAt = 40
+	tracked := false
+	for k := 0; k < splitAt; k++ {
+		st := push(k)
+		if st.Degraded {
+			t.Fatalf("window %d: degraded while healthy: %+v", k, st)
+		}
+		tracked = tracked || st.Tracking
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !tracked {
+		t.Fatal("device never started tracking before the split")
+	}
+
+	// Phase 2: sever the owning node mid-batch. The stream keeps
+	// going; the first refresh that needs the dead owner must ride the
+	// router's failover instead of surfacing an outage.
+	victimPart.Split()
+	degradedCycles := 0
+	wasDegraded := false
+	for k := splitAt; k < windows; k++ {
+		st := push(k)
+		if st.Degraded && !wasDegraded {
+			degradedCycles++
+		}
+		wasDegraded = st.Degraded
+		time.Sleep(5 * time.Millisecond)
+	}
+	if degradedCycles > 1 {
+		t.Fatalf("device saw %d degraded refresh cycles, want ≤ 1", degradedCycles)
+	}
+	if wasDegraded {
+		t.Fatal("device still degraded at end of stream: failover never completed")
+	}
+
+	// The router must have evicted exactly the severed node and the
+	// survivor must have promoted its parked replica.
+	if got := router.Routing.NodeFailures.Load(); got != 1 {
+		t.Fatalf("router recorded %d node failures, want 1", got)
+	}
+	if router.Ring().Len() != 1 {
+		t.Fatalf("ring holds %d nodes after failover, want 1", router.Ring().Len())
+	}
+	if cur, _ := router.Ring().Owner(tenant); cur.ID != survivor.id {
+		t.Fatalf("tenant owned by %q after failover, want survivor %q", cur.ID, survivor.id)
+	}
+	if survivor.node.Metrics.Promotions.Load() == 0 {
+		t.Fatal("survivor promoted no replicas: the tenant's data came from nowhere")
+	}
+	// And the promoted copy really serves: a fresh search through the
+	// router returns the ingested recording.
+	proc, err := mdb.Preprocess(rec, mdb.DefaultBuildConfig(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := searchEntries(t, routerAddr, tenant, proc.Samples[4096:4352])
+	if err != nil {
+		t.Fatalf("search after failover: %v", err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("tenant serves no entries after failover")
+	}
+}

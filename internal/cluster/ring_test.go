@@ -1,0 +1,212 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"emap/internal/proto"
+)
+
+func members(n int) []proto.RingNode {
+	ms := make([]proto.RingNode, n)
+	for i := range ms {
+		ms[i] = proto.RingNode{ID: fmt.Sprintf("node-%d", i), Addr: fmt.Sprintf("10.0.0.%d:9", i)}
+	}
+	return ms
+}
+
+func TestRingDeterministicPlacement(t *testing.T) {
+	a, err := NewRing(1, members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second participant building the ring from the same member list
+	// (in a different order) must compute identical ownership.
+	ms := members(3)
+	ms[0], ms[2] = ms[2], ms[0]
+	b, err := NewRing(1, ms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		tenant := fmt.Sprintf("ward-%d", i)
+		oa, _ := a.Owner(tenant)
+		ob, _ := b.Owner(tenant)
+		if oa != ob {
+			t.Fatalf("tenant %q: owner %q vs %q from permuted member list", tenant, oa.ID, ob.ID)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(1, members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const tenants = 3000
+	for i := 0; i < tenants; i++ {
+		o, ok := r.Owner(fmt.Sprintf("patient-%04d", i))
+		if !ok {
+			t.Fatal("no owner on non-empty ring")
+		}
+		counts[o.ID]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own tenants: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		// Virtual nodes keep the load within a loose band of the fair
+		// share (1000): a node owning under a third or over double its
+		// share means the placement is broken, not just unlucky.
+		if c < tenants/3/3 || c > tenants*2/3 {
+			t.Fatalf("node %s owns %d of %d tenants: %v", id, c, tenants, counts)
+		}
+	}
+}
+
+// TestRingConsecutiveTenantsSpread pins the hash finalizer: tenant IDs
+// differing only in a trailing digit — the natural shape of real IDs —
+// must still scatter across nodes. Raw FNV fails this (a last-byte
+// change moves the hash far less than one ring arc).
+func TestRingConsecutiveTenantsSpread(t *testing.T) {
+	r, err := NewRing(1, members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := 0; i < 30; i++ {
+		o, _ := r.Owner(fmt.Sprintf("ward-%d", i))
+		counts[o.ID]++
+	}
+	if len(counts) < 3 {
+		t.Fatalf("30 consecutive tenant IDs landed on only %d of 3 nodes: %v", len(counts), counts)
+	}
+	for id, c := range counts {
+		if c > 25 {
+			t.Fatalf("node %s owns %d of 30 consecutive tenants: %v", id, c, counts)
+		}
+	}
+}
+
+func TestRingReplicaDistinct(t *testing.T) {
+	r, err := NewRing(1, members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		tenant := fmt.Sprintf("t-%d", i)
+		o, _ := r.Owner(tenant)
+		rep, ok := r.Replica(tenant)
+		if !ok {
+			t.Fatalf("tenant %q: no replica on a 3-node ring", tenant)
+		}
+		if rep.ID == o.ID {
+			t.Fatalf("tenant %q: replica %q is the owner", tenant, rep.ID)
+		}
+	}
+	single, _ := NewRing(1, members(1), 0)
+	if _, ok := single.Replica("t"); ok {
+		t.Fatal("single-node ring claims a replica")
+	}
+}
+
+// TestRingReplicaBecomesOwner pins the failover invariant the whole
+// cluster leans on: when a node is removed, each of its tenants is
+// re-homed to exactly the node that held its replica — so promoting
+// parked replicas on ring adoption lands every tenant's data on its
+// new owner.
+func TestRingReplicaBecomesOwner(t *testing.T) {
+	r, err := NewRing(1, members(5), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("icu-%04d", i)
+		owner, _ := r.Owner(tenant)
+		replica, _ := r.Replica(tenant)
+		shrunk, err := r.WithoutNode(owner.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		newOwner, ok := shrunk.Owner(tenant)
+		if !ok {
+			t.Fatal("no owner after shrink")
+		}
+		if newOwner.ID != replica.ID {
+			t.Fatalf("tenant %q: owner %q died; new owner %q but replica was %q",
+				tenant, owner.ID, newOwner.ID, replica.ID)
+		}
+	}
+}
+
+// TestRingRemovalStability: removing a node must not re-home tenants
+// the removed node did not own.
+func TestRingRemovalStability(t *testing.T) {
+	r, err := NewRing(1, members(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := r.WithoutNode("node-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		tenant := fmt.Sprintf("bed-%04d", i)
+		before, _ := r.Owner(tenant)
+		if before.ID == "node-2" {
+			continue
+		}
+		after, _ := shrunk.Owner(tenant)
+		if after.ID != before.ID {
+			t.Fatalf("tenant %q moved %q → %q though its owner survived", tenant, before.ID, after.ID)
+		}
+	}
+	if shrunk.Epoch() != r.Epoch()+1 {
+		t.Fatalf("WithoutNode epoch %d, want %d", shrunk.Epoch(), r.Epoch()+1)
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(1, []proto.RingNode{{ID: ""}}, 0); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+	if _, err := NewRing(1, []proto.RingNode{{ID: "a"}, {ID: "a"}}, 0); err == nil {
+		t.Fatal("duplicate node ID accepted")
+	}
+	empty, err := NewRing(1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := empty.Owner("t"); ok {
+		t.Fatal("empty ring claims an owner")
+	}
+}
+
+func TestRingWireRoundTrip(t *testing.T) {
+	r, err := NewRing(7, members(3), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wire := r.Wire()
+	payload := proto.EncodeRing(wire)
+	decoded, err := proto.DecodeRing(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := NewRing(decoded.Epoch, decoded.Nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Epoch() != 7 || back.Len() != 3 {
+		t.Fatalf("round-tripped ring epoch=%d len=%d", back.Epoch(), back.Len())
+	}
+	for i := 0; i < 100; i++ {
+		tenant := fmt.Sprintf("w-%d", i)
+		a, _ := r.Owner(tenant)
+		b, _ := back.Owner(tenant)
+		if a != b {
+			t.Fatalf("ownership changed across the wire for %q", tenant)
+		}
+	}
+}

@@ -88,6 +88,9 @@ type ClientMetrics struct {
 	// ones that failed (each failure retires the probed connection).
 	Keepalives        atomic.Int64
 	KeepaliveFailures atomic.Int64
+	// Redirects counts MOVED replies followed to a new owner node
+	// (cluster deployments re-home tenants when membership changes).
+	Redirects atomic.Int64
 }
 
 // Client is a pipelined, context-aware protocol client. Multiple
@@ -237,8 +240,11 @@ func (c *Client) keepaliveLoop() {
 
 func (c *Client) dial(ctx context.Context) (net.Conn, error) {
 	c.Metrics.Dials.Add(1)
+	c.mu.Lock()
+	addr := c.addr
+	c.mu.Unlock()
 	d := net.Dialer{Timeout: c.dialTimeout}
-	conn, err := d.DialContext(ctx, "tcp", c.addr)
+	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		c.Metrics.DialFailures.Add(1)
 		return nil, fmt.Errorf("edge: dialing cloud: %w", err)
@@ -321,6 +327,33 @@ func (c *Client) SetTenant(tenant string) {
 	c.mu.Lock()
 	c.tenant = tenant
 	c.mu.Unlock()
+}
+
+// Redirect re-points a dialled client at a new service address: the
+// live connection (if any) is retired — concurrent in-flight requests
+// on it fail and may be retried by their callers — and the next
+// exchange dials the new address. This is how an edge follows a
+// cluster's MOVED redirect when the tenant's owning node changes; a
+// client wrapping a caller-supplied connection has no dial address and
+// cannot redirect.
+func (c *Client) Redirect(addr string) error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.addr == "" {
+		c.mu.Unlock()
+		return errors.New("edge: client has no dial address; cannot redirect")
+	}
+	c.addr = addr
+	conn := c.conn
+	c.mu.Unlock()
+	c.Metrics.Redirects.Add(1)
+	if conn != nil {
+		c.failAll(conn, fmt.Errorf("edge: redirected to %s", addr))
+	}
+	return nil
 }
 
 // Close closes the connection, stops the keepalive prober, and fails
@@ -607,25 +640,50 @@ func (c *Client) Ingest(ctx context.Context, ing *proto.Ingest) (*proto.IngestAc
 	if c.Tenant() != "" {
 		minVersion = proto.Version3
 	}
-	typ, resp, err := c.roundTrip(ctx, proto.TypeIngest, minVersion, func(id uint32) []byte {
-		ing.Seq = id
-		return proto.EncodeIngest(ing)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("edge: ingest: %w", err)
-	}
-	switch typ {
-	case proto.TypeIngestAck:
-		return proto.DecodeIngestAck(resp)
-	case proto.TypeError:
-		em, derr := proto.DecodeError(resp)
-		if derr != nil {
-			return nil, derr
+	for hop := 0; ; hop++ {
+		typ, resp, err := c.roundTrip(ctx, proto.TypeIngest, minVersion, func(id uint32) []byte {
+			ing.Seq = id
+			return proto.EncodeIngest(ing)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("edge: ingest: %w", err)
 		}
-		return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
-	default:
-		return nil, errors.New("edge: unexpected response type")
+		switch typ {
+		case proto.TypeIngestAck:
+			return proto.DecodeIngestAck(resp)
+		case proto.TypeMoved:
+			if err := c.followMoved(resp, hop); err != nil {
+				return nil, fmt.Errorf("edge: ingest: %w", err)
+			}
+			continue
+		case proto.TypeError:
+			em, derr := proto.DecodeError(resp)
+			if derr != nil {
+				return nil, derr
+			}
+			return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
+		default:
+			return nil, errors.New("edge: unexpected response type")
+		}
 	}
+}
+
+// followMoved re-points the client at the owner node a MOVED reply
+// names so the caller can replay the request. One hop is the normal
+// post-migration case; a second redirect for the same request means
+// the cluster is flapping and the error surfaces instead.
+func (c *Client) followMoved(payload []byte, hop int) error {
+	mv, err := proto.DecodeMoved(payload)
+	if err != nil {
+		return fmt.Errorf("edge: undecodable MOVED reply: %w", err)
+	}
+	if hop >= 1 {
+		return fmt.Errorf("edge: tenant %q moved again (to %s) while following a redirect", mv.Tenant, mv.Addr)
+	}
+	if err := c.Redirect(mv.Addr); err != nil {
+		return err
+	}
+	return nil
 }
 
 // Search uploads a filtered one-second window and returns the cloud's
@@ -633,22 +691,29 @@ func (c *Client) Ingest(ctx context.Context, ing *proto.Ingest) (*proto.IngestAc
 // ctx bounds the whole exchange.
 func (c *Client) Search(ctx context.Context, window []float64) (*proto.CorrSet, error) {
 	counts, scale := proto.Quantize(window)
-	typ, resp, err := c.roundTrip(ctx, proto.TypeUpload, 0, func(id uint32) []byte {
-		return proto.EncodeUpload(&proto.Upload{Seq: id, Scale: scale, Samples: counts})
-	})
-	if err != nil {
-		return nil, fmt.Errorf("edge: search: %w", err)
-	}
-	switch typ {
-	case proto.TypeCorrSet:
-		return proto.DecodeCorrSet(resp)
-	case proto.TypeError:
-		em, derr := proto.DecodeError(resp)
-		if derr != nil {
-			return nil, derr
+	for hop := 0; ; hop++ {
+		typ, resp, err := c.roundTrip(ctx, proto.TypeUpload, 0, func(id uint32) []byte {
+			return proto.EncodeUpload(&proto.Upload{Seq: id, Scale: scale, Samples: counts})
+		})
+		if err != nil {
+			return nil, fmt.Errorf("edge: search: %w", err)
 		}
-		return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
-	default:
-		return nil, errors.New("edge: unexpected response type")
+		switch typ {
+		case proto.TypeCorrSet:
+			return proto.DecodeCorrSet(resp)
+		case proto.TypeMoved:
+			if err := c.followMoved(resp, hop); err != nil {
+				return nil, fmt.Errorf("edge: search: %w", err)
+			}
+			continue
+		case proto.TypeError:
+			em, derr := proto.DecodeError(resp)
+			if derr != nil {
+				return nil, derr
+			}
+			return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
+		default:
+			return nil, errors.New("edge: unexpected response type")
+		}
 	}
 }

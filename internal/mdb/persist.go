@@ -32,9 +32,20 @@ const snapshotVersion = 1
 // MongoDB; a snapshot file plays that role here so cmd/emap-mdb can
 // build once and the cloud server can load at startup. Save captures
 // one epoch: a concurrent Insert lands either wholly in the snapshot
-// or not at all.
+// or not at all. Callers that must know WHICH epoch was written (to
+// detect a concurrent insert racing the write) capture a Snapshot
+// first and use Snapshot.Save.
 func (s *Store) Save(w io.Writer) error {
-	v := s.v.Load()
+	return s.Snapshot().Save(w)
+}
+
+// Save serialises the snapshot's epoch to w (gob) — the same wire
+// form as Store.Save, but pinned to the epoch the caller captured, so
+// the caller can afterwards compare the store's current Snapshot
+// against this one (snapshots are comparable) and find out whether an
+// insert advanced the store while the write ran.
+func (sn Snapshot) Save(w io.Writer) error {
+	v := sn.v
 	snap := snapshot{Version: snapshotVersion}
 	for _, id := range v.order {
 		r := v.records[id]
@@ -90,11 +101,16 @@ func Load(r io.Reader) (*Store, error) {
 
 // SaveFile writes the store snapshot to the named file.
 func (s *Store) SaveFile(path string) error {
+	return s.Snapshot().SaveFile(path)
+}
+
+// SaveFile writes the snapshot's epoch to the named file.
+func (sn Snapshot) SaveFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := s.Save(f); err != nil {
+	if err := sn.Save(f); err != nil {
 		f.Close()
 		return err
 	}

@@ -364,8 +364,18 @@ func (r *Registry) makeRoomLocked() ([]pendingEvict, error) {
 
 // persist writes the tenant's snapshot when a directory is
 // configured; without one, eviction of a non-empty store would lose
-// data, so it is refused. Safe without r.mu (dir is immutable, Save
-// captures one store epoch).
+// data, so it is refused. Safe without r.mu (dir is immutable, each
+// Save captures one store epoch).
+//
+// The write races in-flight Ingests: the caller has already removed
+// the tenant from the open map, but an insert that resolved the store
+// BEFORE the eviction began can land while (or after) Save runs, and a
+// snapshot missing it would silently drop an acknowledged recording —
+// the reload after eviction resurrects the store without it. So
+// persist pins the epoch it wrote (snapshots are pointer-comparable)
+// and re-saves until the store's current epoch is the one on disk. The
+// loop terminates: the tenant is barred from reopening, so only the
+// bounded set of already-resolved inserts can still advance the store.
 func (r *Registry) persist(tenant string, s *Store) error {
 	if r.dir == "" {
 		if s.NumRecords() > 0 {
@@ -373,8 +383,49 @@ func (r *Registry) persist(tenant string, s *Store) error {
 		}
 		return nil
 	}
-	if err := s.SaveFile(filepath.Join(r.dir, tenant+snapExt)); err != nil {
-		return fmt.Errorf("mdb: saving tenant %q: %w", tenant, err)
+	path := filepath.Join(r.dir, tenant+snapExt)
+	for {
+		snap := s.Snapshot()
+		if err := snap.SaveFile(path); err != nil {
+			return fmt.Errorf("mdb: saving tenant %q: %w", tenant, err)
+		}
+		if s.Snapshot() == snap {
+			return nil
+		}
+	}
+}
+
+// Drop removes the tenant from the registry WITHOUT persisting it,
+// firing OnEvict, and returns the store that was registered. It exists
+// for tenant migration (internal/cluster): once a tenant's snapshot
+// has been transferred to another node, the local copy is surrendered,
+// not saved — saving it would resurrect a stale twin on the next Open.
+// Dropping a tenant that is not open (or still mid-load) is a no-op.
+func (r *Registry) Drop(tenant string) (*Store, bool) {
+	r.mu.Lock()
+	slot, ok := r.open[tenant]
+	if !ok || !slot.resident {
+		r.mu.Unlock()
+		return nil, false
+	}
+	delete(r.open, tenant)
+	r.mu.Unlock()
+	if r.OnEvict != nil {
+		r.OnEvict(tenant, slot.store)
+	}
+	return slot.store, true
+}
+
+// DropSnapshot deletes the tenant's on-disk snapshot, if any. Paired
+// with Drop during migration so a later Open cannot resurrect the
+// transferred tenant from a stale file.
+func (r *Registry) DropSnapshot(tenant string) error {
+	if r.dir == "" || !ValidTenantID(tenant) {
+		return nil
+	}
+	err := os.Remove(filepath.Join(r.dir, tenant+snapExt))
+	if err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
 	}
 	return nil
 }

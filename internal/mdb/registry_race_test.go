@@ -1,0 +1,88 @@
+package mdb
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestEvictPersistIncludesConcurrentInserts is the regression test for
+// the eviction/ingest race: a caller holding the tenant's *Store (the
+// cloud tier resolves it once per request) inserts while the registry
+// evicts that tenant. The eviction's snapshot write used to capture
+// one epoch at persist start, so inserts landing during the (slow)
+// disk write vanished from the snapshot — and with it from the tenant,
+// once the next Open resurrected the store from disk. persist now
+// re-saves until the store's epoch is stable, so every insert that
+// completes while the persist runs is on disk. Run with -race: it also
+// exercises Snapshot/Insert/registry bookkeeping concurrency.
+func TestEvictPersistIncludesConcurrentInserts(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := NewRegistry(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := reg.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bulk the store up so the snapshot encode takes real time — the
+	// window the racing inserts must land in. ~300 × 4096 float64
+	// samples ≈ 10 MB of gob per save.
+	bulk := make([]float64, 4096)
+	for i := range bulk {
+		bulk[i] = float64(i%251) * 0.25
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := store.Insert(&Record{ID: fmt.Sprintf("bulk-%03d", i), Samples: bulk}, 1024, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	small := bulk[:64]
+	const late = 16
+	inserted := make(chan int)
+	go func() {
+		// Wait for the eviction to begin — the tenant leaves the open
+		// map before the snapshot write starts — then land inserts
+		// while the write runs. They are microseconds against the
+		// save's tens of milliseconds, so they complete well before
+		// the persist's final epoch check.
+		for {
+			if _, ok := reg.Get("a"); !ok {
+				break
+			}
+			runtime.Gosched()
+		}
+		n := 0
+		for i := 0; i < late; i++ {
+			if _, err := store.Insert(&Record{ID: fmt.Sprintf("late-%02d", i), Samples: small}, 64, nil); err == nil {
+				n++
+			}
+		}
+		inserted <- n
+	}()
+
+	if err := reg.Evict("a"); err != nil {
+		t.Fatalf("Evict: %v", err)
+	}
+	n := <-inserted
+	if n != late {
+		t.Fatalf("inserter completed %d/%d inserts", n, late)
+	}
+
+	loaded, err := LoadFile(filepath.Join(dir, "a"+snapExt))
+	if err != nil {
+		t.Fatalf("loading evicted snapshot: %v", err)
+	}
+	for i := 0; i < late; i++ {
+		id := fmt.Sprintf("late-%02d", i)
+		if _, ok := loaded.Record(id); !ok {
+			t.Fatalf("snapshot lost concurrently inserted record %q (have %d records)", id, loaded.NumRecords())
+		}
+	}
+	if got, want := loaded.NumRecords(), 300+late; got != want {
+		t.Fatalf("snapshot has %d records, want %d", got, want)
+	}
+}

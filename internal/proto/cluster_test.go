@@ -1,0 +1,68 @@
+package proto
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestClusterCodecRoundTrips(t *testing.T) {
+	moved := &Moved{Tenant: "ward-7", Addr: "10.0.0.3:7301"}
+	if got, err := DecodeMoved(EncodeMoved(moved)); err != nil || !reflect.DeepEqual(got, moved) {
+		t.Fatalf("Moved round-trip: got %+v err %v", got, err)
+	}
+	ring := &Ring{Epoch: 1<<40 + 5, Nodes: []RingNode{
+		{ID: "node-a", Addr: "10.0.0.1:7301"},
+		{ID: "node-b", Addr: "10.0.0.2:7301"},
+	}}
+	if got, err := DecodeRing(EncodeRing(ring)); err != nil || !reflect.DeepEqual(got, ring) {
+		t.Fatalf("Ring round-trip: got %+v err %v", got, err)
+	}
+	ack := &RingAck{Epoch: ring.Epoch}
+	if got, err := DecodeRingAck(EncodeRingAck(ack)); err != nil || !reflect.DeepEqual(got, ack) {
+		t.Fatalf("RingAck round-trip: got %+v err %v", got, err)
+	}
+	rep := &Replicate{Tenant: "ward-7", Promote: true, Snapshot: []byte{0xE3, 0xA7, 1, 2, 3}}
+	if got, err := DecodeReplicate(EncodeReplicate(rep)); err != nil ||
+		got.Tenant != rep.Tenant || got.Promote != rep.Promote || !bytes.Equal(got.Snapshot, rep.Snapshot) {
+		t.Fatalf("Replicate round-trip: got %+v err %v", got, err)
+	}
+	repAck := &ReplicateAck{Tenant: "ward-7", Bytes: 5}
+	if got, err := DecodeReplicateAck(EncodeReplicateAck(repAck)); err != nil || !reflect.DeepEqual(got, repAck) {
+		t.Fatalf("ReplicateAck round-trip: got %+v err %v", got, err)
+	}
+	h := &Handoff{Tenant: "ward-7", TargetAddr: "10.0.0.9:7301"}
+	if got, err := DecodeHandoff(EncodeHandoff(h)); err != nil || !reflect.DeepEqual(got, h) {
+		t.Fatalf("Handoff round-trip: got %+v err %v", got, err)
+	}
+	hAck := &HandoffAck{Tenant: "ward-7", Bytes: 1024}
+	if got, err := DecodeHandoffAck(EncodeHandoffAck(hAck)); err != nil || !reflect.DeepEqual(got, hAck) {
+		t.Fatalf("HandoffAck round-trip: got %+v err %v", got, err)
+	}
+}
+
+func TestClusterCodecTruncation(t *testing.T) {
+	// Every decoder must reject truncated payloads with an error, not
+	// panic or silently misparse.
+	full := [][]byte{
+		EncodeMoved(&Moved{Tenant: "t", Addr: "a:1"}),
+		EncodeRing(&Ring{Epoch: 3, Nodes: []RingNode{{ID: "n", Addr: "a:1"}}}),
+		EncodeReplicate(&Replicate{Tenant: "t", Snapshot: []byte{1, 2, 3}}),
+		EncodeHandoff(&Handoff{Tenant: "t", TargetAddr: "a:1"}),
+	}
+	decoders := []func([]byte) error{
+		func(b []byte) error { _, err := DecodeMoved(b); return err },
+		func(b []byte) error { _, err := DecodeRing(b); return err },
+		func(b []byte) error { _, err := DecodeReplicate(b); return err },
+		func(b []byte) error { _, err := DecodeHandoff(b); return err },
+	}
+	for i, payload := range full {
+		// Every strict prefix must be rejected: these formats lead
+		// with length-prefixed fields, so any cut lands mid-field.
+		for cut := 0; cut < len(payload); cut++ {
+			if err := decoders[i](payload[:cut]); err == nil {
+				t.Fatalf("decoder %d accepted %d-byte prefix of %d-byte payload", i, cut, len(payload))
+			}
+		}
+	}
+}
