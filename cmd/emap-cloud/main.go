@@ -18,6 +18,8 @@
 //	           [-batch-window 0s] [-cache 256]
 //	           [-store-dir DIR] [-max-tenants N] [-tenant default]
 //	           [-empty] [-kernel auto|scalar|fft]
+//	           [-rate N] [-burst N] [-shed-queue N]
+//	           [-http :9300]
 //	           [-node ID] [-advertise HOST:PORT]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
 //
@@ -28,6 +30,13 @@
 // after every ingest. -advertise sets the address peers and the router
 // dial (defaults to the listen address, which only works when everyone
 // shares a network namespace).
+//
+// -http starts the observability endpoint: /metrics serves the
+// Prometheus text exposition (registry-wide and per-tenant counters
+// plus Go runtime health), /healthz answers ok. -rate/-burst bound
+// each tenant's request rate (token bucket) and -shed-queue enables
+// load shedding of routine-priority uploads under saturation; both
+// admission refusals are visible on /metrics.
 //
 // The default tenant's store comes from, in order of precedence: an
 // explicit -mdb snapshot; a persisted DIR/default.snap in -store-dir
@@ -40,6 +49,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -57,37 +67,110 @@ import (
 	"emap/internal/cloud"
 	"emap/internal/cluster"
 	"emap/internal/mdb"
+	"emap/internal/obs"
 	"emap/internal/search"
 )
 
-func main() {
-	addr := flag.String("addr", ":7300", "listen address")
-	snapshot := flag.String("mdb", "", "default tenant snapshot path (empty: build synthetic)")
-	per := flag.Int("per", 8, "recordings per corpus when building synthetically")
-	seed := flag.Uint64("seed", 2020, "generator seed when building synthetically")
-	horizon := flag.Float64("horizon", 8, "continuation horizon per match [s]")
-	workers := flag.Int("workers", 0, "concurrent search workers (0: GOMAXPROCS)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-	maxBatch := flag.Int("max-batch", 0, "max uploads coalesced per batched search (0: default 32, 1: disable)")
-	batchWindow := flag.Duration("batch-window", 0, "extra wait for uploads to join a batch (0: none)")
-	cacheSize := flag.Int("cache", 0, "per-tenant correlation-set cache entries (0: default 256, negative: disable)")
-	storeDir := flag.String("store-dir", "", "tenant snapshot directory (empty: in-memory registry)")
-	maxTenants := flag.Int("max-tenants", 0, "max open tenant stores, LRU-evicted beyond (0: unbounded)")
-	defTenant := flag.String("tenant", cloud.DefaultTenant, "default tenant ID (v1/v2 peers land here)")
-	nodeID := flag.String("node", "", "cluster node ID: serve as a member of an emap-router cluster instead of a standalone cloud")
-	advertise := flag.String("advertise", "", "address peers and the router dial to reach this node (default: the listen address)")
-	empty := flag.Bool("empty", false, "build no synthetic default store; the default tenant lazy-loads its -store-dir snapshot if one exists, else starts empty")
-	kernelFlag := flag.String("kernel", "auto", "correlation kernel dispatch: auto|scalar|fft")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file at shutdown")
-	flag.Parse()
+// options is the parsed flag set — separated from main so the
+// flag-to-config path is testable without spawning the process.
+type options struct {
+	addr        string
+	snapshot    string
+	per         int
+	seed        uint64
+	horizon     float64
+	workers     int
+	drain       time.Duration
+	maxBatch    int
+	batchWindow time.Duration
+	cacheSize   int
+	tenantRate  float64
+	tenantBurst int
+	shedQueue   int
+	storeDir    string
+	maxTenants  int
+	defTenant   string
+	nodeID      string
+	advertise   string
+	empty       bool
+	kernel      string
+	httpAddr    string
+	cpuprofile  string
+	memprofile  string
+}
 
-	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
-
-	kernelMode, ok := search.ParseKernelMode(*kernelFlag)
-	if !ok {
-		logger.Fatalf("-kernel %q invalid (want auto, scalar or fft)", *kernelFlag)
+// parseFlags parses an emap-cloud argument list.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("emap-cloud", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":7300", "listen address")
+	fs.StringVar(&o.snapshot, "mdb", "", "default tenant snapshot path (empty: build synthetic)")
+	fs.IntVar(&o.per, "per", 8, "recordings per corpus when building synthetically")
+	fs.Uint64Var(&o.seed, "seed", 2020, "generator seed when building synthetically")
+	fs.Float64Var(&o.horizon, "horizon", 8, "continuation horizon per match [s]")
+	fs.IntVar(&o.workers, "workers", 0, "concurrent search workers (0: GOMAXPROCS)")
+	fs.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	fs.IntVar(&o.maxBatch, "max-batch", 0, "max uploads coalesced per batched search (0: default 32, 1: disable)")
+	fs.DurationVar(&o.batchWindow, "batch-window", 0, "extra wait for uploads to join a batch (0: none)")
+	fs.IntVar(&o.cacheSize, "cache", 0, "per-tenant correlation-set cache entries (0: default 256, negative: disable)")
+	fs.Float64Var(&o.tenantRate, "rate", 0, "per-tenant admission rate [req/s] (0: unlimited)")
+	fs.IntVar(&o.tenantBurst, "burst", 0, "per-tenant admission burst when -rate is set (0: max(8, rate))")
+	fs.IntVar(&o.shedQueue, "shed-queue", 0, "search backlog beyond which routine uploads are shed (0: never)")
+	fs.StringVar(&o.storeDir, "store-dir", "", "tenant snapshot directory (empty: in-memory registry)")
+	fs.IntVar(&o.maxTenants, "max-tenants", 0, "max open tenant stores, LRU-evicted beyond (0: unbounded)")
+	fs.StringVar(&o.defTenant, "tenant", cloud.DefaultTenant, "default tenant ID (v1/v2 peers land here)")
+	fs.StringVar(&o.nodeID, "node", "", "cluster node ID: serve as a member of an emap-router cluster instead of a standalone cloud")
+	fs.StringVar(&o.advertise, "advertise", "", "address peers and the router dial to reach this node (default: the listen address)")
+	fs.BoolVar(&o.empty, "empty", false, "build no synthetic default store; the default tenant lazy-loads its -store-dir snapshot if one exists, else starts empty")
+	fs.StringVar(&o.kernel, "kernel", "auto", "correlation kernel dispatch: auto|scalar|fft")
+	fs.StringVar(&o.httpAddr, "http", "", "observability endpoint address serving /metrics and /healthz (empty: disabled)")
+	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
+	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
 	}
+	return o, nil
+}
+
+// validate rejects flag combinations no server should start with.
+func (o *options) validate() error {
+	if _, ok := search.ParseKernelMode(o.kernel); !ok {
+		return fmt.Errorf("-kernel %q invalid (want auto, scalar or fft)", o.kernel)
+	}
+	if o.snapshot != "" && o.empty {
+		return errors.New("-mdb and -empty conflict; pass one")
+	}
+	return nil
+}
+
+// cloudConfig maps the flags onto the service configuration.
+func (o *options) cloudConfig(logger *log.Logger) cloud.Config {
+	kernelMode, _ := search.ParseKernelMode(o.kernel)
+	return cloud.Config{
+		Search:         search.Params{Kernel: kernelMode},
+		HorizonSeconds: o.horizon,
+		Workers:        o.workers,
+		MaxBatch:       o.maxBatch,
+		BatchWindow:    o.batchWindow,
+		CacheSize:      o.cacheSize,
+		TenantRate:     o.tenantRate,
+		TenantBurst:    o.tenantBurst,
+		ShedQueue:      o.shedQueue,
+		DefaultTenant:  o.defTenant,
+		Logger:         logger,
+	}
+}
+
+func main() {
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the flag package already printed the problem
+	}
+	logger := log.New(os.Stderr, "emap-cloud: ", log.LstdFlags)
+	if err := o.validate(); err != nil {
+		logger.Fatal(err)
+	}
+
 	// Every fatal exit below routes through stopProfiles first:
 	// logger.Fatal skips deferred functions (os.Exit), which would
 	// otherwise leave a truncated CPU profile and no heap profile at
@@ -97,8 +180,8 @@ func main() {
 	fatal := func(v ...any) { stopProfiles(); logger.Fatal(v...) }
 	fatalf := func(format string, v ...any) { stopProfiles(); logger.Fatalf(format, v...) }
 	var cpuFile *os.File
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if o.cpuprofile != "" {
+		f, err := os.Create(o.cpuprofile)
 		if err != nil {
 			logger.Fatalf("-cpuprofile: %v", err)
 		}
@@ -107,19 +190,19 @@ func main() {
 		}
 		cpuFile = f
 	}
-	if cpuFile != nil || *memprofile != "" {
+	if cpuFile != nil || o.memprofile != "" {
 		var once sync.Once
 		stopProfiles = func() {
 			once.Do(func() {
 				if cpuFile != nil {
 					pprof.StopCPUProfile()
 					cpuFile.Close()
-					logger.Printf("CPU profile written to %s", *cpuprofile)
+					logger.Printf("CPU profile written to %s", o.cpuprofile)
 				}
-				if *memprofile == "" {
+				if o.memprofile == "" {
 					return
 				}
-				f, err := os.Create(*memprofile)
+				f, err := os.Create(o.memprofile)
 				if err != nil {
 					logger.Printf("-memprofile: %v", err)
 					return
@@ -130,13 +213,13 @@ func main() {
 					logger.Printf("-memprofile: %v", err)
 					return
 				}
-				logger.Printf("heap profile written to %s", *memprofile)
+				logger.Printf("heap profile written to %s", o.memprofile)
 			})
 		}
 		defer stopProfiles()
 	}
 
-	reg, err := mdb.NewRegistry(*storeDir, *maxTenants)
+	reg, err := mdb.NewRegistry(o.storeDir, o.maxTenants)
 	if err != nil {
 		fatal(err)
 	}
@@ -146,54 +229,43 @@ func main() {
 	// An explicit -mdb still wins (the operator asked for it).
 	persisted := false
 	for _, id := range reg.ListStored() {
-		if id == *defTenant {
+		if id == o.defTenant {
 			persisted = true
 		}
 	}
 	switch {
-	case *snapshot != "" && *empty:
-		fatal("-mdb and -empty conflict; pass one")
-	case persisted && *snapshot == "":
-		logger.Printf("default tenant %q will lazy-load from %s", *defTenant, *storeDir)
-	case *empty:
-		logger.Printf("default tenant %q starts empty; awaiting ingest", *defTenant)
+	case persisted && o.snapshot == "":
+		logger.Printf("default tenant %q will lazy-load from %s", o.defTenant, o.storeDir)
+	case o.empty:
+		logger.Printf("default tenant %q starts empty; awaiting ingest", o.defTenant)
 	default:
 		var store *emap.Store
-		if *snapshot != "" {
-			store, err = mdb.LoadFile(*snapshot)
+		if o.snapshot != "" {
+			store, err = mdb.LoadFile(o.snapshot)
 			if err != nil {
-				fatalf("loading %s: %v", *snapshot, err)
+				fatalf("loading %s: %v", o.snapshot, err)
 			}
-			logger.Printf("loaded %s", *snapshot)
+			logger.Printf("loaded %s", o.snapshot)
 		} else {
-			logger.Printf("building synthetic mega-database (seed %d, %d per corpus)…", *seed, *per)
-			store, err = emap.BuildMDBFromCorpora(emap.NewGenerator(*seed), *per)
+			logger.Printf("building synthetic mega-database (seed %d, %d per corpus)…", o.seed, o.per)
+			store, err = emap.BuildMDBFromCorpora(emap.NewGenerator(o.seed), o.per)
 			if err != nil {
 				fatalf("building store: %v", err)
 			}
 		}
 		normal, anomalous := store.LabelCounts()
 		logger.Printf("default tenant %q: %d signal-sets (%d normal / %d anomalous)",
-			*defTenant, store.NumSets(), normal, anomalous)
-		if err := reg.Adopt(*defTenant, store); err != nil {
+			o.defTenant, store.NumSets(), normal, anomalous)
+		if err := reg.Adopt(o.defTenant, store); err != nil {
 			fatal(err)
 		}
 	}
 	if stored := reg.ListStored(); len(stored) > 0 {
-		logger.Printf("%d tenant snapshots available in %s", len(stored), *storeDir)
+		logger.Printf("%d tenant snapshots available in %s", len(stored), o.storeDir)
 	}
 
-	cfg := cloud.Config{
-		Search:         search.Params{Kernel: kernelMode},
-		HorizonSeconds: *horizon,
-		Workers:        *workers,
-		MaxBatch:       *maxBatch,
-		BatchWindow:    *batchWindow,
-		CacheSize:      *cacheSize,
-		DefaultTenant:  *defTenant,
-		Logger:         logger,
-	}
-	l, err := net.Listen("tcp", *addr)
+	cfg := o.cloudConfig(logger)
+	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		fatal(err)
 	}
@@ -206,13 +278,13 @@ func main() {
 	}
 	var svc service
 	var eng *cloud.Engine
-	if *nodeID != "" {
-		peerAddr := *advertise
+	if o.nodeID != "" {
+		peerAddr := o.advertise
 		if peerAddr == "" {
 			peerAddr = l.Addr().String()
 		}
 		node, err := cluster.NewNode(reg, cluster.NodeConfig{
-			ID:     *nodeID,
+			ID:     o.nodeID,
 			Addr:   peerAddr,
 			Cloud:  cfg,
 			Logger: logger,
@@ -221,7 +293,7 @@ func main() {
 			fatal(err)
 		}
 		svc, eng = node, node.Engine()
-		fmt.Printf("emap-cloud node %q listening on %s (peers dial %s)\n", *nodeID, l.Addr(), peerAddr)
+		fmt.Printf("emap-cloud node %q listening on %s (peers dial %s)\n", o.nodeID, l.Addr(), peerAddr)
 	} else {
 		srv, err := cloud.NewRegistryServer(reg, cfg)
 		if err != nil {
@@ -231,19 +303,52 @@ func main() {
 		fmt.Printf("emap-cloud listening on %s\n", l.Addr())
 	}
 
-	// persistTenants flushes every open store to -store-dir; it runs on
-	// every exit path that may hold ingested data — the clean drain AND
-	// a listener that dies under the process — so a fatal Accept error
-	// cannot discard what edges already pushed.
+	if o.httpAddr != "" {
+		obsReg := obs.NewRegistry()
+		obsReg.Register(obs.CloudCollector(eng))
+		obsReg.Register(obs.RuntimeCollector())
+		metricsSrv, err := obs.Serve(o.httpAddr, obsReg)
+		if err != nil {
+			fatalf("-http: %v", err)
+		}
+		defer metricsSrv.Close()
+		logger.Printf("metrics on http://%s/metrics", metricsSrv.Addr())
+	}
+
+	// persistTenants flushes every open store to -store-dir;
+	// finalMetrics emits the end-of-life serving summary. Both run on
+	// every exit path — the clean drain AND a listener that dies under
+	// the process — so a fatal Accept error neither discards what
+	// edges already pushed nor swallows the run's metrics.
 	persistTenants := func() {
-		if *storeDir == "" {
+		if o.storeDir == "" {
 			return
 		}
 		if err := reg.Close(); err != nil {
 			logger.Printf("persisting tenants: %v", err)
 		} else {
-			logger.Printf("tenant stores persisted to %s", *storeDir)
+			logger.Printf("tenant stores persisted to %s", o.storeDir)
 		}
+	}
+	finalMetrics := func() {
+		tenants := eng.Tenants()
+		sort.Strings(tenants)
+		for _, id := range tenants {
+			if m := eng.MetricsFor(id); m != nil {
+				s := m.Snapshot()
+				logger.Printf("tenant %q: %d requests, %d ingests (+%d sets), cache %d/%d, %d batches (mean %.2f)",
+					id, s.Requests, s.Ingests, s.IngestedSets,
+					s.CacheHits, s.CacheHits+s.CacheMisses,
+					s.Batches, s.BatchSizeMean)
+			}
+		}
+		s := eng.Metrics.Snapshot()
+		logger.Printf("served %d requests (%d errors, mean latency %v, peak in-flight %d)",
+			s.Requests, s.Errors, s.MeanLatency, s.PeakInFlight)
+		logger.Printf("admission: %d rate-limited, %d shed (backlog now %d)",
+			s.RateLimited, s.Shed, s.SearchBacklog)
+		logger.Printf("scan amortization: %d batches (mean size %.2f), cache %d hits / %d misses",
+			s.Batches, s.BatchSizeMean, s.CacheHits, s.CacheMisses)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -253,34 +358,20 @@ func main() {
 	select {
 	case err := <-serveDone:
 		if err != nil {
+			finalMetrics()
 			persistTenants()
 			fatal(err)
 		}
 	case <-ctx.Done():
 		stop()
-		logger.Printf("signal received; draining (≤%v)…", *drain)
-		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		logger.Printf("signal received; draining (≤%v)…", o.drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 		defer cancel()
 		if err := svc.Shutdown(drainCtx); err != nil {
 			logger.Printf("forced shutdown: %v", err)
 		}
 		<-serveDone
 	}
-	tenants := eng.Tenants()
-	sort.Strings(tenants)
-	for _, id := range tenants {
-		if m := eng.MetricsFor(id); m != nil {
-			logger.Printf("tenant %q: %d requests, %d ingests (+%d sets), cache %d/%d, %d batches (mean %.2f)",
-				id, m.Requests.Load(), m.Ingests.Load(), m.IngestedSets.Load(),
-				m.CacheHits.Load(), m.CacheHits.Load()+m.CacheMisses.Load(),
-				m.Batches.Load(), m.BatchSizeMean())
-		}
-	}
-	logger.Printf("served %d requests (%d errors, mean latency %v, peak in-flight %d)",
-		eng.Metrics.Requests.Load(), eng.Metrics.Errors.Load(),
-		eng.Metrics.MeanLatency(), eng.Metrics.PeakInFlight.Load())
-	logger.Printf("scan amortization: %d batches (mean size %.2f), cache %d hits / %d misses",
-		eng.Metrics.Batches.Load(), eng.Metrics.BatchSizeMean(),
-		eng.Metrics.CacheHits.Load(), eng.Metrics.CacheMisses.Load())
+	finalMetrics()
 	persistTenants()
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFlagsDefaults(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":7300" || o.kernel != "auto" || o.defTenant != "default" {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	if o.drain != 10*time.Second || o.httpAddr != "" {
+		t.Fatalf("unexpected defaults: %+v", o)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatalf("default flags invalid: %v", err)
+	}
+}
+
+func TestParseFlagsFull(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-addr", ":1234", "-workers", "3", "-kernel", "fft",
+		"-rate", "12.5", "-burst", "20", "-shed-queue", "64",
+		"-http", ":9300", "-tenant", "icu", "-cache", "-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.cloudConfig(nil)
+	if cfg.Workers != 3 || cfg.TenantRate != 12.5 || cfg.TenantBurst != 20 ||
+		cfg.ShedQueue != 64 || cfg.DefaultTenant != "icu" || cfg.CacheSize != -1 {
+		t.Fatalf("flags not mapped onto config: %+v", cfg)
+	}
+	if o.httpAddr != ":9300" {
+		t.Fatalf("-http not parsed: %+v", o)
+	}
+}
+
+func TestParseFlagsBadFlag(t *testing.T) {
+	if _, err := parseFlags([]string{"-no-such-flag"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if _, err := parseFlags([]string{"-workers", "many"}); err == nil {
+		t.Fatal("non-numeric -workers accepted")
+	}
+}
+
+func TestValidateRejectsBadKernel(t *testing.T) {
+	o, err := parseFlags([]string{"-kernel", "quantum"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = o.validate()
+	if err == nil || !strings.Contains(err.Error(), "-kernel") {
+		t.Fatalf("bad kernel not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsMDBEmptyConflict(t *testing.T) {
+	o, err := parseFlags([]string{"-mdb", "x.snap", "-empty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err == nil {
+		t.Fatal("-mdb with -empty accepted")
+	}
+}

@@ -11,11 +11,12 @@
 //
 //	emap-router [-addr :7400] [-drain 10s]
 //	            -nodes id1=host:port,id2=host:port[,...]
-//	            [-vnodes 64]
+//	            [-vnodes 64] [-http :9400]
 //
 // Each -nodes entry is a stable node ID and the address the router
 // dials; IDs determine ring placement and must match each node's
-// -node flag.
+// -node flag. -http starts the observability endpoint (/metrics in
+// Prometheus text format, /healthz).
 package main
 
 import (
@@ -31,8 +32,34 @@ import (
 	"time"
 
 	"emap/internal/cluster"
+	"emap/internal/obs"
 	"emap/internal/proto"
 )
+
+// options is the parsed flag set — separated from main so the
+// flag-to-config path is testable without spawning the process.
+type options struct {
+	addr     string
+	nodes    string
+	vnodes   int
+	drain    time.Duration
+	httpAddr string
+}
+
+// parseFlags parses an emap-router argument list.
+func parseFlags(args []string) (*options, error) {
+	o := &options{}
+	fs := flag.NewFlagSet("emap-router", flag.ContinueOnError)
+	fs.StringVar(&o.addr, "addr", ":7400", "listen address for edges")
+	fs.StringVar(&o.nodes, "nodes", "", "cluster members as id=host:port, comma separated")
+	fs.IntVar(&o.vnodes, "vnodes", cluster.DefaultVirtualNodes, "virtual nodes per member on the hash ring")
+	fs.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	fs.StringVar(&o.httpAddr, "http", "", "observability endpoint address serving /metrics and /healthz (empty: disabled)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
 
 // parseNodes turns "a=h:p,b=h:p" into ring members.
 func parseNodes(s string) ([]proto.RingNode, error) {
@@ -55,20 +82,18 @@ func parseNodes(s string) ([]proto.RingNode, error) {
 }
 
 func main() {
-	addr := flag.String("addr", ":7400", "listen address for edges")
-	nodesFlag := flag.String("nodes", "", "cluster members as id=host:port, comma separated")
-	vnodes := flag.Int("vnodes", cluster.DefaultVirtualNodes, "virtual nodes per member on the hash ring")
-	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
-	flag.Parse()
-
+	o, err := parseFlags(os.Args[1:])
+	if err != nil {
+		os.Exit(2) // the flag package already printed the problem
+	}
 	logger := log.New(os.Stderr, "emap-router: ", log.LstdFlags)
-	members, err := parseNodes(*nodesFlag)
+	members, err := parseNodes(o.nodes)
 	if err != nil {
 		logger.Fatal(err)
 	}
 
 	router := cluster.NewRouter(cluster.RouterConfig{
-		VirtualNodes: *vnodes,
+		VirtualNodes: o.vnodes,
 		Logger:       logger,
 	})
 	seedCtx, cancelSeed := context.WithTimeout(context.Background(), 2*time.Minute)
@@ -80,13 +105,34 @@ func main() {
 	}
 	cancelSeed()
 
-	l, err := net.Listen("tcp", *addr)
+	l, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		logger.Fatal(err)
 	}
 	fmt.Printf("emap-router listening on %s, %d nodes on the ring\n", l.Addr(), router.Ring().Len())
 	for _, n := range router.Ring().Nodes() {
 		logger.Printf("ring member %s at %s", n.ID, n.Addr)
+	}
+
+	if o.httpAddr != "" {
+		obsReg := obs.NewRegistry()
+		obsReg.Register(obs.RouterCollector(router))
+		obsReg.Register(obs.RuntimeCollector())
+		metricsSrv, err := obs.Serve(o.httpAddr, obsReg)
+		if err != nil {
+			logger.Fatalf("-http: %v", err)
+		}
+		defer metricsSrv.Close()
+		logger.Printf("metrics on http://%s/metrics", metricsSrv.Addr())
+	}
+
+	// finalMetrics runs on every exit path — a fatal accept error must
+	// not swallow the routing totals.
+	finalMetrics := func() {
+		s := router.Metrics.Snapshot()
+		rs := router.Routing.Snapshot()
+		logger.Printf("routed %d requests (%d errors, %d moved-retries, %d node failures)",
+			s.Requests, s.Errors, rs.MovedRetries, rs.NodeFailures)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -96,19 +142,18 @@ func main() {
 	select {
 	case err := <-serveDone:
 		if err != nil {
+			finalMetrics()
 			logger.Fatal(err)
 		}
 	case <-ctx.Done():
 		stop()
-		logger.Printf("signal received; draining (≤%v)…", *drain)
-		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		logger.Printf("signal received; draining (≤%v)…", o.drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), o.drain)
 		defer cancel()
 		if err := router.Shutdown(drainCtx); err != nil {
 			logger.Printf("forced shutdown: %v", err)
 		}
 		<-serveDone
 	}
-	logger.Printf("routed %d requests (%d errors, %d moved-retries, %d node failures)",
-		router.Metrics.Requests.Load(), router.Metrics.Errors.Load(),
-		router.Routing.MovedRetries.Load(), router.Routing.NodeFailures.Load())
+	finalMetrics()
 }

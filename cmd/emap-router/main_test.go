@@ -1,0 +1,46 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseNodes(t *testing.T) {
+	members, err := parseNodes("a=host1:7301, b=host2:7302,,c=host3:7303")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 3 {
+		t.Fatalf("parsed %d members, want 3", len(members))
+	}
+	if members[0].ID != "a" || members[0].Addr != "host1:7301" {
+		t.Fatalf("first member wrong: %+v", members[0])
+	}
+	if members[1].ID != "b" || members[1].Addr != "host2:7302" {
+		t.Fatalf("whitespace not trimmed: %+v", members[1])
+	}
+}
+
+func TestParseNodesErrors(t *testing.T) {
+	for _, s := range []string{"", "   ", "a", "=host:1", "a=", "a=h:1,b"} {
+		if _, err := parseNodes(s); err == nil {
+			t.Errorf("parseNodes(%q) accepted", s)
+		}
+	}
+}
+
+func TestParseFlags(t *testing.T) {
+	o, err := parseFlags([]string{"-addr", ":9", "-nodes", "a=h:1", "-vnodes", "8", "-http", ":9400"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.addr != ":9" || o.nodes != "a=h:1" || o.vnodes != 8 || o.httpAddr != ":9400" {
+		t.Fatalf("flags not parsed: %+v", o)
+	}
+	if o.drain != 10*time.Second {
+		t.Fatalf("default drain wrong: %v", o.drain)
+	}
+	if _, err := parseFlags([]string{"-bogus"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package cloud
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission-control error codes carried by the TypeError reply. They
+// are distinct from every other code the cloud emits so clients (and
+// the fleet harness) can account refusals without parsing text.
+const (
+	// CodeRateLimited refuses a request because its tenant exhausted
+	// its token bucket (Config.TenantRate). Retrying later succeeds.
+	CodeRateLimited uint16 = 429
+	// CodeShed refuses a routine-priority upload because the search
+	// backlog passed Config.ShedQueue — the worker pool is saturated
+	// and shedding cheap-to-retry traffic keeps anomaly-priority
+	// uploads inside their latency budget.
+	CodeShed uint16 = 529
+)
+
+// tokenBucket is a classic leaky token bucket: rate tokens/second
+// refill up to burst, one token admits one request. The zero clock
+// uses real time; tests inject their own.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+	now    func() time.Time
+}
+
+func newTokenBucket(rate float64, burst int, now func() time.Time) *tokenBucket {
+	if now == nil {
+		now = time.Now
+	}
+	b := float64(burst)
+	if b < 1 {
+		// A burst below one token could never admit anything; the
+		// default also gives quiet tenants one second of headroom.
+		b = rate
+		if b < 8 {
+			b = 8
+		}
+	}
+	t := now()
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: t, now: now}
+}
+
+// allow consumes one token if available.
+func (b *tokenBucket) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// admit runs tenant t's token bucket for one request; a false return
+// means the request must be refused with CodeRateLimited. Both
+// refusal counters (registry-wide and per-tenant) are bumped here so
+// every caller surfaces the refusal in /metrics the same way.
+func (e *Engine) admit(t *tenant) bool {
+	if t.limiter == nil || t.limiter.allow() {
+		return true
+	}
+	e.Metrics.RateLimited.Add(1)
+	t.metrics.RateLimited.Add(1)
+	return false
+}
+
+// shedRoutine reports whether a routine-priority upload must be shed:
+// the search backlog (uploads queued for or occupying the worker
+// pool) has reached Config.ShedQueue. Anomaly-priority uploads are
+// never shed — the point of shedding is to keep them fast.
+func (e *Engine) shedRoutine(t *tenant) bool {
+	if e.cfg.ShedQueue <= 0 {
+		return false
+	}
+	if e.Metrics.SearchBacklog.Load() < int64(e.cfg.ShedQueue) {
+		return false
+	}
+	e.Metrics.Shed.Add(1)
+	t.metrics.Shed.Add(1)
+	return true
+}

@@ -1,0 +1,273 @@
+package cloud
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emap/internal/proto"
+)
+
+// fakeClock is a manually advanced time source for token-bucket tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestTokenBucketRefill(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTokenBucket(2, 3, clk.now) // 2 tokens/s, burst 3
+
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("4th immediate request admitted past the burst")
+	}
+	clk.advance(500 * time.Millisecond) // +1 token
+	if !b.allow() {
+		t.Fatal("refilled token refused")
+	}
+	if b.allow() {
+		t.Fatal("admitted with an empty bucket")
+	}
+	clk.advance(time.Hour) // refill caps at burst
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("post-cap token %d refused", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("burst cap not enforced after a long idle stretch")
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	b := newTokenBucket(0.5, 0, clk.now)
+	// A fractional rate with no explicit burst still gets the floor
+	// of 8 tokens, so quiet tenants are never refused on a burst.
+	for i := 0; i < 8; i++ {
+		if !b.allow() {
+			t.Fatalf("floor-burst token %d refused", i)
+		}
+	}
+	if b.allow() {
+		t.Fatal("9th token admitted past the floor burst")
+	}
+}
+
+// uploadFrame builds a v3 upload frame for in-process ServeFrame calls.
+func uploadFrame(seq uint32, priority uint8) proto.Frame {
+	window := make([]int16, 256)
+	for i := range window {
+		window[i] = int16(7*i%251 - 125)
+	}
+	return proto.Frame{
+		Version: proto.Version3,
+		Type:    proto.TypeUpload,
+		ID:      seq,
+		Payload: proto.EncodeUpload(&proto.Upload{Seq: seq, Scale: 1, Samples: window, Priority: priority}),
+	}
+}
+
+// TestTenantRateLimited: a tenant that exhausts its token bucket gets
+// CodeRateLimited refusals, surfaced in both the registry-wide and the
+// per-tenant counters; an untouched tenant is unaffected.
+func TestTenantRateLimited(t *testing.T) {
+	srv, err := NewServer(nil, Config{
+		Workers:     2,
+		TenantRate:  0.001, // effectively no refill within the test
+		TenantBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	for i := uint32(0); i < 2; i++ {
+		typ, payload := srv.ServeFrame(uploadFrame(i, proto.PriRoutine))
+		if typ != proto.TypeCorrSet {
+			em, _ := proto.DecodeError(payload)
+			t.Fatalf("upload %d inside the burst refused: type %d (%v)", i, typ, em)
+		}
+	}
+	typ, payload := srv.ServeFrame(uploadFrame(2, proto.PriRoutine))
+	if typ != proto.TypeError {
+		t.Fatalf("3rd upload admitted past the burst (type %d)", typ)
+	}
+	em, err := proto.DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Code != CodeRateLimited {
+		t.Fatalf("refusal code %d, want %d", em.Code, CodeRateLimited)
+	}
+	if got := srv.Metrics.RateLimited.Load(); got != 1 {
+		t.Fatalf("registry-wide RateLimited = %d, want 1", got)
+	}
+	tm := srv.MetricsFor("")
+	if tm == nil || tm.RateLimited.Load() != 1 {
+		t.Fatalf("per-tenant RateLimited missing: %+v", tm)
+	}
+	// Another tenant owns its own bucket: it is admitted even while
+	// the default tenant is refused.
+	other := uploadFrame(3, proto.PriRoutine)
+	other.Tenant = "ward-2"
+	if typ, _ := srv.ServeFrame(other); typ != proto.TypeCorrSet {
+		t.Fatalf("fresh tenant refused (type %d); buckets are not per-tenant", typ)
+	}
+	// Rate-limit refusals are admission decisions, not server errors.
+	if got := srv.Metrics.Errors.Load(); got != 0 {
+		t.Fatalf("rate limiting counted %d server errors", got)
+	}
+}
+
+// TestSaturationShedsRoutineKeepsAnomaly is the admission-control SLO
+// test: with the search backlog saturated, routine-priority uploads
+// are shed with CodeShed while an anomaly-priority upload is served,
+// promptly. Deterministic: saturation is built from uploads held
+// in-flight by the search hook, not from timing.
+func TestSaturationShedsRoutineKeepsAnomaly(t *testing.T) {
+	const shedQueue = 2
+	srv, err := NewServer(nil, Config{
+		Workers:   1,
+		ShedQueue: shedQueue,
+		CacheSize: -1, // every upload must reach the backlog
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	gate := make(chan struct{})
+	entered := make(chan uint8, 8)
+	srv.backlogHook = func(u *proto.Upload) {
+		entered <- u.Priority
+		if u.Priority == proto.PriRoutine {
+			<-gate // pin routine uploads inside the backlog
+		}
+	}
+
+	// Saturate: shedQueue routine uploads enter the backlog and park.
+	var wg sync.WaitGroup
+	for i := 0; i < shedQueue; i++ {
+		wg.Add(1)
+		go func(seq uint32) {
+			defer wg.Done()
+			if typ, _ := srv.ServeFrame(uploadFrame(seq, proto.PriRoutine)); typ != proto.TypeCorrSet {
+				t.Errorf("parked upload %d failed (type %d)", seq, typ)
+			}
+		}(uint32(i))
+	}
+	for i := 0; i < shedQueue; i++ {
+		if pri := <-entered; pri != proto.PriRoutine {
+			t.Fatalf("saturating upload entered with priority %d", pri)
+		}
+	}
+
+	// A routine upload now sheds immediately instead of queueing.
+	typ, payload := srv.ServeFrame(uploadFrame(100, proto.PriRoutine))
+	if typ != proto.TypeError {
+		t.Fatalf("routine upload served under saturation (type %d)", typ)
+	}
+	if em, err := proto.DecodeError(payload); err != nil || em.Code != CodeShed {
+		t.Fatalf("shed reply = %v / %v, want code %d", em, err, CodeShed)
+	}
+
+	// An anomaly-priority upload is admitted and answered while the
+	// backlog is still pinned: shedding exists to protect exactly this
+	// request's latency.
+	start := time.Now()
+	typ, _ = srv.ServeFrame(uploadFrame(101, proto.PriAnomaly))
+	if typ != proto.TypeCorrSet {
+		t.Fatalf("anomaly upload refused under saturation (type %d)", typ)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Fatalf("anomaly upload took %v with the pool saturated", d)
+	}
+	if pri := <-entered; pri != proto.PriAnomaly {
+		t.Fatalf("expected the anomaly upload in the backlog, saw priority %d", pri)
+	}
+
+	if got := srv.Metrics.Shed.Load(); got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+	if tm := srv.MetricsFor(""); tm == nil || tm.Shed.Load() != 1 {
+		t.Fatal("per-tenant Shed not counted")
+	}
+
+	close(gate)
+	wg.Wait()
+}
+
+// TestMetricsSnapshotRaceSafe hammers Metrics.Snapshot and MetricsFor
+// reads while live traffic mutates every counter; the race detector
+// (CI runs -race) proves the snapshot path is synchronization-clean.
+func TestMetricsSnapshotRaceSafe(t *testing.T) {
+	srv, err := NewServer(nil, Config{Workers: 2, TenantRate: 50, ShedQueue: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := []string{"", "ward-1"}[w%2]
+			for seq := uint32(0); !stop.Load(); seq++ {
+				f := uploadFrame(seq, uint8(seq%2))
+				f.Tenant = tenant
+				srv.ServeFrame(f)
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				snap := srv.Metrics.Snapshot()
+				if snap.Requests < 0 || snap.SearchBacklog < 0 {
+					t.Error("impossible snapshot values")
+					return
+				}
+				if tm := srv.MetricsFor("ward-1"); tm != nil {
+					tm.Snapshot()
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond)
+	stop.Store(true)
+	wg.Wait()
+
+	// Registry-wide Requests is the transport's counter; in-process
+	// ServeFrame traffic shows up in the per-tenant snapshots.
+	tm := srv.MetricsFor("")
+	if tm == nil || tm.Snapshot().Requests == 0 {
+		t.Fatal("no traffic flowed during the race window")
+	}
+	snap := srv.Metrics.Snapshot()
+	if snap.MeanLatency < 0 || snap.BatchSizeMean < 0 {
+		t.Fatalf("derived snapshot figures broken: %+v", snap)
+	}
+}

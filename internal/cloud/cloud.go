@@ -95,6 +95,20 @@ type Config struct {
 	// CacheSize bounds each tenant's correlation-set cache in
 	// entries (default 256). Negative disables caching.
 	CacheSize int
+	// TenantRate admits at most this many requests per second per
+	// tenant (token bucket; refusals answer CodeRateLimited). 0
+	// disables per-tenant rate limiting.
+	TenantRate float64
+	// TenantBurst is the token-bucket depth when TenantRate is set
+	// (default max(8, TenantRate): one second of headroom).
+	TenantBurst int
+	// ShedQueue enables load shedding: when this many uploads are
+	// queued for or occupying the worker pool, further
+	// routine-priority uploads are refused with CodeShed instead of
+	// queueing behind the backlog; anomaly-priority uploads (see
+	// proto.PriAnomaly) and cache hits are always served. 0 disables
+	// shedding.
+	ShedQueue int
 	// DefaultTenant is the tenant that v1/v2 peers and tenant-less
 	// v3 frames land on (default "default").
 	DefaultTenant string
@@ -178,6 +192,69 @@ type Metrics struct {
 	// IngestedSets counts the signal-sets they produced.
 	Ingests      atomic.Int64
 	IngestedSets atomic.Int64
+	// SearchBacklog is the number of uploads currently queued for or
+	// occupying the worker pool (cache hits never enter it); it is
+	// the saturation signal admission control sheds on.
+	SearchBacklog atomic.Int64
+	// RateLimited counts requests refused by the per-tenant token
+	// bucket (CodeRateLimited); Shed counts routine-priority uploads
+	// refused under saturation (CodeShed).
+	RateLimited atomic.Int64
+	Shed        atomic.Int64
+}
+
+// MetricsSnapshot is a plain-value copy of a Metrics, taken field by
+// field with atomic loads — the race-safe way to read the whole
+// struct at once (individual counters may still advance between
+// loads; no field is ever torn).
+type MetricsSnapshot struct {
+	Connections     int64
+	Requests        int64
+	Errors          int64
+	InFlight        int64
+	PeakInFlight    int64
+	SearchBacklog   int64
+	RateLimited     int64
+	Shed            int64
+	Batches         int64
+	BatchedRequests int64
+	CacheHits       int64
+	CacheMisses     int64
+	Evaluations     int64
+	Ingests         int64
+	IngestedSets    int64
+	// MeanLatency and BatchSizeMean are the derived figures of the
+	// same-named methods, computed from the snapshot's own loads.
+	MeanLatency   time.Duration
+	BatchSizeMean float64
+}
+
+// Snapshot returns a race-safe copy of every counter and gauge.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Connections:     m.Connections.Load(),
+		Requests:        m.Requests.Load(),
+		Errors:          m.Errors.Load(),
+		InFlight:        m.InFlight.Load(),
+		PeakInFlight:    m.PeakInFlight.Load(),
+		SearchBacklog:   m.SearchBacklog.Load(),
+		RateLimited:     m.RateLimited.Load(),
+		Shed:            m.Shed.Load(),
+		Batches:         m.Batches.Load(),
+		BatchedRequests: m.BatchedRequests.Load(),
+		CacheHits:       m.CacheHits.Load(),
+		CacheMisses:     m.CacheMisses.Load(),
+		Evaluations:     m.Evaluations.Load(),
+		Ingests:         m.Ingests.Load(),
+		IngestedSets:    m.IngestedSets.Load(),
+	}
+	if nanos := m.RequestNanos.Load(); s.Requests > 0 {
+		s.MeanLatency = time.Duration(nanos / s.Requests)
+	}
+	if s.Batches > 0 {
+		s.BatchSizeMean = float64(s.BatchedRequests) / float64(s.Batches)
+	}
+	return s
 }
 
 // MeanLatency returns the mean per-request service time.

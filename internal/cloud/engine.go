@@ -34,8 +34,12 @@ type Engine struct {
 
 	// searchHook, when set, runs on the request path after decoding,
 	// before the cache and the batching collector — tests use it to
-	// hold requests in flight.
-	searchHook func(*proto.Upload)
+	// hold requests in flight. backlogHook runs later, inside the
+	// search backlog window (after admission and the cache, before
+	// the batching collector) — a request held there counts as
+	// backlog, so shedding is testable deterministically.
+	searchHook  func(*proto.Upload)
+	backlogHook func(*proto.Upload)
 
 	// Metrics exposes registry-wide request counters and gauges;
 	// MetricsFor exposes the per-tenant breakdown. The transport
@@ -198,6 +202,10 @@ func (e *Engine) serveUpload(frame proto.Frame) (proto.MsgType, []byte) {
 	}
 	t.metrics.Requests.Add(1)
 	defer func() { t.metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
+	if !e.admit(t) {
+		return proto.TypeError, errorPayload(CodeRateLimited,
+			fmt.Sprintf("tenant %q over its admission rate; retry later", t.id))
+	}
 	p := &pending{window: proto.Dequantize(upload.Samples, upload.Scale)}
 	hit := false
 	if t.cache != nil {
@@ -216,7 +224,21 @@ func (e *Engine) serveUpload(frame proto.Frame) (proto.MsgType, []byte) {
 		}
 	}
 	if !hit {
+		// The backlog gauge covers the whole queued-or-scanning
+		// stretch; admission sheds routine uploads against it before
+		// they join the queue, so a saturated pool stays a bounded
+		// queue instead of an unbounded one. Cache hits never get
+		// here — they cost no scan and are always served.
+		if upload.Priority == proto.PriRoutine && e.shedRoutine(t) {
+			return proto.TypeError, errorPayload(CodeShed,
+				"server saturated; routine upload shed, retry with backoff")
+		}
+		e.Metrics.SearchBacklog.Add(1)
+		if e.backlogHook != nil {
+			e.backlogHook(upload)
+		}
 		e.dispatch(t, p)
+		e.Metrics.SearchBacklog.Add(-1)
 	}
 	if p.err != nil {
 		e.Metrics.Errors.Add(1)
@@ -244,6 +266,12 @@ func (e *Engine) serveIngest(frame proto.Frame) (proto.MsgType, []byte) {
 	}
 	t.metrics.Requests.Add(1)
 	defer func() { t.metrics.RequestNanos.Add(time.Since(start).Nanoseconds()) }()
+	// Ingests draw from the same per-tenant token bucket as uploads:
+	// admission is per request, whatever the work behind it.
+	if !e.admit(t) {
+		return proto.TypeError, errorPayload(CodeRateLimited,
+			fmt.Sprintf("tenant %q over its admission rate; retry later", t.id))
+	}
 	// Inserts share the search worker pool: the copy-on-write view
 	// rebuild and the SlidingStats construction are CPU/memory work
 	// just like a scan, and must stay bounded however many

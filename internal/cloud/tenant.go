@@ -26,7 +26,8 @@ type tenant struct {
 	store    *mdb.Store
 	searcher *search.Searcher
 	engine   *kernel.Engine
-	cache    *corrCache // nil when caching is disabled
+	cache    *corrCache   // nil when caching is disabled
+	limiter  *tokenBucket // nil when rate limiting is disabled
 
 	batchMu sync.Mutex
 	forming *batchGroup // open batch accepting same-tenant joiners
@@ -52,6 +53,9 @@ func newTenant(id string, store *mdb.Store, cfg Config) *tenant {
 	}
 	if cfg.CacheSize > 0 {
 		t.cache = newCorrCache(cfg.CacheSize)
+	}
+	if cfg.TenantRate > 0 {
+		t.limiter = newTokenBucket(cfg.TenantRate, cfg.TenantBurst, nil)
 	}
 	return t
 }

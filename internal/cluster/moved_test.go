@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"emap/internal/cloud"
+	"emap/internal/edge"
+	"emap/internal/proto"
+)
+
+// bouncer is a fake cluster node built on the bare transport: it acks
+// ring pushes (so SetNodes succeeds) and answers every tenant request
+// with MOVED to a configurable address — a forwarding window that
+// never closes. Two bouncers pointed at each other give the router a
+// permanently stale ring; one pointed at itself gives an edge client a
+// redirect loop. Either way the hop limits, not timing, must end the
+// chase.
+type bouncer struct {
+	tr    *cloud.Transport
+	l     net.Listener
+	addr  string
+	next  atomic.Value // string: where MOVED sends the caller
+	moved atomic.Int64
+}
+
+func (b *bouncer) ServeFrame(f proto.Frame) (proto.MsgType, []byte) {
+	switch f.Type {
+	case proto.TypeRing:
+		g, err := proto.DecodeRing(f.Payload)
+		if err != nil {
+			return errReply(400, "bouncer: bad ring push: %v", err)
+		}
+		return proto.TypeRingAck, proto.EncodeRingAck(&proto.RingAck{Epoch: g.Epoch})
+	default:
+		b.moved.Add(1)
+		return proto.TypeMoved, proto.EncodeMoved(&proto.Moved{
+			Tenant: f.Tenant, Addr: b.next.Load().(string)})
+	}
+}
+
+func startBouncer(t testing.TB) *bouncer {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := &bouncer{l: l, addr: l.Addr().String()}
+	b.next.Store(b.addr) // default: a self-loop
+	b.tr = cloud.NewTransport(b, cloud.TransportConfig{})
+	go b.tr.Serve(l)
+	t.Cleanup(func() { b.tr.Close() })
+	return b
+}
+
+// staleUpload builds a well-formed v3 upload frame for the bouncers to
+// bounce; its content never gets decoded.
+func staleUpload(tenant string) proto.Frame {
+	counts, scale := proto.Quantize(make([]float64, 256))
+	return proto.Frame{
+		Version: proto.Version3,
+		Type:    proto.TypeUpload,
+		ID:      1,
+		Tenant:  tenant,
+		Payload: proto.EncodeUpload(&proto.Upload{Seq: 1, Scale: scale, Samples: counts}),
+	}
+}
+
+// TestRouterMovedHopLimit wedges the router's ring permanently stale:
+// both "nodes" disclaim every tenant and MOVED-redirect to each other,
+// so no hop can ever land. The router must burn its full hop budget —
+// movedHops+1 round trips per attempt, routeAttempts attempts — count
+// every replay in Routing.MovedRetries, and give up with a 502 rather
+// than chase the cycle forever. MOVED comes from live, answering
+// nodes, so no eviction may fire. Deterministic: every round trip gets
+// an immediate MOVED reply, so no timer ever matters.
+func TestRouterMovedHopLimit(t *testing.T) {
+	a := startBouncer(t)
+	b := startBouncer(t)
+	a.next.Store(b.addr)
+	b.next.Store(a.addr)
+
+	router := NewRouter(RouterConfig{Retry: fastRetry()})
+	t.Cleanup(func() { router.Close() })
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := router.SetNodes(ctx, []proto.RingNode{
+		{ID: "node-a", Addr: a.addr},
+		{ID: "node-b", Addr: b.addr},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	typ, reply := router.ServeFrame(staleUpload("ward-stale"))
+	if typ != proto.TypeError {
+		t.Fatalf("stale ring answered type %d, want TypeError", typ)
+	}
+	em, err := proto.DecodeError(reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if em.Code != 502 || !strings.Contains(em.Text, "failed after") {
+		t.Fatalf("unexpected give-up reply: code %d text %q", em.Code, em.Text)
+	}
+
+	wantRetries := int64(routeAttempts * (movedHops + 1))
+	rs := router.Routing.Snapshot()
+	if rs.MovedRetries != wantRetries {
+		t.Fatalf("router replayed %d MOVED hops, want exactly %d", rs.MovedRetries, wantRetries)
+	}
+	if rs.NodeFailures != 0 {
+		t.Fatalf("%d nodes evicted — MOVED from a live node must not count as failure", rs.NodeFailures)
+	}
+	if bounced := a.moved.Load() + b.moved.Load(); bounced != wantRetries {
+		t.Fatalf("bouncers served %d MOVED replies, want %d", bounced, wantRetries)
+	}
+	if router.Ring().Len() != 2 {
+		t.Fatalf("ring shrank to %d nodes over a MOVED loop", router.Ring().Len())
+	}
+}
+
+// TestEdgeMovedLoopStopsAfterOneRedirect pins the edge client's side
+// of the same pathology: a node that redirects every request to
+// itself. The client follows exactly one MOVED (Redirects == 1), and
+// the second MOVED for the same request surfaces as the "moved again"
+// flap error instead of a third dial.
+func TestEdgeMovedLoopStopsAfterOneRedirect(t *testing.T) {
+	b := startBouncer(t) // next defaults to its own address
+
+	client, err := edge.DialTenant(b.addr, "ward-flap", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	cs, err := client.Search(ctx, make([]float64, 256))
+	if err == nil || cs != nil {
+		t.Fatalf("search through a MOVED loop returned %+v, %v; want the flap error", cs, err)
+	}
+	if !strings.Contains(err.Error(), "moved again") {
+		t.Fatalf("flap surfaced as %q, want the \"moved again\" error", err)
+	}
+	if got := client.Metrics.Snapshot().Redirects; got != 1 {
+		t.Fatalf("client followed %d redirects, want exactly 1", got)
+	}
+	if got := b.moved.Load(); got != 2 {
+		t.Fatalf("server bounced %d requests, want 2 (original + one replay)", got)
+	}
+}

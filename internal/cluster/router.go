@@ -39,6 +39,21 @@ type RouterMetrics struct {
 	NodeFailures atomic.Int64
 }
 
+// RouterMetricsSnapshot is a plain-value copy of a RouterMetrics,
+// taken with atomic loads.
+type RouterMetricsSnapshot struct {
+	MovedRetries int64
+	NodeFailures int64
+}
+
+// Snapshot returns a race-safe copy of the routing counters.
+func (m *RouterMetrics) Snapshot() RouterMetricsSnapshot {
+	return RouterMetricsSnapshot{
+		MovedRetries: m.MovedRetries.Load(),
+		NodeFailures: m.NodeFailures.Load(),
+	}
+}
+
 // Router is the coordinator the edge dials. It speaks the same wire
 // protocol as a single cloud server — edges need no cluster awareness
 // beyond their existing v3 tenant frames — and proxies every request

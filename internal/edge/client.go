@@ -69,6 +69,13 @@ type ClientOptions struct {
 	// (with Redial pacing) instead of being discovered by the next
 	// search. Metrics counts the probes.
 	Keepalive time.Duration
+	// Dialer, when set, replaces the TCP dialer: every (re)connection
+	// comes from this function instead of net.Dial. The fleet
+	// harness's in-process netsim mode uses it to mint piped
+	// connections straight into a server's HandleConn — thousands of
+	// simulated devices with no sockets — while keeping the client's
+	// real reconnect/backoff machinery in the loop.
+	Dialer func(ctx context.Context) (net.Conn, error)
 }
 
 // ClientMetrics exposes the client's connection-state counters (all
@@ -93,6 +100,53 @@ type ClientMetrics struct {
 	Redirects atomic.Int64
 }
 
+// ClientMetricsSnapshot is a plain-value copy of a ClientMetrics,
+// taken with atomic loads — the race-safe way to read all counters at
+// once.
+type ClientMetricsSnapshot struct {
+	Dials             int64
+	DialFailures      int64
+	Reconnects        int64
+	ConnLost          int64
+	Keepalives        int64
+	KeepaliveFailures int64
+	Redirects         int64
+}
+
+// Snapshot returns a race-safe copy of every counter.
+func (m *ClientMetrics) Snapshot() ClientMetricsSnapshot {
+	return ClientMetricsSnapshot{
+		Dials:             m.Dials.Load(),
+		DialFailures:      m.DialFailures.Load(),
+		Reconnects:        m.Reconnects.Load(),
+		ConnLost:          m.ConnLost.Load(),
+		Keepalives:        m.Keepalives.Load(),
+		KeepaliveFailures: m.KeepaliveFailures.Load(),
+		Redirects:         m.Redirects.Load(),
+	}
+}
+
+// CloudError is a structured error reply from the cloud (TypeError on
+// the wire). Code identifies the refusal class — see the cloud tier's
+// admission codes (429 rate-limited, 529 shed) and HTTP-flavoured
+// failure codes (400/404/500/503).
+type CloudError struct {
+	Code uint16
+	Text string
+}
+
+func (e *CloudError) Error() string {
+	return fmt.Sprintf("edge: cloud error %d: %s", e.Code, e.Text)
+}
+
+// IsCloudCode reports whether err is (or wraps) a CloudError with the
+// given code — how callers distinguish an admission refusal they
+// should back off from, from a hard failure.
+func IsCloudCode(err error, code uint16) bool {
+	var ce *CloudError
+	return errors.As(err, &ce) && ce.Code == code
+}
+
 // Client is a pipelined, context-aware protocol client. Multiple
 // goroutines may call Search concurrently: on a v2+ connection every
 // request carries an ID and replies are matched as they arrive, in any
@@ -104,6 +158,7 @@ type ClientMetrics struct {
 // not shared).
 type Client struct {
 	addr           string // empty: reconnect unavailable (wrapped conn)
+	dialer         func(ctx context.Context) (net.Conn, error)
 	dialTimeout    time.Duration
 	maxVersion     uint8
 	redialAttempts int
@@ -144,6 +199,7 @@ func newClient(opts ClientOptions) *Client {
 	}
 	c := &Client{
 		tenant:         opts.Tenant,
+		dialer:         opts.Dialer,
 		maxVersion:     mv,
 		dialTimeout:    opts.DialTimeout,
 		redialAttempts: attempts,
@@ -188,6 +244,8 @@ func DialTenant(addr, tenant string, timeout time.Duration) (*Client, error) {
 }
 
 // DialOpts connects to a cloud service address with explicit options.
+// With opts.Dialer set the address may be empty: every connection is
+// minted by the dialer and the address is purely informational.
 func DialOpts(addr string, opts ClientOptions) (*Client, error) {
 	c := newClient(opts)
 	c.addr = addr
@@ -240,6 +298,14 @@ func (c *Client) keepaliveLoop() {
 
 func (c *Client) dial(ctx context.Context) (net.Conn, error) {
 	c.Metrics.Dials.Add(1)
+	if c.dialer != nil {
+		conn, err := c.dialer(ctx)
+		if err != nil {
+			c.Metrics.DialFailures.Add(1)
+			return nil, fmt.Errorf("edge: dialing cloud: %w", err)
+		}
+		return conn, nil
+	}
 	c.mu.Lock()
 	addr := c.addr
 	c.mu.Unlock()
@@ -476,6 +542,7 @@ func (c *Client) ensure(ctx context.Context) (net.Conn, uint8, error) {
 		}
 		canRedial := c.addr != ""
 		c.mu.Unlock()
+		canRedial = canRedial || c.dialer != nil
 		if lastErr == nil {
 			lastErr = errors.New("edge: no connection")
 		}
@@ -661,7 +728,7 @@ func (c *Client) Ingest(ctx context.Context, ing *proto.Ingest) (*proto.IngestAc
 			if derr != nil {
 				return nil, derr
 			}
-			return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
+			return nil, &CloudError{Code: em.Code, Text: em.Text}
 		default:
 			return nil, errors.New("edge: unexpected response type")
 		}
@@ -688,12 +755,22 @@ func (c *Client) followMoved(payload []byte, hop int) error {
 
 // Search uploads a filtered one-second window and returns the cloud's
 // signal correlation set. Concurrent calls pipeline on one connection;
-// ctx bounds the whole exchange.
+// ctx bounds the whole exchange. The upload travels at routine
+// priority; see SearchPri.
 func (c *Client) Search(ctx context.Context, window []float64) (*proto.CorrSet, error) {
+	return c.SearchPri(ctx, window, proto.PriRoutine)
+}
+
+// SearchPri uploads a window at an explicit admission priority. A
+// saturated cloud sheds proto.PriRoutine uploads (the refusal surfaces
+// as a *CloudError with the shed code) but keeps serving
+// proto.PriAnomaly ones — a device whose predictor currently flags an
+// anomaly uses it to preempt routine refreshes fleet-wide.
+func (c *Client) SearchPri(ctx context.Context, window []float64, priority uint8) (*proto.CorrSet, error) {
 	counts, scale := proto.Quantize(window)
 	for hop := 0; ; hop++ {
 		typ, resp, err := c.roundTrip(ctx, proto.TypeUpload, 0, func(id uint32) []byte {
-			return proto.EncodeUpload(&proto.Upload{Seq: id, Scale: scale, Samples: counts})
+			return proto.EncodeUpload(&proto.Upload{Seq: id, Scale: scale, Samples: counts, Priority: priority})
 		})
 		if err != nil {
 			return nil, fmt.Errorf("edge: search: %w", err)
@@ -711,7 +788,7 @@ func (c *Client) Search(ctx context.Context, window []float64) (*proto.CorrSet, 
 			if derr != nil {
 				return nil, derr
 			}
-			return nil, fmt.Errorf("edge: cloud error %d: %s", em.Code, em.Text)
+			return nil, &CloudError{Code: em.Code, Text: em.Text}
 		default:
 			return nil, errors.New("edge: unexpected response type")
 		}

@@ -374,13 +374,22 @@ func (d *Device) Push(ctx context.Context, raw []float64) (st Status, err error)
 		// Close's closed-set, so a racing Close either sees no cycle
 		// (and spawns are refused from here on) or waits for this one
 		// — never a 0→1 wg.Add concurrent with wg.Wait.
+		// Priority is decided here, on the Push goroutine: the
+		// predictor is not safe to read from the refresh cycle. A
+		// device currently flagging an anomaly — or running degraded —
+		// uploads at anomaly priority, so a saturated cloud shedding
+		// routine refreshes still answers it inside its latency SLO.
+		pri := proto.PriRoutine
+		if st.Anomalous || st.Degraded {
+			pri = proto.PriAnomaly
+		}
 		d.hmu.Lock()
 		if !d.closed {
 			d.pending = true
 			d.forceRecall = false
 			st.CloudCalled = true
 			d.wg.Add(1)
-			go d.refreshAsync(append([]float64(nil), filtered...), d.window)
+			go d.refreshAsync(append([]float64(nil), filtered...), d.window, pri)
 		}
 		d.hmu.Unlock()
 	}
@@ -478,7 +487,7 @@ func (d *Device) trackParams(local *mdb.Store, matches int) track.Params {
 
 // refreshNow performs a synchronous search and adopts it immediately.
 func (d *Device) refreshNow(ctx context.Context, window []float64) error {
-	store, matches, err := d.fetch(ctx, window)
+	store, matches, err := d.fetch(ctx, window, proto.PriRoutine)
 	if err != nil {
 		d.noteCloudFailure(err)
 		return err
@@ -500,7 +509,7 @@ func (d *Device) refreshNow(ctx context.Context, window []float64) error {
 // resumes the eased cadence instead of hammering the link again. The
 // device-lifetime context bounds every exchange and sleep, so Close
 // promptly cancels an in-flight refresh.
-func (d *Device) refreshAsync(window []float64, seq int) {
+func (d *Device) refreshAsync(window []float64, seq int, priority uint8) {
 	defer d.wg.Done()
 	var lastErr error
 	for i := 0; i < d.cfg.RefreshRetries; i++ {
@@ -510,7 +519,7 @@ func (d *Device) refreshAsync(window []float64, seq int) {
 			}
 			break
 		}
-		store, matches, err := d.fetch(d.ctx, window)
+		store, matches, err := d.fetch(d.ctx, window, priority)
 		if err == nil {
 			d.noteCloudSuccess()
 			d.refreshing <- adoptable{store: store, matches: matches, seq: seq}
@@ -527,10 +536,10 @@ func (d *Device) refreshAsync(window []float64, seq int) {
 
 // fetch round-trips one search and materialises the response into a
 // local mini-MDB: one record per entry, one signal-set spanning it.
-func (d *Device) fetch(ctx context.Context, window []float64) (*mdb.Store, []search.Match, error) {
+func (d *Device) fetch(ctx context.Context, window []float64, priority uint8) (*mdb.Store, []search.Match, error) {
 	ctx, cancel := d.cloudCtx(ctx)
 	defer cancel()
-	corrSet, err := d.client.Search(ctx, window)
+	corrSet, err := d.client.SearchPri(ctx, window, priority)
 	if err != nil {
 		return nil, nil, err
 	}

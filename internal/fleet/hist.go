@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a concurrent log-bucketed latency histogram: bucket i
+// covers [histMin·growth^i, histMin·growth^(i+1)), spanning ~50 µs to
+// beyond a minute in 60 buckets, which bounds quantile error to the
+// growth factor (~30%) — plenty for SLO reporting — with nothing but
+// an atomic add on the hot path.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+const (
+	histBuckets = 60
+	histMin     = 50 * time.Microsecond
+	histGrowth  = 1.3
+)
+
+var histLogGrowth = math.Log(histGrowth)
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	idx := 0
+	if d > histMin {
+		idx = int(math.Log(float64(d)/float64(histMin)) / histLogGrowth)
+		if idx >= histBuckets {
+			idx = histBuckets - 1
+		}
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+	for {
+		cur := h.max.Load()
+		if int64(d) <= cur || h.max.CompareAndSwap(cur, int64(d)) {
+			break
+		}
+	}
+}
+
+// quantile returns the q-quantile (0 < q ≤ 1) as a duration — the
+// upper bound of the bucket holding the q-th observation — or 0 when
+// the histogram is empty.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= target {
+			upper := float64(histMin) * math.Pow(histGrowth, float64(i+1))
+			if m := h.max.Load(); float64(m) < upper {
+				return time.Duration(m)
+			}
+			return time.Duration(upper)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// mean returns the arithmetic mean, or 0 when empty.
+func (h *histogram) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ContentType is the Prometheus text exposition content type.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry's exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		if err := r.WriteText(w); err != nil {
+			// Headers are already gone; all we can do is log-free
+			// truncation — scrapers treat a broken body as a failed
+			// scrape.
+			return
+		}
+	})
+}
+
+// Server is a minimal metrics endpoint: /metrics serves the registry,
+// /healthz answers ok. It exists so emap-cloud and emap-router can
+// expose observability with one flag and shut it down cleanly.
+type Server struct {
+	l    net.Listener
+	http *http.Server
+}
+
+// Serve starts the metrics endpoint on addr (e.g. ":9090"). It
+// returns once the listener is bound; serving continues in the
+// background until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	s := &Server{
+		l: l,
+		http: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go s.http.Serve(l)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close shuts the endpoint down, waiting briefly for in-flight
+// scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}

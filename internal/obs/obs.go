@@ -1,0 +1,226 @@
+// Package obs is the observability layer: it unifies the metric
+// structs scattered across the tiers — cloud.Metrics (registry-wide
+// and per-tenant), cluster.RouterMetrics, edge.ClientMetrics — behind
+// one small Collector interface and renders them in the Prometheus
+// text exposition format (version 0.0.4), so a fleet under test and a
+// production deployment are scraped the same way.
+//
+// The package is a leaf consumer of the tiers' Snapshot() methods: a
+// collector takes one race-safe snapshot per scrape and emits plain
+// samples; no collector holds locks across emission and no tier
+// imports obs. Registry.WriteText is the renderer; Handler and Serve
+// put it on HTTP (wired into emap-cloud and emap-router via -http).
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a sample for the # TYPE line.
+type Kind int
+
+const (
+	// Counter is a monotonically increasing total.
+	Counter Kind = iota
+	// Gauge is a value that can go up and down.
+	Gauge
+)
+
+func (k Kind) String() string {
+	if k == Gauge {
+		return "gauge"
+	}
+	return "counter"
+}
+
+// Label is one name="value" pair attached to a sample.
+type Label struct {
+	Name, Value string
+}
+
+// Sample is one metric data point. Name must be a valid Prometheus
+// metric name ([a-zA-Z_:][a-zA-Z0-9_:]*); Help and Kind describe the
+// metric family and must agree across samples sharing a Name (the
+// first emitter wins the HELP/TYPE lines).
+type Sample struct {
+	Name   string
+	Help   string
+	Kind   Kind
+	Labels []Label
+	Value  float64
+}
+
+// Collector emits the current value of each metric it owns. Collect
+// must be safe to call concurrently with the instrumented code — the
+// tiers' Snapshot() methods are the intended source.
+type Collector interface {
+	Collect(emit func(Sample))
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(emit func(Sample))
+
+// Collect calls f.
+func (f CollectorFunc) Collect(emit func(Sample)) { f(emit) }
+
+// Registry aggregates collectors into one exposition.
+type Registry struct {
+	mu         sync.Mutex
+	collectors []Collector
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a collector; its samples appear in every subsequent
+// WriteText. Safe for concurrent use.
+func (r *Registry) Register(c Collector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectors = append(r.collectors, c)
+}
+
+// family groups same-name samples so HELP/TYPE are emitted once.
+type family struct {
+	help    string
+	kind    Kind
+	samples []Sample
+}
+
+// WriteText renders every registered collector's samples in the
+// Prometheus text exposition format (version 0.0.4): families in
+// first-emitted order, one # HELP and # TYPE line each, samples in a
+// deterministic label order within the family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	collectors := make([]Collector, len(r.collectors))
+	copy(collectors, r.collectors)
+	r.mu.Unlock()
+
+	var order []string
+	families := make(map[string]*family)
+	for _, c := range collectors {
+		c.Collect(func(s Sample) {
+			f, ok := families[s.Name]
+			if !ok {
+				f = &family{help: s.Help, kind: s.Kind}
+				families[s.Name] = f
+				order = append(order, s.Name)
+			}
+			f.samples = append(f.samples, s)
+		})
+	}
+
+	bw := bufio.NewWriter(w)
+	for _, name := range order {
+		f := families[name]
+		if !validName(name) {
+			return fmt.Errorf("obs: invalid metric name %q", name)
+		}
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", name, f.kind)
+		sort.SliceStable(f.samples, func(i, j int) bool {
+			return labelKey(f.samples[i].Labels) < labelKey(f.samples[j].Labels)
+		})
+		for _, s := range f.samples {
+			bw.WriteString(name)
+			if err := writeLabels(bw, s.Labels); err != nil {
+				return err
+			}
+			bw.WriteByte(' ')
+			bw.WriteString(formatValue(s.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeLabels(w *bufio.Writer, labels []Label) error {
+	if len(labels) == 0 {
+		return nil
+	}
+	w.WriteByte('{')
+	for i, l := range labels {
+		if !validLabelName(l.Name) {
+			return fmt.Errorf("obs: invalid label name %q", l.Name)
+		}
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(l.Name)
+		w.WriteString(`="`)
+		w.WriteString(escapeLabelValue(l.Value))
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+	return nil
+}
+
+func labelKey(labels []Label) string {
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Name)
+		b.WriteByte(1)
+		b.WriteString(l.Value)
+		b.WriteByte(2)
+	}
+	return b.String()
+}
+
+// formatValue renders a float the way Prometheus clients do: shortest
+// round-trippable representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline (the HELP line grammar).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote, and newline (the
+// quoted label-value grammar).
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,48 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestUploadPriorityRoundTrip pins the optional trailing priority
+// byte: PriAnomaly survives an encode/decode round trip, and a
+// PriRoutine upload encodes byte-identically to a pre-priority
+// encoder (no trailing byte at all), so old and new peers interop in
+// both directions.
+func TestUploadPriorityRoundTrip(t *testing.T) {
+	base := &Upload{Seq: 7, Scale: 0.25, Samples: []int16{1, -2, 3}}
+
+	routine := EncodeUpload(base)
+	// The legacy layout: seq(4) + scale(4) + count(4) + 2·samples.
+	if want := 12 + 2*len(base.Samples); len(routine) != want {
+		t.Fatalf("routine upload encodes to %d bytes, want %d (no priority byte)", len(routine), want)
+	}
+	got, err := DecodeUpload(routine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Priority != PriRoutine {
+		t.Fatalf("routine upload decoded with priority %d", got.Priority)
+	}
+
+	pri := *base
+	pri.Priority = PriAnomaly
+	encoded := EncodeUpload(&pri)
+	if len(encoded) != len(routine)+1 {
+		t.Fatalf("anomaly upload encodes to %d bytes, want %d", len(encoded), len(routine)+1)
+	}
+	if !bytes.Equal(encoded[:len(routine)], routine) {
+		t.Fatal("priority byte must be a pure suffix: the prefix changed")
+	}
+	got, err = DecodeUpload(encoded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Priority != PriAnomaly {
+		t.Fatalf("decoded priority %d, want PriAnomaly", got.Priority)
+	}
+	if got.Seq != pri.Seq || got.Scale != pri.Scale || len(got.Samples) != len(pri.Samples) {
+		t.Fatalf("round trip mangled the upload: %+v", got)
+	}
+}

@@ -126,7 +126,25 @@ type Upload struct {
 	Scale float32
 	// Samples is the window as 16-bit counts.
 	Samples []int16
+	// Priority classifies the upload for admission control: a cloud
+	// under saturation sheds PriRoutine uploads first and keeps
+	// serving PriAnomaly ones (a suspected-seizure window preempts
+	// routine refreshes). It travels as an optional trailing byte:
+	// PriRoutine uploads encode exactly as before this field existed,
+	// and decoders treat a missing byte as PriRoutine, so the field is
+	// compatible in both directions.
+	Priority uint8
 }
+
+// Upload priorities.
+const (
+	// PriRoutine is the default steady-state tracking refresh.
+	PriRoutine uint8 = 0
+	// PriAnomaly marks an upload from a device whose predictor
+	// currently flags an anomaly (or that is recovering from an
+	// outage); admission control never sheds it.
+	PriAnomaly uint8 = 1
+)
 
 // CorrEntry is one element of the signal correlation set: the paper's
 // [S, ω, β] plus the continuation samples the edge needs for tracking.
@@ -474,19 +492,29 @@ func (r *reader) samples() []int16 {
 	return out
 }
 
-// EncodeUpload serialises an Upload payload.
+// EncodeUpload serialises an Upload payload. The priority byte is
+// appended only when it is not PriRoutine, so routine uploads are
+// byte-identical to pre-priority encoders.
 func EncodeUpload(u *Upload) []byte {
-	b := make([]byte, 0, 12+2*len(u.Samples))
+	b := make([]byte, 0, 13+2*len(u.Samples))
 	b = appendU32(b, u.Seq)
 	b = appendF32(b, u.Scale)
-	return appendSamples(b, u.Samples)
+	b = appendSamples(b, u.Samples)
+	if u.Priority != PriRoutine {
+		b = append(b, u.Priority)
+	}
+	return b
 }
 
-// DecodeUpload parses an Upload payload.
+// DecodeUpload parses an Upload payload. A payload ending right after
+// the samples (a pre-priority encoder) decodes as PriRoutine.
 func DecodeUpload(payload []byte) (*Upload, error) {
 	r := &reader{b: payload}
 	u := &Upload{Seq: r.u32(), Scale: r.f32()}
 	u.Samples = r.samples()
+	if r.err == nil && r.off < len(r.b) {
+		u.Priority = r.u8()
+	}
 	if r.err != nil {
 		return nil, fmt.Errorf("proto: decoding Upload: %w", r.err)
 	}
