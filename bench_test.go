@@ -8,6 +8,8 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,6 +22,7 @@ import (
 	"emap/internal/edge"
 	"emap/internal/experiments"
 	"emap/internal/kernel"
+	"emap/internal/mdb"
 	"emap/internal/netsim"
 	"emap/internal/proto"
 	"emap/internal/search"
@@ -449,6 +452,117 @@ func BenchmarkExhaustiveFFT(b *testing.B) {
 		b.ReportMetric(speedup, "speedup")
 		if speedup < 1 {
 			b.Fatalf("FFT exhaustive path is SLOWER than scalar: %.2fx", speedup)
+		}
+	})
+}
+
+// BenchmarkQuantizedScan is the tiered store's headline number: a
+// batched exhaustive search over the SAME columnar snapshot loaded
+// twice — once scanned compressed (int16 counts, records pinned warm)
+// and once promoted hot and scanned by the float64 scalar kernel. The
+// speedup sub-benchmark FAILS if the compressed-domain path is slower
+// than scalar, and the footprint sub-benchmark FAILS if the warm
+// tier's resident bytes are not at least 3.5× below the hot store's —
+// CI's bench smoke turns a tier regression into a red job.
+func BenchmarkQuantizedScan(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	built, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "mdb.col")
+	if err := built.Snapshot().SaveFileFormat(path, emap.FormatColumnar); err != nil {
+		b.Fatal(err)
+	}
+	load := func() *emap.Store {
+		f, err := os.Open(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		s, err := mdb.LoadColumnar(f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	warm, hot := load(), load()
+	input := gen.SeizureInput(0, 30, 10)
+	windows := make([][]float64, 8)
+	for i := range windows {
+		windows[i] = input.Samples[i*256 : i*256+256]
+	}
+	quant := emap.NewSearcher(warm, emap.SearchParams{Kernel: emap.KernelQuant})
+	scalar := emap.NewSearcher(hot, emap.SearchParams{Kernel: emap.KernelScalar})
+	// One pass each before timing: the scalar pass promotes every hot
+	// store record (the state it benchmarks), the quant pass fills the
+	// per-query quantization caches.
+	if _, err := scalar.ExhaustiveN(windows); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := quant.ExhaustiveN(windows); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("float64-scalar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := scalar.ExhaustiveN(windows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("quant", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := quant.ExhaustiveN(windows); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("speedup", func(b *testing.B) {
+		var scalarNs, quantNs int64
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			rs, err := scalar.ExhaustiveN(windows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			rq, err := quant.ExhaustiveN(windows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			scalarNs += t1.Sub(t0).Nanoseconds()
+			quantNs += time.Since(t1).Nanoseconds()
+			if rq.Evaluated != rs.Evaluated {
+				b.Fatalf("paths disagree: quant evaluated %d, scalar %d", rq.Evaluated, rs.Evaluated)
+			}
+		}
+		speedup := float64(scalarNs) / float64(max(quantNs, 1))
+		b.ReportMetric(speedup, "speedup")
+		if speedup < 1 {
+			b.Fatalf("compressed-domain scan is SLOWER than float64 scalar: %.2fx", speedup)
+		}
+	})
+	b.Run("footprint", func(b *testing.B) {
+		st, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hotTS, warmTS := hot.TierStats(), warm.TierStats()
+		hotResident := hotTS.HotBytes + hotTS.WarmBytes
+		warmResident := warmTS.HotBytes + warmTS.WarmBytes
+		if warmTS.HotBytes != 0 {
+			b.Fatalf("quant scan promoted %d bytes hot", warmTS.HotBytes)
+		}
+		for i := 0; i < b.N; i++ {
+			_ = warm.Snapshot()
+		}
+		bytesPerSample := float64(st.Size()) / float64(built.Snapshot().TotalSamples())
+		reduction := float64(hotResident) / float64(max(warmResident, 1))
+		b.ReportMetric(bytesPerSample, "disk-B/sample")
+		b.ReportMetric(reduction, "footprint-reduction")
+		if reduction < 3.5 {
+			b.Fatalf("warm tier saves only %.2fx over the hot store (want >= 3.5x)", reduction)
 		}
 	})
 }

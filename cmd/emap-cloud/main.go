@@ -17,7 +17,8 @@
 //	           [-workers N] [-drain 10s] [-max-batch 32]
 //	           [-batch-window 0s] [-cache 256]
 //	           [-store-dir DIR] [-max-tenants N] [-tenant default]
-//	           [-empty] [-kernel auto|scalar|fft]
+//	           [-empty] [-kernel auto|scalar|fft|quant]
+//	           [-hot-bytes N] [-store-format gob|columnar]
 //	           [-rate N] [-burst N] [-shed-queue N]
 //	           [-http :9300]
 //	           [-node ID] [-advertise HOST:PORT]
@@ -37,6 +38,13 @@
 // each tenant's request rate (token bucket) and -shed-queue enables
 // load shedding of routine-priority uploads under saturation; both
 // admission refusals are visible on /metrics.
+//
+// -store-format columnar persists tenant snapshots in the quantized
+// columnar v2 layout (memory-mapped and scanned compressed on load)
+// and makes fresh tenants ingest into quantized stores; -hot-bytes
+// caps the bytes each tenant may spend promoting records to hotter
+// tiers, demoting the least recently used back when exceeded. Tier
+// residency appears on /metrics as emap_tenant_store_bytes.
 //
 // The default tenant's store comes from, in order of precedence: an
 // explicit -mdb snapshot; a persisted DIR/default.snap in -store-dir
@@ -94,6 +102,8 @@ type options struct {
 	advertise   string
 	empty       bool
 	kernel      string
+	hotBytes    int64
+	storeFormat string
 	httpAddr    string
 	cpuprofile  string
 	memprofile  string
@@ -122,7 +132,9 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.nodeID, "node", "", "cluster node ID: serve as a member of an emap-router cluster instead of a standalone cloud")
 	fs.StringVar(&o.advertise, "advertise", "", "address peers and the router dial to reach this node (default: the listen address)")
 	fs.BoolVar(&o.empty, "empty", false, "build no synthetic default store; the default tenant lazy-loads its -store-dir snapshot if one exists, else starts empty")
-	fs.StringVar(&o.kernel, "kernel", "auto", "correlation kernel dispatch: auto|scalar|fft")
+	fs.StringVar(&o.kernel, "kernel", "auto", "correlation kernel dispatch: auto|scalar|fft|quant")
+	fs.Int64Var(&o.hotBytes, "hot-bytes", 0, "per-tenant budget for tier promotions in bytes (0: unbounded)")
+	fs.StringVar(&o.storeFormat, "store-format", "", "tenant snapshot format: gob|columnar (empty: keep each store's format)")
 	fs.StringVar(&o.httpAddr, "http", "", "observability endpoint address serving /metrics and /healthz (empty: disabled)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at shutdown")
@@ -135,7 +147,15 @@ func parseFlags(args []string) (*options, error) {
 // validate rejects flag combinations no server should start with.
 func (o *options) validate() error {
 	if _, ok := search.ParseKernelMode(o.kernel); !ok {
-		return fmt.Errorf("-kernel %q invalid (want auto, scalar or fft)", o.kernel)
+		return fmt.Errorf("-kernel %q invalid (want auto, scalar, fft or quant)", o.kernel)
+	}
+	if o.storeFormat != "" {
+		if _, err := mdb.ParseFormat(o.storeFormat); err != nil {
+			return err
+		}
+	}
+	if o.hotBytes < 0 {
+		return fmt.Errorf("-hot-bytes %d invalid (want ≥ 0)", o.hotBytes)
 	}
 	if o.snapshot != "" && o.empty {
 		return errors.New("-mdb and -empty conflict; pass one")
@@ -146,8 +166,14 @@ func (o *options) validate() error {
 // cloudConfig maps the flags onto the service configuration.
 func (o *options) cloudConfig(logger *log.Logger) cloud.Config {
 	kernelMode, _ := search.ParseKernelMode(o.kernel)
+	var format mdb.Format
+	if o.storeFormat != "" {
+		format, _ = mdb.ParseFormat(o.storeFormat)
+	}
 	return cloud.Config{
 		Search:         search.Params{Kernel: kernelMode},
+		HotBytes:       o.hotBytes,
+		StoreFormat:    format,
 		HorizonSeconds: o.horizon,
 		Workers:        o.workers,
 		MaxBatch:       o.maxBatch,

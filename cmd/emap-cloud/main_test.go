@@ -4,6 +4,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"emap/internal/mdb"
+	"emap/internal/search"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -50,6 +53,58 @@ func TestParseFlagsBadFlag(t *testing.T) {
 	}
 	if _, err := parseFlags([]string{"-workers", "many"}); err == nil {
 		t.Fatal("non-numeric -workers accepted")
+	}
+}
+
+func TestParseFlagsStoreTier(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-hot-bytes", "65536", "-store-format", "columnar", "-kernel", "quant",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.cloudConfig(nil)
+	if cfg.HotBytes != 65536 {
+		t.Fatalf("HotBytes = %d, want 65536", cfg.HotBytes)
+	}
+	if cfg.StoreFormat != mdb.FormatColumnar {
+		t.Fatalf("StoreFormat = %v, want columnar", cfg.StoreFormat)
+	}
+	if cfg.Search.Kernel != search.KernelQuant {
+		t.Fatalf("Kernel = %v, want quant", cfg.Search.Kernel)
+	}
+}
+
+func TestStoreFormatDefaultUnset(t *testing.T) {
+	o, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := o.cloudConfig(nil); cfg.StoreFormat != 0 || cfg.HotBytes != 0 {
+		t.Fatalf("unset tier flags must map to zero values: %+v", cfg)
+	}
+}
+
+func TestValidateRejectsBadStoreFormat(t *testing.T) {
+	o, err := parseFlags([]string{"-store-format", "parquet"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "format") {
+		t.Fatalf("bad store format not rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsNegativeHotBytes(t *testing.T) {
+	o, err := parseFlags([]string{"-hot-bytes", "-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err == nil || !strings.Contains(err.Error(), "-hot-bytes") {
+		t.Fatalf("negative -hot-bytes not rejected: %v", err)
 	}
 }
 

@@ -109,6 +109,17 @@ type Config struct {
 	// proto.PriAnomaly) and cache hits are always served. 0 disables
 	// shedding.
 	ShedQueue int
+	// HotBytes caps, per tenant, the bytes quantized store records may
+	// hold promoted above their canonical int16 payload (hot float64
+	// materialisations, warm heap copies of mmapped data) — the knob
+	// that keeps a many-tenant process under RAM while stores exceed
+	// it. 0 disables the cap. See mdb.Store.SetTierBudget.
+	HotBytes int64
+	// StoreFormat selects the snapshot format tenant stores persist
+	// in; mdb.FormatColumnar additionally makes freshly created tenant
+	// stores quantized (int16-canonical ingest). Zero keeps each
+	// store's own format (gob for new stores).
+	StoreFormat mdb.Format
 	// DefaultTenant is the tenant that v1/v2 peers and tenant-less
 	// v3 frames land on (default "default").
 	DefaultTenant string
@@ -303,10 +314,16 @@ type Server struct {
 // and fill via ingest, and searches against an empty store return an
 // empty correlation set.
 func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
-	if store == nil {
-		store = mdb.NewStore()
-	}
 	cfg = cfg.withDefaults()
+	if store == nil {
+		// The adopted default store must follow the configured snapshot
+		// format, like every store the registry would create itself.
+		if cfg.StoreFormat == mdb.FormatColumnar {
+			store = mdb.NewQuantizedStore()
+		} else {
+			store = mdb.NewStore()
+		}
+	}
 	reg, err := mdb.NewRegistry("", 0)
 	if err != nil {
 		return nil, err

@@ -67,6 +67,15 @@ func NewEngine(reg *mdb.Registry, cfg Config) (*Engine, error) {
 		done:     make(chan struct{}),
 		tenants:  make(map[string]*tenant),
 	}
+	// Tier policy flows through the registry so every store it opens,
+	// adopts, or reloads after eviction carries the same budget and
+	// snapshot format.
+	if cfg.StoreFormat != 0 {
+		reg.SetSaveFormat(cfg.StoreFormat)
+	}
+	if cfg.HotBytes > 0 {
+		reg.SetStoreBudget(cfg.HotBytes)
+	}
 	// Evicted tenants lose their serving state too: a reopened
 	// tenant must not search through a searcher over the old store.
 	// The delete is conditional on store identity so a notification
@@ -147,6 +156,22 @@ func (e *Engine) Tenants() []string {
 		out = append(out, id)
 	}
 	return out
+}
+
+// StoreStatsFor returns the tier-residency statistics of one tenant's
+// store ("" = default tenant); ok is false when the tenant has no
+// serving state.
+func (e *Engine) StoreStatsFor(id string) (mdb.TierStats, bool) {
+	if id == "" {
+		id = e.cfg.DefaultTenant
+	}
+	e.tmu.Lock()
+	t, ok := e.tenants[id]
+	e.tmu.Unlock()
+	if !ok {
+		return mdb.TierStats{}, false
+	}
+	return t.store.TierStats(), true
 }
 
 // MetricsFor returns the metrics of one tenant ("" = default tenant),
@@ -394,7 +419,7 @@ func (e *Engine) assembleEntries(t *tenant, res *search.Result, windowLen int) [
 			continue
 		}
 		n := horizon
-		if avail := len(rec.Samples) - (set.Start + m.Beta); avail < n {
+		if avail := rec.Len() - (set.Start + m.Beta); avail < n {
 			n = avail
 		}
 		if n < windowLen {

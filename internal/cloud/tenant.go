@@ -93,10 +93,20 @@ func (t *tenant) ingest(g *proto.Ingest, cfg Config) (*proto.IngestAck, error) {
 		Class:     synth.ClassFromCode(g.Class),
 		Archetype: int(g.Archetype),
 		Onset:     int(g.Onset),
-		Samples:   proto.Dequantize(g.Samples, g.Scale),
 	}
 	labelFn := mdb.LabelFor(rec, mdb.BuildConfig{BaseRate: cfg.BaseRate})
-	created, err := t.store.Insert(rec, cfg.SliceLen, labelFn)
+	var created int
+	var err error
+	if t.store.Quantized() {
+		// The wire counts ARE the canonical payload: no dequantize, no
+		// float copy — and the record still dequantizes to exactly the
+		// samples the float path below would have stored, because both
+		// reconstruct count·scale on the same float32 grid.
+		created, err = t.store.InsertQuantized(rec, g.Samples, g.Scale, cfg.SliceLen, labelFn)
+	} else {
+		rec.Samples = proto.Dequantize(g.Samples, g.Scale)
+		created, err = t.store.Insert(rec, cfg.SliceLen, labelFn)
+	}
 	if err != nil {
 		return nil, err
 	}

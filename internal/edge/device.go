@@ -474,8 +474,8 @@ func (d *Device) trackParams(local *mdb.Store, matches int) track.Params {
 	if p.HorizonWindows == 0 {
 		maxLen := 0
 		for _, id := range local.RecordIDs() {
-			if rec, ok := local.Record(id); ok && len(rec.Samples) > maxLen {
-				maxLen = len(rec.Samples)
+			if rec, ok := local.Record(id); ok && rec.Len() > maxLen {
+				maxLen = rec.Len()
 			}
 		}
 		if h := maxLen/p.WindowLen - 1; h > 0 {

@@ -98,6 +98,13 @@ type Config struct {
 	ShedQueue   int
 	TenantRate  float64
 	TenantBurst int
+	// StoreFormat and HotBytes configure the in-process server's
+	// tenant stores (netsim mode only): FormatColumnar makes them
+	// quantized, and a positive HotBytes caps the bytes promoted
+	// above the compressed tier — together they run the fleet against
+	// tiered stores instead of fully-resident float ones.
+	StoreFormat mdb.Format
+	HotBytes    int64
 	// Logger receives run narration; nil disables it.
 	Logger *log.Logger
 }
@@ -287,6 +294,8 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			ShedQueue:   cfg.ShedQueue,
 			TenantRate:  cfg.TenantRate,
 			TenantBurst: cfg.TenantBurst,
+			StoreFormat: cfg.StoreFormat,
+			HotBytes:    cfg.HotBytes,
 		})
 		if err != nil {
 			return nil, err

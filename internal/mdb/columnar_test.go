@@ -1,0 +1,358 @@
+package mdb
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"emap/internal/synth"
+)
+
+// sineCounts builds a deterministic int16 waveform with nonzero mean
+// blocks, so the block checkpoint sums are exercised with non-trivial
+// values.
+func sineCounts(n int, amp float64, phase float64) []int16 {
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(amp * math.Sin(phase+float64(i)/9.0))
+	}
+	return out
+}
+
+// buildQuantStore assembles a quantized store with records of the
+// given lengths (deliberately including non-multiple-of-qBlockLen
+// lengths) and one labelled slicing per record.
+func buildQuantStore(t testing.TB, lengths []int) *Store {
+	t.Helper()
+	s := NewQuantizedStore()
+	for i, n := range lengths {
+		rec := &Record{
+			ID:        "q" + string(rune('a'+i)),
+			Class:     synth.Seizure,
+			Archetype: i,
+			Onset:     100 * i,
+		}
+		counts := sineCounts(n, 12000+500*float64(i), float64(i))
+		scale := float32(0.0125) * float32(i+1)
+		if _, err := s.InsertQuantized(rec, counts, scale, 500, func(start int) bool { return start >= n/2 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// assertStoresEqual verifies that two stores hold the same epochs:
+// record identity and samples (via Window), set spines, labels.
+func assertStoresEqual(t *testing.T, label string, want, got *Store) {
+	t.Helper()
+	if got.NumRecords() != want.NumRecords() || got.NumSets() != want.NumSets() {
+		t.Fatalf("%s: counts %d/%d, want %d/%d", label,
+			got.NumRecords(), got.NumSets(), want.NumRecords(), want.NumSets())
+	}
+	wids, gids := want.RecordIDs(), got.RecordIDs()
+	for i := range wids {
+		if wids[i] != gids[i] {
+			t.Fatalf("%s: record order differs at %d: %q vs %q", label, i, gids[i], wids[i])
+		}
+		wr, _ := want.Record(wids[i])
+		gr, _ := got.Record(wids[i])
+		if wr.Len() != gr.Len() || wr.Class != gr.Class || wr.Archetype != gr.Archetype || wr.Onset != gr.Onset {
+			t.Fatalf("%s: record %q metadata differs", label, wids[i])
+		}
+	}
+	wsets, gsets := want.Sets(), got.Sets()
+	for i := range wsets {
+		if *wsets[i] != *gsets[i] {
+			t.Fatalf("%s: set %d differs: %+v vs %+v", label, i, *gsets[i], *wsets[i])
+		}
+	}
+	for _, set := range wsets {
+		w1, ok1 := want.Window(set, 0, set.Length)
+		w2, ok2 := got.Window(set, 0, set.Length)
+		if !ok1 || !ok2 {
+			t.Fatalf("%s: window read failed on set %d", label, set.ID)
+		}
+		for j := range w1 {
+			if w1[j] != w2[j] {
+				t.Fatalf("%s: set %d sample %d differs: %g vs %g", label, set.ID, j, w2[j], w1[j])
+			}
+		}
+	}
+}
+
+func encodeStore(t testing.TB, s *Store) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Snapshot().SaveColumnar(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestColumnarRoundTripEager(t *testing.T) {
+	s := buildQuantStore(t, []int{1280, 1000, 2049})
+	raw := encodeStore(t, s)
+	got, err := LoadColumnar(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Quantized() || got.Format() != FormatColumnar {
+		t.Fatalf("eager columnar load: quantized=%v format=%v", got.Quantized(), got.Format())
+	}
+	assertStoresEqual(t, "eager", s, got)
+	// The counts and scales must survive verbatim, not merely the
+	// dequantized values.
+	for _, id := range s.RecordIDs() {
+		wr, _ := s.Record(id)
+		gr, _ := got.Record(id)
+		wq, _ := wr.Quant()
+		gq, ok := gr.Quant()
+		if !ok || gq.Scale != wq.Scale {
+			t.Fatalf("record %q scale %v, want %v", id, gq.Scale, wq.Scale)
+		}
+		for i := range wq.Counts {
+			if wq.Counts[i] != gq.Counts[i] {
+				t.Fatalf("record %q count %d differs", id, i)
+			}
+		}
+	}
+}
+
+// TestColumnarFormatDispatch: the format-agnostic Load must detect
+// both formats from the leading bytes.
+func TestColumnarFormatDispatch(t *testing.T) {
+	qs := buildQuantStore(t, []int{1024})
+	got, err := Load(bytes.NewReader(encodeStore(t, qs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Quantized() {
+		t.Fatal("Load did not detect the columnar magic")
+	}
+
+	fs := buildTestStore(t)
+	var buf bytes.Buffer
+	if err := fs.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quantized() || got.Format() != FormatGob {
+		t.Fatal("Load mis-detected a gob snapshot")
+	}
+}
+
+// TestColumnarConvertBitStable: decode→re-encode of a columnar image
+// reproduces it byte for byte, and quantizing the same float store
+// twice produces identical bytes — the migration contract of
+// emap-mdb convert.
+func TestColumnarConvertBitStable(t *testing.T) {
+	qs := buildQuantStore(t, []int{1280, 777})
+	raw := encodeStore(t, qs)
+	loaded, err := LoadColumnar(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again := encodeStore(t, loaded); !bytes.Equal(raw, again) {
+		t.Fatal("columnar→load→save is not bit-stable")
+	}
+
+	fs := buildTestStore(t)
+	a, b := encodeStore(t, fs), encodeStore(t, fs)
+	if !bytes.Equal(a, b) {
+		t.Fatal("float-store quantization is not deterministic")
+	}
+	// And the full gob→columnar→load→save cycle must be stable too.
+	back, err := LoadColumnar(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := encodeStore(t, back); !bytes.Equal(a, c) {
+		t.Fatal("gob→columnar→load→save is not bit-stable")
+	}
+}
+
+// TestColumnarToGobLossless: a quantized record dequantizes onto the
+// float32 grid; widening it to float64 for a gob snapshot and loading
+// that back must reproduce the exact same float64 values.
+func TestColumnarToGobLossless(t *testing.T) {
+	qs := buildQuantStore(t, []int{1500})
+	path := filepath.Join(t.TempDir(), "back.snap")
+	if err := qs.Snapshot().SaveFileFormat(path, FormatGob); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Quantized() {
+		t.Fatal("gob conversion produced a quantized store")
+	}
+	assertStoresEqual(t, "columnar→gob", qs, got)
+}
+
+// TestColumnarQuantizationErrorBound: converting a float store to
+// columnar perturbs each sample by at most half a quantization step.
+func TestColumnarQuantizationErrorBound(t *testing.T) {
+	fs := buildTestStore(t)
+	got, err := LoadColumnar(bytes.NewReader(encodeStore(t, fs)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range fs.RecordIDs() {
+		wr, _ := fs.Record(id)
+		gr, _ := got.Record(id)
+		qv, ok := gr.Quant()
+		if !ok {
+			t.Fatalf("record %q not quantized after conversion", id)
+		}
+		deq := make([]float64, gr.Len())
+		qv.Dequantize(deq, 0, gr.Len())
+		for i, v := range wr.Samples {
+			if d := math.Abs(v - deq[i]); d > qv.Scale/2+1e-12 {
+				t.Fatalf("record %q sample %d off by %g (> step/2 = %g)", id, i, d, qv.Scale/2)
+			}
+		}
+	}
+}
+
+// TestLoadFileMmapCold: a columnar snapshot opened through LoadFile
+// serves its records straight out of the mapping — cold tier, zero
+// promoted bytes — and reads identically to the eager loader.
+func TestLoadFileMmapCold(t *testing.T) {
+	s := buildQuantStore(t, []int{1280, 1000, 2049})
+	path := filepath.Join(t.TempDir(), "mdb.col")
+	if err := s.Snapshot().SaveFileFormat(path, FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapFile(path); err != nil {
+		t.Skipf("mmap unavailable on this platform: %v", err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range got.RecordIDs() {
+		rec, _ := got.Record(id)
+		if rec.Tier() != TierCold {
+			t.Fatalf("mmap-loaded record %q starts %v, want cold", id, rec.Tier())
+		}
+	}
+	ts := got.TierStats()
+	if ts.HotBytes != 0 || ts.WarmBytes != 0 || ts.ColdBytes == 0 {
+		t.Fatalf("mmap tier stats = %+v, want everything cold", ts)
+	}
+	assertStoresEqual(t, "mmap", s, got)
+}
+
+// TestSaveFileAtomic: SaveFileFormat must leave exactly the target
+// file (no temp residue) and replace an existing snapshot atomically.
+func TestSaveFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "mdb.col")
+	s := buildQuantStore(t, []int{1000})
+	if err := s.Snapshot().SaveFileFormat(path, FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with a different epoch: the replacement must land whole.
+	s2 := buildQuantStore(t, []int{2000, 1280})
+	if err := s2.Snapshot().SaveFileFormat(path, FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "mdb.col" {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory holds %v, want only mdb.col", names)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRecords() != 2 {
+		t.Fatalf("replacement snapshot has %d records, want 2", got.NumRecords())
+	}
+}
+
+// TestLoadRejectsTruncatedSnapshots: every proper prefix of a snapshot
+// — the torn file a crash mid-write would leave without the atomic
+// rename — must be rejected with an error, in both formats and via
+// both Load and LoadFile.
+func TestLoadRejectsTruncatedSnapshots(t *testing.T) {
+	qs := buildQuantStore(t, []int{1280, 1000})
+	raw := encodeStore(t, qs)
+	var gobBuf bytes.Buffer
+	if err := buildTestStore(t).Save(&gobBuf); err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{"columnar": raw, "gob": gobBuf.Bytes()}
+	for name, full := range cases {
+		for _, cut := range []int{0, 4, len(full) / 4, len(full) / 2, len(full) - 1} {
+			if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+				t.Fatalf("%s truncated to %d of %d bytes loaded without error", name, cut, len(full))
+			}
+			path := filepath.Join(t.TempDir(), "torn.snap")
+			if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadFile(path); err == nil {
+				t.Fatalf("%s file truncated to %d bytes loaded without error", name, cut)
+			}
+		}
+	}
+}
+
+// TestColumnarRejectsCorruption: single flipped bytes in the data
+// region, the record index, and the set table must all be caught by a
+// checksum or a structural check — never produce a silently wrong
+// store.
+func TestColumnarRejectsCorruption(t *testing.T) {
+	s := buildQuantStore(t, []int{1280, 1000})
+	raw := encodeStore(t, s)
+	flips := []int{
+		9,               // version field
+		headerSize + 10, // counts column
+		len(raw) / 2,    // somewhere mid-image
+		len(raw) - 100,  // tables region
+		len(raw) - 2,    // trailing CRC
+	}
+	for _, pos := range flips {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x40
+		if _, err := LoadColumnar(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d loaded without error", pos)
+		}
+	}
+	// Corrupting the magic turns it into (invalid) gob, still an error.
+	mut := append([]byte(nil), raw...)
+	mut[0] ^= 0xff
+	if _, err := Load(bytes.NewReader(mut)); err == nil {
+		t.Fatal("corrupt magic loaded without error")
+	}
+}
+
+// TestParseFormat pins the flag-value vocabulary.
+func TestParseFormat(t *testing.T) {
+	for in, want := range map[string]Format{"gob": FormatGob, "v1": FormatGob, "columnar": FormatColumnar, "v2": FormatColumnar} {
+		got, err := ParseFormat(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFormat(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseFormat("parquet"); err == nil || !strings.Contains(err.Error(), "parquet") {
+		t.Fatalf("bad format not rejected: %v", err)
+	}
+	if FormatGob.String() != "gob" || FormatColumnar.String() != "columnar" || Format(0).String() != "unset" {
+		t.Fatal("Format.String vocabulary changed")
+	}
+}

@@ -68,21 +68,106 @@ type SignalSet struct {
 
 // Record is a stored recording after MDB pre-processing: bandpass
 // filtered and resampled to the 256 Hz base rate.
+//
+// A record's canonical payload is either float64 (legacy stores, gob
+// snapshots) or quantized int16 + scale (quantized ingest, columnar
+// snapshots). Float-canonical records are permanently hot; quantized
+// records move between the hot/warm/cold tiers (see Tier) and serve
+// samples through Len/Float/Stats/Quant rather than the Samples field.
 type Record struct {
 	ID        string
 	Class     synth.Class
 	Archetype int
 	// Onset is the ictal onset sample at the base rate, or -1.
 	Onset int
-	// Samples is the processed waveform (µV, 256 Hz).
+	// Samples is the processed waveform (µV, 256 Hz) of a
+	// float-canonical record; nil when the record is quantized. Callers
+	// that must work across both kinds use Len/Float/Stats.
 	Samples []float64
 
 	stats *dsp.SlidingStats
+
+	// Quantized records only: the immutable canonical payload, the
+	// current resident representation, the owning store's residency
+	// manager, and the LRU stamp of the last scan access.
+	q       *quantPayload
+	res     atomic.Pointer[resident]
+	tiers   *tierState
+	lastUse atomic.Int64
+}
+
+// Len returns the recording length in samples, whatever the canonical
+// payload.
+func (r *Record) Len() int {
+	if r.q != nil {
+		return len(r.q.counts)
+	}
+	return len(r.Samples)
+}
+
+// Tier reports the record's current resident tier. Float-canonical
+// records are permanently hot.
+func (r *Record) Tier() Tier {
+	if r.q == nil {
+		return TierHot
+	}
+	return r.res.Load().tier
+}
+
+// Quant returns the compressed-domain scan view of a quantized record.
+// ok is false for float-canonical records, which have no quantized
+// payload.
+func (r *Record) Quant() (QuantView, bool) {
+	if r.q == nil {
+		return QuantView{}, false
+	}
+	res := r.res.Load()
+	return QuantView{Counts: res.counts, Scale: r.q.scale, bsum: res.bsum, bsumSq: res.bsumSq}, true
 }
 
 // Stats returns the recording's sliding-window statistics, used by the
-// search to normalise windows in O(1).
-func (r *Record) Stats() *dsp.SlidingStats { return r.stats }
+// search to normalise windows in O(1). For a quantized record this
+// forces promotion to the hot tier (the stats are float-domain derived
+// data); compressed-domain scans use Quant instead.
+func (r *Record) Stats() *dsp.SlidingStats {
+	if r.q == nil {
+		return r.stats
+	}
+	return r.tiers.ensureHot(r).stats
+}
+
+// Float returns the float64 waveform, promoting a quantized record to
+// the hot tier.
+func (r *Record) Float() []float64 {
+	if r.q == nil {
+		return r.Samples
+	}
+	return r.tiers.ensureHot(r).f
+}
+
+// Touch records a scan access for tier-residency purposes: it bumps
+// the record's LRU stamp and may opportunistically promote it one tier
+// when the store's byte budget has headroom. Scans call it once per
+// (record, batch) visit.
+func (r *Record) Touch() {
+	if r.tiers != nil {
+		r.tiers.touch(r)
+	}
+}
+
+// floatSamples returns the float64 waveform without caching a
+// promotion: the hot representation if one exists, otherwise a fresh
+// dequantized copy. Persistence uses it so saving a cold store does
+// not blow the tier budget.
+func (r *Record) floatSamples() []float64 {
+	if r.q == nil {
+		return r.Samples
+	}
+	if res := r.res.Load(); res.tier == TierHot {
+		return res.f
+	}
+	return r.q.dequantizeAll()
+}
 
 // view is one immutable epoch of a store. Once published via
 // Store.v, a view and everything reachable from it is never mutated.
@@ -105,21 +190,61 @@ var emptyView = &view{records: map[string]*Record{}}
 type Store struct {
 	wmu sync.Mutex // serialises writers
 	v   atomic.Pointer[view]
+
+	// tiers manages quantized-record residency; shared with derived
+	// stores (SubsetSets) because they share records.
+	tiers *tierState
+	// quantized marks stores whose ingested records are stored in
+	// int16 canonical form (columnar loads, NewQuantizedStore).
+	quantized bool
+	// format is the snapshot format SaveFile writes; set at
+	// construction/load, immutable afterwards.
+	format Format
 }
 
-// NewStore returns an empty mega-database.
+// NewStore returns an empty mega-database with float64-canonical
+// records and gob snapshots — the legacy configuration.
 func NewStore() *Store {
-	s := &Store{}
+	s := &Store{tiers: newTierState(), format: FormatGob}
 	s.v.Store(emptyView)
+	return s
+}
+
+// NewQuantizedStore returns an empty mega-database that keeps ingested
+// records in int16 canonical form (see InsertQuantized) and persists
+// columnar snapshots.
+func NewQuantizedStore() *Store {
+	s := NewStore()
+	s.quantized = true
+	s.format = FormatColumnar
 	return s
 }
 
 // newStoreView returns a store publishing the given initial epoch.
 func newStoreView(v *view) *Store {
-	s := &Store{}
+	s := &Store{tiers: newTierState(), format: FormatGob}
 	s.v.Store(v)
 	return s
 }
+
+// Quantized reports whether the store keeps ingested records in int16
+// canonical form.
+func (s *Store) Quantized() bool { return s.quantized }
+
+// Format returns the snapshot format SaveFile writes for this store.
+func (s *Store) Format() Format { return s.format }
+
+// SetTierBudget caps the bytes quantized records may hold PROMOTED
+// above their canonical payload (hot float materialisations, warm heap
+// copies of mapped data). 0 removes the cap and disables opportunistic
+// promotion. Exceeding the budget demotes the least-recently-scanned
+// records; a forced promotion (float access to a cold record) may
+// overshoot by at most that one record.
+func (s *Store) SetTierBudget(bytes int64) { s.tiers.setBudget(bytes) }
+
+// TierStats reports the current epoch's per-tier resident footprint
+// and the store's lifetime promotion/demotion counts.
+func (s *Store) TierStats() TierStats { return s.tiers.stats(s.v.Load()) }
 
 // Snapshot captures the store's current epoch. The snapshot is
 // immutable: searches that must see one coherent database state
@@ -142,10 +267,26 @@ func (s *Store) Insert(rec *Record, sliceLen int, labelFn func(start int) bool) 
 	return s.insertBatch([]insertion{{rec: rec, sliceLen: sliceLen, labelFn: labelFn}})
 }
 
+// InsertQuantized adds a recording whose canonical payload is the
+// given int16 counts on the float32 wire scale (see proto.Quantize) —
+// the zero-copy ingest path for quantized stores: the counts that
+// arrived on the wire ARE the stored data, so the record dequantizes
+// to exactly what the legacy dequantize-then-Insert path would have
+// stored, at a quarter of the resident bytes. rec.Samples must be nil;
+// counts ownership passes to the store.
+func (s *Store) InsertQuantized(rec *Record, counts []int16, scale float32, sliceLen int, labelFn func(start int) bool) (int, error) {
+	if rec != nil && rec.Samples != nil {
+		return 0, fmt.Errorf("mdb: InsertQuantized record must not carry float samples")
+	}
+	return s.insertBatch([]insertion{{rec: rec, counts: counts, scale: float64(scale), sliceLen: sliceLen, labelFn: labelFn}})
+}
+
 // insertion is one recording queued for insertBatch plus its slicing
-// and labelling rule.
+// and labelling rule. counts non-nil marks a quantized insertion.
 type insertion struct {
 	rec      *Record
+	counts   []int16
+	scale    float64
 	sliceLen int
 	labelFn  func(start int) bool
 }
@@ -182,11 +323,18 @@ func (s *Store) insertBatch(items []insertion) (int, error) {
 		if _, dup := next.records[rec.ID]; dup {
 			return 0, fmt.Errorf("mdb: duplicate record ID %q", rec.ID)
 		}
-		rec.stats = dsp.NewSlidingStats(rec.Samples)
+		if it.counts != nil {
+			rec.q = newQuantPayload(it.counts, it.scale)
+			rec.res.Store(rec.q.baseResident())
+			rec.tiers = s.tiers
+			s.tiers.register(rec)
+		} else {
+			rec.stats = dsp.NewSlidingStats(rec.Samples)
+		}
 		next.records[rec.ID] = rec
 		next.order = append(next.order, rec.ID)
-		next.totalSamples += len(rec.Samples)
-		for start := 0; start+it.sliceLen <= len(rec.Samples); start += it.sliceLen {
+		next.totalSamples += rec.Len()
+		for start := 0; start+it.sliceLen <= rec.Len(); start += it.sliceLen {
 			anomalous := false
 			if it.labelFn != nil {
 				anomalous = it.labelFn(start)
@@ -257,8 +405,13 @@ func (s *Store) SubsetSets(n int) *Store {
 	if n < 0 {
 		n = 0
 	}
-	return newStoreView(&view{records: cur.records, order: cur.order, sets: cur.sets[:n],
+	sub := newStoreView(&view{records: cur.records, order: cur.order, sets: cur.sets[:n],
 		totalSamples: cur.totalSamples})
+	// Shared records stay under the parent's residency manager.
+	sub.tiers = s.tiers
+	sub.quantized = s.quantized
+	sub.format = s.format
+	return sub
 }
 
 // RecordIDs returns the stored recording IDs in insertion order.
@@ -348,15 +501,27 @@ func (sn Snapshot) Shards(k int) [][]*SignalSet {
 
 // Window reads n samples of the signal-set's parent recording starting
 // at the given offset relative to the slice start (view semantics; see
-// the package comment).
+// the package comment). For a quantized record that is not hot, the
+// window is dequantized into a fresh slice without promoting the
+// record; hot and float-canonical records return a view into the
+// resident waveform.
 func (sn Snapshot) Window(set *SignalSet, offset, n int) ([]float64, bool) {
 	rec, exists := sn.ensure().records[set.RecordID]
 	if !exists {
 		return nil, false
 	}
 	abs := set.Start + offset
-	if abs < 0 || abs+n > len(rec.Samples) {
+	if abs < 0 || abs+n > rec.Len() {
 		return nil, false
+	}
+	if rec.q != nil {
+		res := rec.res.Load()
+		if res.tier == TierHot {
+			return res.f[abs : abs+n], true
+		}
+		out := make([]float64, n)
+		QuantView{Counts: res.counts, Scale: rec.q.scale}.Dequantize(out, abs, n)
+		return out, true
 	}
 	return rec.Samples[abs : abs+n], true
 }

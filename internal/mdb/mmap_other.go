@@ -1,0 +1,15 @@
+//go:build !unix
+
+package mdb
+
+import "errors"
+
+// mmapRef is a placeholder on platforms without mmap support; columnar
+// snapshots load eagerly there (see LoadFile).
+type mmapRef struct {
+	data []byte
+}
+
+var errNoMmap = errors.New("mdb: mmap unsupported on this platform")
+
+func mapFile(path string) (*mmapRef, error) { return nil, errNoMmap }

@@ -1,0 +1,47 @@
+//go:build unix
+
+package mdb
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"syscall"
+)
+
+// mmapRef owns one read-only file mapping. Records loaded from a
+// mapped columnar snapshot hold a pointer to it through their payload,
+// so the mapping is unmapped only when the GC proves no record — and
+// therefore no in-flight scan — can still reach the mapped bytes.
+// There is deliberately no explicit Close: eagerly unmapping under a
+// live reader would turn a stale read into a SIGSEGV.
+type mmapRef struct {
+	data []byte
+}
+
+// mapFile maps the whole file read-only. The returned bytes stay valid
+// for the lifetime of the mmapRef.
+func mapFile(path string) (*mmapRef, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, fmt.Errorf("mdb: cannot map %q (%d bytes)", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("mdb: mmap %q: %w", path, err)
+	}
+	ref := &mmapRef{data: data}
+	runtime.SetFinalizer(ref, func(r *mmapRef) {
+		_ = syscall.Munmap(r.data)
+	})
+	return ref, nil
+}

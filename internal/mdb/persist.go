@@ -1,17 +1,19 @@
 package mdb
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"emap/internal/dsp"
 	"emap/internal/synth"
 )
 
-// snapshot is the gob wire form of a Store. SlidingStats are derived
-// data and rebuilt on load.
+// snapshot is the gob wire form of a Store (format v1). SlidingStats
+// are derived data and rebuilt on load.
 type snapshot struct {
 	Version int
 	Records []recordSnap
@@ -28,8 +30,8 @@ type recordSnap struct {
 
 const snapshotVersion = 1
 
-// Save serialises the store to w (gob). The paper persists its MDB in
-// MongoDB; a snapshot file plays that role here so cmd/emap-mdb can
+// Save serialises the store to w (gob v1). The paper persists its MDB
+// in MongoDB; a snapshot file plays that role here so cmd/emap-mdb can
 // build once and the cloud server can load at startup. Save captures
 // one epoch: a concurrent Insert lands either wholly in the snapshot
 // or not at all. Callers that must know WHICH epoch was written (to
@@ -39,13 +41,15 @@ func (s *Store) Save(w io.Writer) error {
 	return s.Snapshot().Save(w)
 }
 
-// Save serialises the snapshot's epoch to w (gob) — the same wire
+// Save serialises the snapshot's epoch to w (gob v1) — the same wire
 // form as Store.Save, but pinned to the epoch the caller captured, so
 // the caller can afterwards compare the store's current Snapshot
 // against this one (snapshots are comparable) and find out whether an
-// insert advanced the store while the write ran.
+// insert advanced the store while the write ran. Quantized records are
+// dequantized into float64 — a lossless widening, so columnar→gob
+// conversion preserves values exactly.
 func (sn Snapshot) Save(w io.Writer) error {
-	v := sn.v
+	v := sn.ensure()
 	snap := snapshot{Version: snapshotVersion}
 	for _, id := range v.order {
 		r := v.records[id]
@@ -54,7 +58,7 @@ func (sn Snapshot) Save(w io.Writer) error {
 			Class:     int(r.Class),
 			Archetype: r.Archetype,
 			Onset:     r.Onset,
-			Samples:   r.Samples,
+			Samples:   r.floatSamples(),
 		})
 	}
 	for _, set := range v.sets {
@@ -63,8 +67,28 @@ func (sn Snapshot) Save(w io.Writer) error {
 	return gob.NewEncoder(w).Encode(&snap)
 }
 
-// Load deserialises a store previously written by Save.
+// SaveFormat serialises the snapshot's epoch to w in the given format.
+func (sn Snapshot) SaveFormat(w io.Writer, f Format) error {
+	if f == FormatColumnar {
+		return sn.SaveColumnar(w)
+	}
+	return sn.Save(w)
+}
+
+// Load deserialises a store previously written by Save, SaveColumnar,
+// or SaveFile in either format; the format is detected from the
+// leading bytes. Columnar snapshots load eagerly here (heap-resident
+// warm tier) — only LoadFile can establish the mmap cold tier.
 func Load(r io.Reader) (*Store, error) {
+	br := bufio.NewReader(r)
+	if magic, err := br.Peek(len(columnarMagic)); err == nil && string(magic) == columnarMagic {
+		return LoadColumnar(br)
+	}
+	return loadGob(br)
+}
+
+// loadGob deserialises a v1 gob snapshot.
+func loadGob(r io.Reader) (*Store, error) {
 	var snap snapshot
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("mdb: decoding snapshot: %w", err)
@@ -99,28 +123,92 @@ func Load(r io.Reader) (*Store, error) {
 	return newStoreView(v), nil
 }
 
-// SaveFile writes the store snapshot to the named file.
+// SaveFile writes the store snapshot to the named file in the store's
+// snapshot format.
 func (s *Store) SaveFile(path string) error {
-	return s.Snapshot().SaveFile(path)
+	return s.Snapshot().SaveFileFormat(path, s.format)
 }
 
-// SaveFile writes the snapshot's epoch to the named file.
+// SaveFile writes the snapshot's epoch to the named file (gob v1).
 func (sn Snapshot) SaveFile(path string) error {
-	f, err := os.Create(path)
+	return sn.SaveFileFormat(path, FormatGob)
+}
+
+// SaveFileFormat writes the snapshot's epoch to the named file in the
+// given format, atomically: the bytes go to a temp file in the same
+// directory, are fsynced, and replace the target via rename. A crash
+// mid-write (e.g. during Registry eviction — the tenant's ONLY copy)
+// leaves either the old complete snapshot or the new one, never a
+// torn file.
+func (sn Snapshot) SaveFileFormat(path string, f Format) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	if err := sn.Save(f); err != nil {
-		f.Close()
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	bw := bufio.NewWriter(tmp)
+	if err := sn.SaveFormat(bw, f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		return err
+	}
+	name := tmp.Name()
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	// Best effort: make the rename itself durable.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
-// LoadFile reads a store snapshot from the named file.
+// LoadFile reads a store snapshot from the named file, detecting the
+// format. Columnar snapshots are opened via mmap where the platform
+// supports it — records start in the cold tier and are served straight
+// from the page cache — falling back to an eager, fully-checksummed
+// heap load otherwise.
 func LoadFile(path string) (*Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
+		return nil, err
+	}
+	magic := make([]byte, len(columnarMagic))
+	n, _ := io.ReadFull(f, magic)
+	if n == len(columnarMagic) && string(magic) == columnarMagic && hostLittleEndian {
+		f.Close()
+		if ref, merr := mapFile(path); merr == nil {
+			s, perr := parseColumnar(ref.data, ref)
+			if perr != nil {
+				return nil, perr
+			}
+			return s, nil
+		}
+		// Mapping failed (platform or resource limits): fall through
+		// to the eager reader below.
+		f, err = os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+	} else if _, err := f.Seek(0, io.SeekStart); err != nil {
+		f.Close()
 		return nil, err
 	}
 	defer f.Close()

@@ -1,0 +1,205 @@
+package mdb
+
+import (
+	"emap/internal/dsp"
+	"emap/internal/proto"
+)
+
+// qBlockLen is the checkpoint interval of the quantized block prefix
+// sums: one (Σc, Σc²) int64 pair is stored every qBlockLen counts, so
+// any window's integer sums cost O(qBlockLen) partial additions plus
+// two checkpoint subtractions, while the overhead stays at
+// 16/qBlockLen = 0.25 bytes per sample. Full int64 prefix sums (16
+// bytes per sample) would cost 8× the samples they describe and erase
+// the compressed tier's footprint win.
+const qBlockLen = 64
+
+// Tier is a record's resident representation: hot records serve the
+// float64 scan path (FFT profiles, scalar kernels, O(1) float norms),
+// warm records hold their int16 counts in the heap and are scanned in
+// the compressed domain, cold records serve their counts straight out
+// of a memory-mapped columnar snapshot (the page cache is the only
+// copy). See DESIGN.md §14 for the transition diagram.
+type Tier int
+
+const (
+	// TierHot: dequantized float64 samples + sliding float stats are
+	// resident (24 bytes/sample). Legacy float-canonical records are
+	// permanently hot.
+	TierHot Tier = iota
+	// TierWarm: int16 counts + block sums resident in the heap
+	// (2.25 bytes/sample).
+	TierWarm
+	// TierCold: counts + block sums read from the mmap region of a
+	// columnar snapshot (0 heap bytes/sample).
+	TierCold
+)
+
+func (t Tier) String() string {
+	switch t {
+	case TierHot:
+		return "hot"
+	case TierWarm:
+		return "warm"
+	case TierCold:
+		return "cold"
+	}
+	return "unknown"
+}
+
+// quantPayload is a record's canonical quantized payload: the int16
+// counts, the float32-narrowed µV-per-count step, and the block
+// checkpoint sums. It is immutable after construction. The slices
+// point either into the heap (ingest-born records) or into an mmap
+// region (columnar snapshots); mref keeps the mapping alive for as
+// long as any payload references it.
+type quantPayload struct {
+	scale  float64
+	counts []int16
+	bsum   []int64 // bsum[i] = Σ counts[:i·qBlockLen], len = nBlocks+1
+	bsumSq []int64 // bsumSq[i] = Σ counts[:i·qBlockLen]², same length
+	mapped bool
+	mref   *mmapRef
+}
+
+// resident is one record's current resident representation, published
+// through Record.res. Promotion and demotion swap the whole struct
+// atomically, so a reader that loaded a resident keeps a coherent
+// (tier, slices) pair however the record moves under it; heap slices
+// stay live via GC and mapped slices via mref, so a demotion never
+// invalidates an in-flight scan.
+type resident struct {
+	tier   Tier
+	counts []int16
+	bsum   []int64
+	bsumSq []int64
+	// heapCopy marks counts/bsum/bsumSq as a promoted heap copy of a
+	// mapped payload — bytes the tier budget must account for.
+	heapCopy bool
+	// Hot-only: the dequantized waveform and its float sliding stats.
+	f     []float64
+	stats *dsp.SlidingStats
+}
+
+// newQuantPayload builds a heap-canonical payload from counts (which
+// it does NOT copy — callers hand over ownership) and the float32 wire
+// scale.
+func newQuantPayload(counts []int16, scale float64) *quantPayload {
+	bsum, bsumSq := blockSums(counts)
+	return &quantPayload{scale: scale, counts: counts, bsum: bsum, bsumSq: bsumSq}
+}
+
+// blockSums computes the checkpoint prefix sums of counts.
+func blockSums(counts []int16) (bsum, bsumSq []int64) {
+	nb := len(counts) / qBlockLen
+	bsum = make([]int64, nb+1)
+	bsumSq = make([]int64, nb+1)
+	var s, sq int64
+	for i, c := range counts {
+		if i%qBlockLen == 0 {
+			bsum[i/qBlockLen], bsumSq[i/qBlockLen] = s, sq
+		}
+		v := int64(c)
+		s += v
+		sq += v * v
+	}
+	if len(counts)%qBlockLen == 0 {
+		bsum[nb], bsumSq[nb] = s, sq
+	}
+	return bsum, bsumSq
+}
+
+// baseResident returns the payload's bottom-tier resident form.
+func (q *quantPayload) baseResident() *resident {
+	tier := TierWarm
+	if q.mapped {
+		tier = TierCold
+	}
+	return &resident{tier: tier, counts: q.counts, bsum: q.bsum, bsumSq: q.bsumSq}
+}
+
+// QuantView is the compressed-domain scan surface of one record: the
+// int16 counts, the reconstruction step, and O(qBlockLen) integer
+// window sums. The integer arithmetic is exact, so every quantity a
+// scan derives from a QuantView is a deterministic function of
+// (counts, scale) — identical whether the counts live in the heap or
+// in a memory map, which is what keeps tier moves invisible to search
+// results.
+type QuantView struct {
+	Counts []int16
+	Scale  float64
+	bsum   []int64
+	bsumSq []int64
+}
+
+// WindowSums returns (Σc, Σc²) over Counts[start:start+n], exactly,
+// from the block checkpoints plus at most 2·qBlockLen edge additions.
+func (qv QuantView) WindowSums(start, n int) (sum, sumSq int64) {
+	end := start + n
+	loBlk := (start + qBlockLen - 1) / qBlockLen // first checkpoint ≥ start
+	hiBlk := end / qBlockLen                     // last checkpoint ≤ end
+	if loBlk > hiBlk {
+		// Window inside one block: sum directly.
+		for _, c := range qv.Counts[start:end] {
+			v := int64(c)
+			sum += v
+			sumSq += v * v
+		}
+		return sum, sumSq
+	}
+	sum = qv.bsum[hiBlk] - qv.bsum[loBlk]
+	sumSq = qv.bsumSq[hiBlk] - qv.bsumSq[loBlk]
+	for _, c := range qv.Counts[start : loBlk*qBlockLen] {
+		v := int64(c)
+		sum += v
+		sumSq += v * v
+	}
+	for _, c := range qv.Counts[hiBlk*qBlockLen : end] {
+		v := int64(c)
+		sum += v
+		sumSq += v * v
+	}
+	return sum, sumSq
+}
+
+// Dequantize writes the float64 reconstruction of
+// Counts[start:start+n] into dst.
+func (qv QuantView) Dequantize(dst []float64, start, n int) {
+	s := qv.Scale
+	src := qv.Counts[start : start+n]
+	for i, c := range src {
+		dst[i] = float64(c) * s
+	}
+}
+
+// dequantizeAll materializes the payload's full float64 waveform.
+func (q *quantPayload) dequantizeAll() []float64 {
+	out := make([]float64, len(q.counts))
+	s := q.scale
+	for i, c := range q.counts {
+		out[i] = float64(c) * s
+	}
+	return out
+}
+
+// quantizeSamples quantizes a float64 waveform onto the shared
+// float32-narrowed grid (see proto.NarrowScale), returning the counts
+// and the step. Deterministic: the same samples always produce the
+// same (counts, scale), which is what makes columnar conversion
+// bit-stable.
+func quantizeSamples(samples []float64) ([]int16, float64) {
+	var peak float64
+	for _, v := range samples {
+		a := v
+		if a < 0 {
+			a = -a
+		}
+		if a > peak {
+			peak = a
+		}
+	}
+	scale := proto.NarrowScale(peak)
+	counts := make([]int16, len(samples))
+	proto.QuantizeTo(counts, samples, scale)
+	return counts, scale
+}

@@ -58,7 +58,15 @@ type Registry struct {
 	dir   string // "" = memory-only, eviction cannot persist
 	max   int    // ≤0 = unbounded
 	clock int64
-	open  map[string]*tenantSlot
+	// format, when set, overrides the per-store snapshot format on
+	// persist and makes freshly created tenant stores quantized
+	// (FormatColumnar). Set before the first Open.
+	format Format
+	// budget is the per-tenant tier byte budget applied to every store
+	// the registry opens or adopts (0: unlimited). Set before the
+	// first Open.
+	budget int64
+	open   map[string]*tenantSlot
 	// evicting maps tenants whose snapshot persist is in flight (the
 	// slow disk write runs outside mu) to a channel closed when it
 	// completes; Open of such a tenant waits so it reloads the fresh
@@ -99,6 +107,53 @@ func NewRegistry(dir string, max int) (*Registry, error) {
 
 // Dir returns the registry's snapshot directory ("" when memory-only).
 func (r *Registry) Dir() string { return r.dir }
+
+// SetSaveFormat selects the snapshot format the registry persists
+// tenants in, overriding each store's own preference; FormatColumnar
+// additionally makes freshly created tenant stores quantized, and
+// migrates gob-loaded tenants to columnar on their next eviction. Call
+// before the first Open.
+func (r *Registry) SetSaveFormat(f Format) {
+	r.mu.Lock()
+	r.format = f
+	r.mu.Unlock()
+}
+
+// SetStoreBudget applies a tier byte budget (see Store.SetTierBudget)
+// to every store the registry opens, adopts, or already holds. 0
+// removes the cap.
+func (r *Registry) SetStoreBudget(bytes int64) {
+	r.mu.Lock()
+	r.budget = bytes
+	slots := make([]*tenantSlot, 0, len(r.open))
+	for _, slot := range r.open {
+		if slot.resident {
+			slots = append(slots, slot)
+		}
+	}
+	r.mu.Unlock()
+	for _, slot := range slots {
+		slot.store.SetTierBudget(bytes)
+	}
+}
+
+// newTenantStore creates the store for a tenant with no snapshot,
+// honouring the registry's configured format and budget.
+func (r *Registry) newTenantStore() *Store {
+	r.mu.Lock()
+	format, budget := r.format, r.budget
+	r.mu.Unlock()
+	var s *Store
+	if format == FormatColumnar {
+		s = NewQuantizedStore()
+	} else {
+		s = NewStore()
+	}
+	if budget > 0 {
+		s.SetTierBudget(budget)
+	}
+	return s
+}
 
 // touch must be called with r.mu held.
 func (r *Registry) touch(slot *tenantSlot) {
@@ -162,7 +217,7 @@ func (r *Registry) Open(tenant string) (*Store, error) {
 			return nil, err
 		}
 
-		store := NewStore()
+		store := r.newTenantStore()
 		var loadErr error
 		if dir != "" {
 			path := filepath.Join(dir, tenant+snapExt)
@@ -172,6 +227,12 @@ func (r *Registry) Open(tenant string) (*Store, error) {
 					loadErr = fmt.Errorf("mdb: loading tenant %q: %w", tenant, err)
 				} else {
 					store = loaded
+					r.mu.Lock()
+					budget := r.budget
+					r.mu.Unlock()
+					if budget > 0 {
+						store.SetTierBudget(budget)
+					}
 				}
 			}
 		}
@@ -221,7 +282,11 @@ func (r *Registry) Adopt(tenant string, s *Store) error {
 	close(slot.ready)
 	r.touch(slot)
 	r.open[tenant] = slot
+	budget := r.budget
 	r.mu.Unlock()
+	if budget > 0 {
+		s.SetTierBudget(budget)
+	}
 	return r.finishEvicts(pend)
 }
 
@@ -384,9 +449,15 @@ func (r *Registry) persist(tenant string, s *Store) error {
 		return nil
 	}
 	path := filepath.Join(r.dir, tenant+snapExt)
+	r.mu.Lock()
+	format := r.format
+	r.mu.Unlock()
+	if format == 0 {
+		format = s.Format()
+	}
 	for {
 		snap := s.Snapshot()
-		if err := snap.SaveFile(path); err != nil {
+		if err := snap.SaveFileFormat(path, format); err != nil {
 			return fmt.Errorf("mdb: saving tenant %q: %w", tenant, err)
 		}
 		if s.Snapshot() == snap {

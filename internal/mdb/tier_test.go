@@ -1,0 +1,254 @@
+package mdb
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestQuantizedInsertStartsWarm: ingest-born quantized records rest at
+// the warm tier (heap-canonical counts) and never hold promoted bytes
+// until a float access forces them hot.
+func TestQuantizedInsertStartsWarm(t *testing.T) {
+	s := buildQuantStore(t, []int{1280, 1000})
+	for _, id := range s.RecordIDs() {
+		rec, _ := s.Record(id)
+		if rec.Tier() != TierWarm {
+			t.Fatalf("record %q starts %v, want warm", id, rec.Tier())
+		}
+	}
+	ts := s.TierStats()
+	if ts.HotBytes != 0 || ts.ColdBytes != 0 || ts.WarmBytes == 0 {
+		t.Fatalf("fresh quantized store tier stats = %+v", ts)
+	}
+	if ts.Promotions != 0 || ts.Demotions != 0 {
+		t.Fatalf("fresh store already counted transitions: %+v", ts)
+	}
+}
+
+// TestStatsPromotesToHot: the float-domain accessors force a quantized
+// record hot, and the promotion shows in the stats and counters.
+func TestStatsPromotesToHot(t *testing.T) {
+	s := buildQuantStore(t, []int{1280})
+	rec, _ := s.Record(s.RecordIDs()[0])
+	stats := rec.Stats()
+	if stats == nil || stats.Len() != 1280 {
+		t.Fatalf("promoted stats wrong: %v", stats)
+	}
+	if rec.Tier() != TierHot {
+		t.Fatalf("record is %v after Stats(), want hot", rec.Tier())
+	}
+	ts := s.TierStats()
+	if ts.HotBytes != hotChargeBytes(1280) || ts.Promotions != 1 {
+		t.Fatalf("tier stats after promotion = %+v", ts)
+	}
+	// The hot representation must be the exact dequantization.
+	qv, _ := rec.Quant()
+	f := rec.Float()
+	for i, c := range qv.Counts {
+		if f[i] != float64(c)*qv.Scale {
+			t.Fatalf("hot sample %d is %g, want %g", i, f[i], float64(c)*qv.Scale)
+		}
+	}
+}
+
+// TestBudgetDemotesLRU: shrinking the budget below the promoted bytes
+// demotes the least recently used records first, down to the warm
+// floor for heap-canonical payloads.
+func TestBudgetDemotesLRU(t *testing.T) {
+	s := buildQuantStore(t, []int{1000, 1000, 1000, 1000})
+	ids := s.RecordIDs()
+	for _, id := range ids {
+		rec, _ := s.Record(id)
+		rec.Stats() // force hot, LRU order = insertion order
+	}
+	if got := s.TierStats().HotBytes; got != 4*hotChargeBytes(1000) {
+		t.Fatalf("hot bytes before budget = %d", got)
+	}
+	// Budget for exactly one hot record: the three least recently used
+	// must fall back to warm; the most recent survives.
+	s.SetTierBudget(hotChargeBytes(1000))
+	ts := s.TierStats()
+	if ts.HotBytes != hotChargeBytes(1000) || ts.Demotions != 3 {
+		t.Fatalf("tier stats after budget = %+v", ts)
+	}
+	for i, id := range ids {
+		rec, _ := s.Record(id)
+		want := TierWarm
+		if i == len(ids)-1 {
+			want = TierHot
+		}
+		if rec.Tier() != want {
+			t.Fatalf("record %q is %v, want %v", id, rec.Tier(), want)
+		}
+	}
+	// Heap-canonical records must never demote below warm, however
+	// small the budget.
+	s.SetTierBudget(1)
+	for _, id := range ids {
+		rec, _ := s.Record(id)
+		if rec.Tier() == TierCold {
+			t.Fatalf("heap-canonical record %q demoted to cold", id)
+		}
+	}
+}
+
+// TestForcedPromotionOvershootsByOneRecord: with a budget smaller than
+// a single hot record, each Stats() call may overshoot by that one
+// record but must demote the previous one — the beyond-RAM steady
+// state.
+func TestForcedPromotionOvershootsByOneRecord(t *testing.T) {
+	s := buildQuantStore(t, []int{1000, 1000, 1000})
+	s.SetTierBudget(100) // far below hotChargeBytes(1000)
+	ids := s.RecordIDs()
+	for _, id := range ids {
+		rec, _ := s.Record(id)
+		rec.Stats()
+		if got := s.TierStats().HotBytes; got > hotChargeBytes(1000) {
+			t.Fatalf("more than one record hot under a sub-record budget: %d bytes", got)
+		}
+	}
+	ts := s.TierStats()
+	if ts.Promotions != 3 || ts.Demotions != 2 {
+		t.Fatalf("transition counters = %+v, want 3 promotions / 2 demotions", ts)
+	}
+}
+
+// TestOpportunisticPromotionNeedsBudget: scan touches climb a cold
+// record one tier only when a budget grants headroom; without a budget
+// the record stays compressed (that being the format's point), and
+// with headroom a touch promotes exactly one step.
+func TestOpportunisticPromotionNeedsBudget(t *testing.T) {
+	s := buildQuantStore(t, []int{1280})
+	path := filepath.Join(t.TempDir(), "mdb.col")
+	if err := s.Snapshot().SaveFileFormat(path, FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapFile(path); err != nil {
+		t.Skipf("mmap unavailable: %v", err)
+	}
+	cold, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := cold.Record(cold.RecordIDs()[0])
+	rec.Touch()
+	if rec.Tier() != TierCold {
+		t.Fatalf("budget-less touch moved the record to %v", rec.Tier())
+	}
+	cold.SetTierBudget(1 << 20)
+	rec.Touch()
+	if rec.Tier() != TierWarm {
+		t.Fatalf("touch with headroom left the record %v, want warm", rec.Tier())
+	}
+	rec.Touch()
+	if rec.Tier() != TierHot {
+		t.Fatalf("second touch left the record %v, want hot", rec.Tier())
+	}
+	ts := cold.TierStats()
+	if ts.Promotions != 2 {
+		t.Fatalf("promotions = %d, want 2", ts.Promotions)
+	}
+}
+
+// TestBeyondRAMBudget: a memory-mapped store whose full hot footprint
+// exceeds the budget many times over still serves every float read
+// correctly while the promoted bytes stay pinned near the budget —
+// the paging steady state, with both counters advancing.
+func TestBeyondRAMBudget(t *testing.T) {
+	lengths := make([]int, 24)
+	for i := range lengths {
+		lengths[i] = 4096
+	}
+	s := buildQuantStore(t, lengths)
+	path := filepath.Join(t.TempDir(), "mdb.col")
+	if err := s.Snapshot().SaveFileFormat(path, FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mapFile(path); err != nil {
+		t.Skipf("mmap unavailable: %v", err)
+	}
+	cold, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Budget: two hot records out of 24. The mapped file itself is
+	// bigger than the budget — the store genuinely exceeds its RAM
+	// allowance.
+	budget := 2 * hotChargeBytes(4096)
+	if st, err := os.Stat(path); err != nil || st.Size() <= budget {
+		t.Fatalf("fixture too small to exceed the budget: %v bytes vs %d", st.Size(), budget)
+	}
+	cold.SetTierBudget(budget)
+
+	// Sweep float reads over every record twice; each read must be the
+	// exact dequantization of the original counts whatever tier the
+	// record was in when asked.
+	for pass := 0; pass < 2; pass++ {
+		for _, id := range cold.RecordIDs() {
+			ref, _ := s.Record(id)
+			qv, _ := ref.Quant()
+			rec, _ := cold.Record(id)
+			f := rec.Float()
+			if len(f) != len(qv.Counts) {
+				t.Fatalf("record %q served %d samples, want %d", id, len(f), len(qv.Counts))
+			}
+			for i, c := range qv.Counts {
+				if f[i] != float64(c)*qv.Scale {
+					t.Fatalf("pass %d record %q sample %d = %g, want %g", pass, id, i, f[i], float64(c)*qv.Scale)
+				}
+			}
+		}
+	}
+	ts := cold.TierStats()
+	if ts.Promotions == 0 || ts.Demotions == 0 {
+		t.Fatalf("beyond-RAM sweep moved nothing: %+v", ts)
+	}
+	if ts.HotBytes > budget+hotChargeBytes(4096) {
+		t.Fatalf("hot bytes %d exceed budget %d by more than one record", ts.HotBytes, budget)
+	}
+	if ts.ColdBytes == 0 {
+		t.Fatalf("no records left cold under a 2-of-6 budget: %+v", ts)
+	}
+}
+
+// TestWindowSumsExact: the checkpointed integer window sums must equal
+// a direct summation for windows of every alignment, including ones
+// inside a single block and ones spanning the ragged tail.
+func TestWindowSumsExact(t *testing.T) {
+	n := 1000 // not a multiple of qBlockLen
+	counts := sineCounts(n, 11000, 0.3)
+	q := newQuantPayload(counts, 0.01)
+	qv := QuantView{Counts: q.counts, Scale: q.scale, bsum: q.bsum, bsumSq: q.bsumSq}
+	for _, win := range []struct{ start, n int }{
+		{0, n}, {0, 1}, {5, 20}, {63, 2}, {64, 64}, {65, 63},
+		{100, 500}, {937, 63}, {n - 1, 1}, {130, 1}, {0, 64}, {1, 127},
+	} {
+		var sum, sumSq int64
+		for _, c := range counts[win.start : win.start+win.n] {
+			sum += int64(c)
+			sumSq += int64(c) * int64(c)
+		}
+		gs, gq := qv.WindowSums(win.start, win.n)
+		if gs != sum || gq != sumSq {
+			t.Fatalf("WindowSums(%d,%d) = (%d,%d), want (%d,%d)", win.start, win.n, gs, gq, sum, sumSq)
+		}
+	}
+}
+
+// TestSubsetSharesTierState: a SubsetSets view shares the parent's
+// records, so a budget set on the parent governs accesses through the
+// subset too.
+func TestSubsetSharesTierState(t *testing.T) {
+	s := buildQuantStore(t, []int{1000, 1000})
+	sub := s.SubsetSets(1)
+	rec, _ := sub.Record(sub.RecordIDs()[0])
+	rec.Stats()
+	if got := s.TierStats().Promotions; got != 1 {
+		t.Fatalf("promotion through subset invisible to parent: %d", got)
+	}
+	s.SetTierBudget(1)
+	if got := sub.TierStats().Demotions; got == 0 {
+		t.Fatal("parent budget did not demote the subset's record")
+	}
+}

@@ -58,6 +58,13 @@ func CloudCollector(e *cloud.Engine) Collector {
 			counter(emit, "emap_tenant_cache_misses_total", "Correlation-set cache misses, by tenant.", float64(ts.CacheMisses), l)
 			counter(emit, "emap_tenant_ingests_total", "Recordings ingested, by tenant.", float64(ts.Ingests), l)
 			gauge(emit, "emap_tenant_request_latency_mean_seconds", "Mean per-request service time, by tenant.", ts.MeanLatency.Seconds(), l)
+			if ss, ok := e.StoreStatsFor(id); ok {
+				gauge(emit, "emap_tenant_store_bytes", "Resident store bytes, by tenant and tier.", float64(ss.HotBytes), l, Label{Name: "tier", Value: "hot"})
+				gauge(emit, "emap_tenant_store_bytes", "Resident store bytes, by tenant and tier.", float64(ss.WarmBytes), l, Label{Name: "tier", Value: "warm"})
+				gauge(emit, "emap_tenant_store_bytes", "Resident store bytes, by tenant and tier.", float64(ss.ColdBytes), l, Label{Name: "tier", Value: "cold"})
+				counter(emit, "emap_tenant_store_promotions_total", "Store tier promotions, by tenant.", float64(ss.Promotions), l)
+				counter(emit, "emap_tenant_store_demotions_total", "Store tier demotions, by tenant.", float64(ss.Demotions), l)
+			}
 		}
 	})
 }

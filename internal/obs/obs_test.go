@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"io"
+	"math"
 	"net/http"
 	"regexp"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"emap/internal/cloud"
 	"emap/internal/cluster"
+	"emap/internal/mdb"
 	"emap/internal/proto"
 )
 
@@ -146,6 +148,11 @@ func TestMetricsEndpoint(t *testing.T) {
 		"emap_cloud_rate_limited_total",
 		"emap_cloud_shed_total",
 		"emap_go_goroutines",
+		`emap_tenant_store_bytes{tenant="default",tier="hot"}`,
+		`emap_tenant_store_bytes{tenant="default",tier="warm"}`,
+		`emap_tenant_store_bytes{tenant="default",tier="cold"}`,
+		`emap_tenant_store_promotions_total{tenant="default"}`,
+		`emap_tenant_store_demotions_total{tenant="default"}`,
 	} {
 		if _, ok := samples[want]; !ok {
 			t.Fatalf("exposition missing %s", want)
@@ -159,6 +166,49 @@ func TestMetricsEndpoint(t *testing.T) {
 	hz.Body.Close()
 	if hz.StatusCode != http.StatusOK {
 		t.Fatalf("GET /healthz: %d", hz.StatusCode)
+	}
+}
+
+// TestStoreTierMetrics: a quantized-store tenant reports its resident
+// footprint per tier — ingested records sit warm (int16 in the heap),
+// nothing hot until a float access promotes — plus the lifetime
+// promotion/demotion counters.
+func TestStoreTierMetrics(t *testing.T) {
+	srv, err := cloud.NewServer(nil, cloud.Config{Workers: 1, StoreFormat: mdb.FormatColumnar})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	wave := make([]float64, 2500)
+	for i := range wave {
+		wave[i] = 40 * math.Sin(float64(i)/7)
+	}
+	counts, scale := proto.Quantize(wave)
+	ing := proto.Frame{
+		Version: proto.Version3,
+		Type:    proto.TypeIngest,
+		ID:      1,
+		Payload: proto.EncodeIngest(&proto.Ingest{Seq: 1, RecordID: "live-1", Onset: -1, Scale: scale, Samples: counts}),
+	}
+	if typ, _ := srv.ServeFrame(ing); typ != proto.TypeIngestAck {
+		t.Fatalf("ingest reply type %d", typ)
+	}
+
+	reg := NewRegistry()
+	reg.Register(CloudCollector(srv.Engine))
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseExposition(t, buf.String())
+	if warm := samples[`emap_tenant_store_bytes{tenant="default",tier="warm"}`]; warm <= 0 {
+		t.Fatalf("warm store bytes = %v, want > 0 after quantized ingest", warm)
+	}
+	if hot := samples[`emap_tenant_store_bytes{tenant="default",tier="hot"}`]; hot != 0 {
+		t.Fatalf("hot store bytes = %v, want 0 before any float access", hot)
+	}
+	if promos := samples[`emap_tenant_store_promotions_total{tenant="default"}`]; promos != 0 {
+		t.Fatalf("promotions = %v, want 0", promos)
 	}
 }
 

@@ -683,20 +683,25 @@ func Negotiate(ours, theirs uint8) uint8 {
 	return v
 }
 
-// Quantize converts µV samples to 16-bit counts, returning the counts
-// and the scale used (chosen so the extreme value maps near the rail).
-func Quantize(samples []float64) ([]int16, float32) {
-	var peak float64
-	for _, v := range samples {
-		if a := math.Abs(v); a > peak {
-			peak = a
-		}
-	}
+// NarrowScale returns the quantization step for samples peaking at the
+// given absolute value, pre-narrowed through the float32 wire grid: the
+// wire carries the scale as a float32, so counts must be rounded
+// against float64(float32(step)) — the step a decoder will actually
+// multiply by — or the encoder and decoder reconstruct on two slightly
+// different grids. Every quantizer in the system (wire uploads, the
+// columnar MDB store) shares this step choice so their grids agree.
+func NarrowScale(peak float64) float64 {
 	scale := peak / 32000
-	if scale <= 0 {
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
 		scale = 1.0 / 32000
 	}
-	out := make([]int16, len(samples))
+	return float64(float32(scale))
+}
+
+// QuantizeTo rounds samples onto the int16 grid with the given step
+// (normally NarrowScale of the peak), writing into dst (len(dst) must
+// be at least len(samples)) and saturating at the rails.
+func QuantizeTo(dst []int16, samples []float64, scale float64) {
 	for i, v := range samples {
 		q := math.Round(v / scale)
 		if q > math.MaxInt16 {
@@ -704,8 +709,25 @@ func Quantize(samples []float64) ([]int16, float32) {
 		} else if q < math.MinInt16 {
 			q = math.MinInt16
 		}
-		out[i] = int16(q)
+		dst[i] = int16(q)
 	}
+}
+
+// Quantize converts µV samples to 16-bit counts, returning the counts
+// and the scale used (chosen so the extreme value maps near the rail).
+// The counts are rounded against the float32-narrowed scale that is
+// returned — the grid Dequantize reconstructs on — so a round trip's
+// error is bounded by scale/2 per sample.
+func Quantize(samples []float64) ([]int16, float32) {
+	var peak float64
+	for _, v := range samples {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	scale := NarrowScale(peak)
+	out := make([]int16, len(samples))
+	QuantizeTo(out, samples, scale)
 	return out, float32(scale)
 }
 

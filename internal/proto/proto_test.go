@@ -217,6 +217,56 @@ func TestQuantizeRoundTrip(t *testing.T) {
 	}
 }
 
+// TestQuantizeGridMatchesWireScale pins the grid-mismatch fix: counts
+// must be rounded against the float32-NARROWED scale (the step a
+// decoder actually multiplies by), so the round-trip error is bounded
+// by half a step per sample. Before the fix, counts were rounded on
+// the float64 grid while Dequantize reconstructed on the float32 one,
+// and samples near count boundaries could land a full step off.
+func TestQuantizeGridMatchesWireScale(t *testing.T) {
+	r := rng.New(77)
+	for trial := 0; trial < 200; trial++ {
+		samples := make([]float64, 64)
+		// A peak value whose /32000 step does NOT round-trip through
+		// float32 exercises the narrowed grid; random scales find them.
+		for i := range samples {
+			samples[i] = r.Norm(0, 123.456)
+		}
+		counts, scale := Quantize(samples)
+		step := float64(scale)
+		back := Dequantize(counts, scale)
+		for i := range samples {
+			// Half a step, plus one ulp of slack for the final
+			// count·scale multiplication.
+			bound := step/2 + math.Abs(back[i])*1e-15
+			if c := counts[i]; c == math.MaxInt16 || c == math.MinInt16 {
+				bound = step // rail saturation may clip further
+			}
+			if err := math.Abs(back[i] - samples[i]); err > bound {
+				t.Fatalf("trial %d sample %d: round-trip error %g exceeds half-step %g (scale %g)",
+					trial, i, err, bound, step)
+			}
+		}
+	}
+}
+
+// NarrowScale must return exactly the grid the wire's float32 scale
+// reconstructs on, and QuantizeTo must round on it.
+func TestNarrowScaleIsWireGrid(t *testing.T) {
+	for _, peak := range []float64{1e-7, 0.3, 123.456, 9999.25} {
+		s := NarrowScale(peak)
+		if s != float64(float32(s)) {
+			t.Fatalf("NarrowScale(%g) = %g is not float32-representable", peak, s)
+		}
+		if s <= 0 {
+			t.Fatalf("NarrowScale(%g) = %g not positive", peak, s)
+		}
+	}
+	if s := NarrowScale(0); s <= 0 {
+		t.Fatal("degenerate peak must keep a positive step")
+	}
+}
+
 func TestQuantizeDegenerate(t *testing.T) {
 	counts, scale := Quantize(make([]float64, 8))
 	if scale <= 0 {

@@ -30,12 +30,19 @@ const (
 	// including the skip walk (which then replays its trajectory over
 	// the precomputed profile).
 	KernelFFT KernelMode = "fft"
+	// KernelQuant forces the compressed-domain kernel for every
+	// quantized record: FFT numerator profile over a transient
+	// scratch dequantization + exact mixed-domain rescore at the
+	// margin (internal/search/walkquant.go), never promoting records
+	// to the hot tier. Float-canonical records, which have no
+	// quantized payload, fall back to the float kernels.
+	KernelQuant KernelMode = "quant"
 )
 
 // ParseKernelMode validates a -kernel flag value.
 func ParseKernelMode(s string) (KernelMode, bool) {
 	switch KernelMode(s) {
-	case KernelAuto, KernelScalar, KernelFFT:
+	case KernelAuto, KernelScalar, KernelFFT, KernelQuant:
 		return KernelMode(s), true
 	case "":
 		return KernelAuto, true
@@ -79,11 +86,19 @@ type walkScratch struct {
 	// dense cursor instead of recomputed per (cursor, offset).
 	dens  []float64
 	qSpec map[qspecKey][]complex128
+	// qseg holds the current pass's scratch-dequantized segment for
+	// the compressed-domain dense walk: raw int16 counts widened to
+	// float64, transient and reused — the store's records stay
+	// compressed.
+	qseg []float64
 	// segReady/densReady mark segSpec and dens as holding the current
-	// pass's data; reset at the start of every (set, group) pass.
-	segReady  bool
-	densReady bool
-	buckets   [][]int32
+	// pass's data (qsegReady/qdensReady likewise for the quant walk);
+	// reset at the start of every (set, group) pass.
+	segReady   bool
+	densReady  bool
+	qsegReady  bool
+	qdensReady bool
+	buckets    [][]int32
 }
 
 type qspecKey struct {
@@ -157,7 +172,24 @@ func (s *Searcher) scanShardBatch(snap mdb.Snapshot, shard []*mdb.SignalSet, uni
 		if !ok {
 			continue
 		}
-		stats := rec.Stats()
+		// Tier residency: count the scan access (LRU stamp, possible
+		// opportunistic promotion under a byte budget).
+		rec.Touch()
+		// Compressed-domain dispatch: quant mode takes it for every
+		// quantized record; auto mode takes it for records that are
+		// not currently hot — promoting a warm/cold record just to
+		// scan it would defeat the tier budget. Scalar/FFT modes force
+		// hot promotion via rec.Stats() below.
+		var qv mdb.QuantView
+		useQuant := false
+		if p.Kernel == KernelQuant || (p.Kernel == KernelAuto && rec.Tier() != mdb.TierHot) {
+			qv, useQuant = rec.Quant()
+		}
+		var stats *dsp.SlidingStats
+		if !useQuant {
+			stats = rec.Stats()
+		}
+		recLen := rec.Len()
 		for gi := range groups {
 			n := groups[gi].n
 			var maxOff int
@@ -166,8 +198,8 @@ func (s *Searcher) scanShardBatch(snap mdb.Snapshot, shard []*mdb.SignalSet, uni
 			} else {
 				maxOff = set.Length - 1 // full coverage; window may cross into the parent recording
 			}
-			if set.Start+maxOff+n > stats.Len() {
-				maxOff = stats.Len() - n - set.Start
+			if set.Start+maxOff+n > recLen {
+				maxOff = recLen - n - set.Start
 			}
 			if maxOff < 0 {
 				continue
@@ -178,20 +210,28 @@ func (s *Searcher) scanShardBatch(snap mdb.Snapshot, shard []*mdb.SignalSet, uni
 				c := &cs[ci]
 				c.beta, c.env, c.found, c.evals, c.dense = 0, 0, false, 0, false
 			}
-			scr.segReady, scr.densReady = false, false
-			if denseAll {
+			switch {
+			case useQuant:
+				scr.qsegReady, scr.qdensReady = false, false
 				for ci := range cs {
-					s.walkDense(&cs[ci], stats, set.Start, n, maxOff, exhaustive, accs, set.ID, scr)
+					s.walkQuant(&cs[ci], qv, set.Start, n, maxOff, exhaustive, accs, set.ID, scr)
 				}
-			} else {
-				budget := 0
-				if auto {
-					budget = denseBudget(kernel.PlanSizeFor(maxOff+n), n)
-				}
-				s.walkSparse(cs, stats, set.Start, n, maxOff, exhaustive, accs, set.ID, budget, maxAdv, scr)
-				for ci := range cs {
-					if cs[ci].dense {
+			default:
+				scr.segReady, scr.densReady = false, false
+				if denseAll {
+					for ci := range cs {
 						s.walkDense(&cs[ci], stats, set.Start, n, maxOff, exhaustive, accs, set.ID, scr)
+					}
+				} else {
+					budget := 0
+					if auto {
+						budget = denseBudget(kernel.PlanSizeFor(maxOff+n), n)
+					}
+					s.walkSparse(cs, stats, set.Start, n, maxOff, exhaustive, accs, set.ID, budget, maxAdv, scr)
+					for ci := range cs {
+						if cs[ci].dense {
+							s.walkDense(&cs[ci], stats, set.Start, n, maxOff, exhaustive, accs, set.ID, scr)
+						}
 					}
 				}
 			}

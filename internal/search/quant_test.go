@@ -1,0 +1,269 @@
+package search
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"emap/internal/dataset"
+	"emap/internal/mdb"
+	"emap/internal/synth"
+)
+
+// quantizedCopy round-trips a store through the columnar v2 format and
+// loads it eagerly: the result is a warm, heap-resident quantized store
+// holding the int16 counts the float records quantize to.
+func quantizedCopy(t *testing.T, store *mdb.Store) *mdb.Store {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "q.col")
+	if err := store.Snapshot().SaveFileFormat(path, mdb.FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	qs, err := mdb.LoadColumnar(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs
+}
+
+// goldenQuantCompare runs the quantized-kernel equivalence battery
+// over one store. The reference is the scalar kernel over the SAME
+// quantized data (dequantized hot): the quantized path's exact
+// rescoring must reproduce its selection offset for offset, and the
+// exhaustive counters must match exactly — proof the integer prefilter
+// never dropped a candidate.
+func goldenQuantCompare(t *testing.T, store *mdb.Store, inputs [][]float64) {
+	t.Helper()
+	qs := quantizedCopy(t, store)
+	scalar := NewSearcher(qs, Params{Kernel: KernelScalar})
+	quant := NewSearcher(qs, Params{Kernel: KernelQuant})
+
+	refEx, err := scalar.ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotEx, err := quant.ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		assertSelectionEquivalent(t, "quant/exhaustive", refEx.Results[i], gotEx.Results[i])
+		assertCountersEqual(t, "quant/exhaustive", refEx.Results[i], gotEx.Results[i])
+	}
+
+	refSkip, err := scalar.AlgorithmN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSkip, err := quant.AlgorithmN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		assertSelectionEquivalent(t, "quant/skip", refSkip.Results[i], gotSkip.Results[i])
+	}
+
+	// KernelAuto over a fresh warm store must take the compressed-domain
+	// path — visible as the records staying warm (the scalar kernel
+	// would have promoted them hot) — and still reproduce the selection.
+	autoStore := quantizedCopy(t, store)
+	gotAuto, err := NewSearcher(autoStore, Params{Kernel: KernelAuto}).ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		assertSelectionEquivalent(t, "auto/exhaustive", refEx.Results[i], gotAuto.Results[i])
+	}
+	for _, id := range autoStore.RecordIDs() {
+		rec, _ := autoStore.Record(id)
+		if rec.Tier() != mdb.TierWarm {
+			t.Fatalf("KernelAuto promoted record %q to %v — did not scan compressed", id, rec.Tier())
+		}
+	}
+}
+
+// TestGoldenQuantVsScalarSynthetic: the equivalence contract over the
+// standard synthetic fixture, including a mixed-length batch.
+func TestGoldenQuantVsScalarSynthetic(t *testing.T) {
+	f := newFixture(t, 2)
+	long := f.input(synth.Seizure, 0)
+	inputs := [][]float64{
+		f.input(synth.Normal, 0),
+		long,
+		long[:128], // second length group
+		f.input(synth.Normal, 2),
+	}
+	goldenQuantCompare(t, f.store, inputs)
+}
+
+// TestGoldenQuantVsScalarDegenerate: constant stored regions quantize
+// to constant counts, the integer variance cancels exactly, and both
+// kernels must agree the correlation there is exactly 0.
+func TestGoldenQuantVsScalarDegenerate(t *testing.T) {
+	g := synth.NewGenerator(synth.Config{Seed: 23, ArchetypesPerClass: 1})
+	live := g.Instance(synth.Normal, 0, synth.InstanceOpts{DurSeconds: 12})
+	samples := make([]float64, 0, 5000)
+	samples = append(samples, live.Samples[:1500]...)
+	for i := 0; i < 2200; i++ {
+		samples = append(samples, 42.5)
+	}
+	samples = append(samples, live.Samples[1500:2800]...)
+	store := mdb.NewStore()
+	if _, err := store.Insert(&mdb.Record{ID: "plateau", Samples: samples}, 500, nil); err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, 1)
+	inputs := [][]float64{f.input(synth.Normal, 0), f.input(synth.Normal, 0)[:100]}
+	goldenQuantCompare(t, store, inputs)
+}
+
+// TestGoldenQuantVsScalarEDFStore: the contract over an EDF-derived
+// store — data that already survived one 16-bit quantization before
+// the columnar conversion applies its own.
+func TestGoldenQuantVsScalarEDFStore(t *testing.T) {
+	g := synth.NewGenerator(synth.Config{Seed: 31, ArchetypesPerClass: 2})
+	var recs []*synth.Recording
+	for arch := 0; arch < 2; arch++ {
+		recs = append(recs,
+			g.Instance(synth.Normal, arch, synth.InstanceOpts{DurSeconds: 25}),
+			g.Instance(synth.Seizure, arch, synth.InstanceOpts{
+				OffsetSamples: (synth.OnsetAt - 15) * 256, DurSeconds: 30}),
+		)
+	}
+	dir := t.TempDir()
+	if _, err := dataset.Export(dir, recs); err != nil {
+		t.Fatal(err)
+	}
+	imported, err := dataset.Import(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := mdb.Build(imported, mdb.DefaultBuildConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := newFixture(t, 1)
+	inputs := [][]float64{f.input(synth.Normal, 0), f.input(synth.Seizure, 1)}
+	goldenQuantCompare(t, store, inputs)
+}
+
+// TestQuantKernelFloatStoreFallback: KernelQuant over a legacy float
+// store has nothing to scan compressed — it must fall back to the
+// float kernels and stay selection-equivalent to the scalar reference
+// (the standard kernel contract).
+func TestQuantKernelFloatStoreFallback(t *testing.T) {
+	f := newFixture(t, 1)
+	inputs := [][]float64{f.input(synth.Normal, 0), f.input(synth.Seizure, 0)}
+	ref, err := NewSearcher(f.store, Params{Kernel: KernelScalar}).ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSearcher(f.store, Params{Kernel: KernelQuant}).ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		assertSelectionEquivalent(t, "quant/float-fallback", ref.Results[i], got.Results[i])
+		assertCountersEqual(t, "quant/float-fallback", ref.Results[i], got.Results[i])
+	}
+}
+
+// TestQuantOmegaWithinDocumentedTolerance: against the ORIGINAL float
+// store (before quantization), the quantized store's scores differ
+// only by the payload quantization — the top match must stay the same
+// and its ω must sit within the documented tolerance.
+func TestQuantOmegaWithinDocumentedTolerance(t *testing.T) {
+	f := newFixture(t, 2)
+	input := f.input(synth.Seizure, 1)
+	ref, err := NewSearcher(f.store, Params{Kernel: KernelScalar}).Exhaustive(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := quantizedCopy(t, f.store)
+	got, err := NewSearcher(qs, Params{Kernel: KernelQuant}).Exhaustive(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Matches) == 0 || len(got.Matches) == 0 {
+		t.Fatal("fixture produced no matches")
+	}
+	r, g := ref.Matches[0], got.Matches[0]
+	if r.SetID != g.SetID || r.Beta != g.Beta {
+		t.Fatalf("top match moved under quantization: (set %d, β %d) vs (set %d, β %d)",
+			g.SetID, g.Beta, r.SetID, r.Beta)
+	}
+	// Payload quantization perturbs each stored sample by ≤ step/2;
+	// 2e-3 is comfortably above the resulting ω error for 256-sample
+	// windows (see DESIGN.md §14) and far below match-significant
+	// differences.
+	if d := math.Abs(r.Omega - g.Omega); d > 2e-3 {
+		t.Fatalf("top ω moved by %g under quantization (float %g, quant %g)", d, r.Omega, g.Omega)
+	}
+}
+
+// TestBeyondRAMQuantSearch: a memory-mapped columnar store whose file
+// exceeds the promotion budget, scanned with the float-demanding
+// scalar kernel, must page records through the hot tier (promotions
+// AND demotions) while answering exactly like a fully-resident load of
+// the same snapshot.
+func TestBeyondRAMQuantSearch(t *testing.T) {
+	f := newFixture(t, 2)
+	path := filepath.Join(t.TempDir(), "big.col")
+	if err := f.store.Snapshot().SaveFileFormat(path, mdb.FormatColumnar); err != nil {
+		t.Fatal(err)
+	}
+	cold, err := mdb.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec, _ := cold.Record(cold.RecordIDs()[0]); rec.Tier() != mdb.TierCold {
+		t.Skipf("mmap unavailable; store loaded %v", rec.Tier())
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(200 << 10)
+	if st.Size() <= budget {
+		t.Fatalf("fixture snapshot (%d bytes) does not exceed the %d-byte budget", st.Size(), budget)
+	}
+	cold.SetTierBudget(budget)
+
+	eager, err := mdb.LoadColumnar(mustOpen(t, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := [][]float64{f.input(synth.Normal, 0), f.input(synth.Seizure, 1)}
+	ref, err := NewSearcher(eager, Params{Kernel: KernelScalar}).ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewSearcher(cold, Params{Kernel: KernelScalar}).ExhaustiveN(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range inputs {
+		assertSelectionEquivalent(t, "beyond-ram", ref.Results[i], got.Results[i])
+		assertCountersEqual(t, "beyond-ram", ref.Results[i], got.Results[i])
+	}
+	ts := cold.TierStats()
+	if ts.Promotions == 0 || ts.Demotions == 0 {
+		t.Fatalf("beyond-RAM scan moved nothing through the tiers: %+v", ts)
+	}
+}
+
+func mustOpen(t *testing.T, path string) *os.File {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}

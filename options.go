@@ -51,6 +51,7 @@ const (
 	KernelAuto   = search.KernelAuto
 	KernelScalar = search.KernelScalar
 	KernelFFT    = search.KernelFFT
+	KernelQuant  = search.KernelQuant
 )
 
 // WithKernel selects the correlation kernel dispatch mode without
@@ -226,6 +227,33 @@ func WithMaxTenants(n int) CloudOption {
 // seed store.
 func WithTenant(id string) CloudOption {
 	return func(s *cloudSetup) { s.cfg.DefaultTenant = id }
+}
+
+// StoreFormat selects the on-disk snapshot encoding: FormatGob is the
+// v1 float64 gob stream, FormatColumnar the v2 quantized columnar
+// layout that memory-maps on load and scans compressed (DESIGN.md §14).
+type StoreFormat = mdb.Format
+
+// The snapshot formats.
+const (
+	FormatGob      = mdb.FormatGob
+	FormatColumnar = mdb.FormatColumnar
+)
+
+// WithStoreBudget caps the bytes each tenant store may spend on
+// tier promotions (hot float64 materialisations and warm heap copies
+// of memory-mapped data). Once the budget is exhausted the least
+// recently used records are demoted back toward their compressed
+// resting tier; ≤0 leaves promotion unbounded. See DESIGN.md §14.
+func WithStoreBudget(bytes int64) CloudOption {
+	return func(s *cloudSetup) { s.cfg.HotBytes = bytes }
+}
+
+// WithStoreFormat selects the snapshot format tenant stores persist
+// to and the representation fresh tenants ingest into (FormatColumnar
+// stores hold int16 counts and serve the quantized kernel directly).
+func WithStoreFormat(f StoreFormat) CloudOption {
+	return func(s *cloudSetup) { s.cfg.StoreFormat = f }
 }
 
 // NewCloud assembles a multi-tenant cloud server: a tenant registry
