@@ -567,6 +567,82 @@ func BenchmarkQuantizedScan(b *testing.B) {
 	})
 }
 
+// BenchmarkPipelineThroughput measures the stage pipeline end to end:
+// windows pushed through a live stream against the same store, single
+// channel vs an 8-channel montage (per-channel filter and quantize
+// lanes run concurrently; the agreement stage serialises tracking).
+// chan-windows/s counts per-channel windows, so perfect fan-out would
+// hold it flat as channels grow; the gap to flat is the price of the
+// ordered join and the shared cloud actor.
+func BenchmarkPipelineThroughput(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	store, err := emap.BuildMDB(gen.TrainingRecordings(3, 2))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const windows = 12
+	const wlen = 256
+	input := gen.SeizureInput(0, 30, windows)
+	ctx := context.Background()
+
+	b.Run("channels=1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sess, err := emap.NewSession(store, emap.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream, err := sess.Start(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for range stream.Reports() {
+				}
+			}()
+			for k := 0; k < windows; k++ {
+				if err := stream.Push(input.Samples[k*wlen : (k+1)*wlen]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := stream.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(windows*b.N)/b.Elapsed().Seconds(), "chan-windows/s")
+	})
+
+	b.Run("channels=8", func(b *testing.B) {
+		const channels = 8
+		for i := 0; i < b.N; i++ {
+			sess, err := emap.NewSession(store, emap.Config{Channels: channels})
+			if err != nil {
+				b.Fatal(err)
+			}
+			mst, err := sess.StartMulti(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			go func() {
+				for range mst.Reports() {
+				}
+			}()
+			for k := 0; k < windows; k++ {
+				row := make(emap.MultiWindow, channels)
+				for c := range row {
+					row[c] = input.Samples[k*wlen : (k+1)*wlen]
+				}
+				if err := mst.Push(row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := mst.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(channels*windows*b.N)/b.Elapsed().Seconds(), "chan-windows/s")
+	})
+}
+
 // BenchmarkMDBConstruction measures the full corpus-to-store pipeline.
 func BenchmarkMDBConstruction(b *testing.B) {
 	gen := emap.NewGenerator(1)

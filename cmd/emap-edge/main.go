@@ -1,19 +1,23 @@
-// Command emap-edge runs the edge tier: it streams a synthetic EEG
-// recording through the acquisition pipeline, uploads one-second
-// windows to a running emap-cloud, tracks the returned correlation
-// sets locally, and prints per-second anomaly probabilities.
+// Command emap-edge runs the edge tier: it streams a synthetic
+// biosignal recording through the acquisition pipeline, uploads
+// one-second windows to a running emap-cloud, tracks the returned
+// correlation sets locally, and prints per-second anomaly
+// probabilities.
 //
 // Usage:
 //
 //	emap-edge [-addr localhost:7300] [-class seizure] [-lead 30]
 //	          [-seconds 30] [-seed 2020] [-arch 0]
-//	          [-tenant ID] [-ingest]
+//	          [-tenant ID] [-modality eeg] [-ingest]
 //	          [-connect-retries 5] [-keepalive 30s] [-refresh-retries 5]
 //
 // -tenant routes every request to the named cloud tenant store
 // (protocol v3); -ingest additionally contributes the streamed
 // recording to that store afterwards, so the tenant's mega-database
-// grows with each session.
+// grows with each session. -modality ecg monitors the second signal
+// kind (classes ecg-normal|arrhythmia) and lands all cloud traffic in
+// the modality-suffixed tenant namespace ("<tenant>-ecg"), keeping ECG
+// signal-sets out of the EEG mega-database.
 //
 // The connection is resilient by default: the initial connect retries
 // with exponential backoff (-connect-retries attempts), an idle link
@@ -70,7 +74,7 @@ func connect(ctx context.Context, addr, tenant string, retries int, keepalive ti
 
 func main() {
 	addr := flag.String("addr", "localhost:7300", "cloud address")
-	className := flag.String("class", "seizure", "input class: normal|seizure|encephalopathy|stroke")
+	className := flag.String("class", "seizure", "input class: normal|seizure|encephalopathy|stroke (eeg) or ecg-normal|arrhythmia (ecg)")
 	lead := flag.Float64("lead", 30, "seizure inputs: seconds before onset")
 	seconds := flag.Float64("seconds", 30, "input duration")
 	seed := flag.Uint64("seed", 2020, "generator seed (match the cloud's for retrievable inputs)")
@@ -78,6 +82,7 @@ func main() {
 	realtime := flag.Bool("realtime", false, "pace the stream at one window per second")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-exchange cloud timeout")
 	tenant := flag.String("tenant", "", "cloud tenant/store ID (empty: server default)")
+	modality := flag.String("modality", "eeg", "signal modality: eeg|ecg (ecg suffixes the tenant namespace)")
 	ingest := flag.Bool("ingest", false, "contribute the streamed recording to the tenant store afterwards")
 	connectRetries := flag.Int("connect-retries", 5, "initial connection attempts (exponential backoff between them)")
 	keepalive := flag.Duration("keepalive", 30*time.Second, "idle-connection probe interval (0 disables)")
@@ -89,20 +94,23 @@ func main() {
 
 	var class emap.Class
 	found := false
-	for _, c := range synth.Classes {
+	for _, c := range synth.ClassesFor(*modality) {
 		if c.String() == *className {
 			class, found = c, true
 		}
 	}
 	if !found {
-		log.Fatalf("emap-edge: unknown class %q", *className)
+		log.Fatalf("emap-edge: unknown class %q for modality %q", *className, *modality)
 	}
 
 	gen := emap.NewGenerator(*seed)
 	var input *emap.Recording
-	if class == emap.Seizure {
+	switch class {
+	case emap.Seizure:
 		input = gen.SeizureInput(*arch, *lead, *seconds)
-	} else {
+	case emap.Arrhythmia:
+		input = gen.ArrhythmiaInput(*arch, *lead, *seconds)
+	default:
 		input = gen.Instance(class, *arch, emap.InstanceOpts{
 			OffsetSamples: 3000, DurSeconds: *seconds})
 	}
@@ -115,21 +123,23 @@ func main() {
 	if err := client.Ping(ctx); err != nil {
 		log.Fatalf("emap-edge: cloud not responding: %v", err)
 	}
-	fmt.Printf("negotiated protocol v%d", client.Version())
-	if *tenant != "" {
-		fmt.Printf(", tenant %q", *tenant)
-	}
-	fmt.Println()
-
 	dev, err := edge.NewDevice(client, edge.Config{
 		CloudTimeout:   *timeout,
 		Tenant:         *tenant,
+		Modality:       *modality,
 		RefreshRetries: *refreshRetries,
 	})
 	if err != nil {
 		log.Fatalf("emap-edge: %v", err)
 	}
 	defer dev.Close()
+	fmt.Printf("negotiated protocol v%d", client.Version())
+	// The device derives the effective tenant from -tenant and
+	// -modality (e.g. ward-7 + ecg → ward-7-ecg).
+	if t := client.Tenant(); t != "" {
+		fmt.Printf(", tenant %q", t)
+	}
+	fmt.Println()
 
 	fmt.Printf("streaming %s (%s, %.0f s) to %s\n", input.ID, class, *seconds, *addr)
 	for k := 0; k+256 <= len(input.Samples); k += 256 {

@@ -94,12 +94,21 @@ type (
 	InstanceOpts = synth.InstanceOpts
 )
 
-// The four signal classes.
+// The four EEG signal classes.
 const (
 	Normal         = synth.Normal
 	Seizure        = synth.Seizure
 	Encephalopathy = synth.Encephalopathy
 	Stroke         = synth.Stroke
+)
+
+// The ECG-modality classes (see WithModality and DESIGN.md §15): the
+// same sample→search→track loop monitors single-lead ECG against an
+// ECG mega-database, with ventricular arrhythmia as the predicted
+// anomaly.
+const (
+	ECGNormal  = synth.ECGNormal
+	Arrhythmia = synth.Arrhythmia
 )
 
 // BaseRate is the framework's sampling frequency in Hz.
@@ -163,11 +172,64 @@ func (g *Generator) TrainingRecordings(archetypes, instancesPerClass int) []*Rec
 	return recs
 }
 
+// ECGTrainingRecordings draws an ECG mega-database population: the
+// ECG counterpart of TrainingRecordings. Arrhythmia crops always
+// include the onset (so slice labelling can split the pre-arrhythmic
+// window from the sinus-dominated head) and normal sinus crops spread
+// across the canonical recording.
+func (g *Generator) ECGTrainingRecordings(archetypes, instancesPerClass int) []*Recording {
+	if archetypes <= 0 {
+		archetypes = g.Archetypes()
+	}
+	var recs []*Recording
+	for _, class := range synth.ECGClasses {
+		n := instancesPerClass
+		if class == ECGNormal {
+			n *= 3
+		}
+		for arch := 0; arch < archetypes; arch++ {
+			for i := 0; i < n; i++ {
+				var rec *Recording
+				if class == Arrhythmia {
+					off := (synth.OnsetAt - 90) * 256
+					if n > 1 {
+						off += i * 40 * 256 / (n - 1) // latest crop still spans the onset
+					}
+					rec = g.Instance(class, arch, synth.InstanceOpts{
+						OffsetSamples: off, DurSeconds: 120})
+				} else {
+					off := 0
+					if n > 1 {
+						off = i * (synth.NormalDur - 90) * 256 / (n - 1)
+					}
+					rec = g.Instance(class, arch, synth.InstanceOpts{
+						OffsetSamples: off, DurSeconds: 90})
+				}
+				recs = append(recs, rec)
+			}
+		}
+	}
+	return recs
+}
+
 // BuildMDB constructs a mega-database from raw recordings using the
 // paper's pipeline: resample to 256 Hz, bandpass 11–40 Hz, slice into
 // 1000-sample signal-sets, label.
 func BuildMDB(recs []*Recording) (*Store, error) {
 	return mdb.Build(recs, mdb.DefaultBuildConfig())
+}
+
+// BuildECGMDB constructs an ECG-modality mega-database: the standard
+// pipeline with the shorter ECG anomalous-label horizon
+// (synth.ECGPreArrhythmicSeconds) — sinus rhythm is quasi-periodic, so
+// only the last pre-onset minute, where the fractionation rhythm
+// carries real power, is separable enough to label anomalous. Serve
+// the result under a distinct tenant (e.g. "<ward>-ecg") so ECG
+// signal-sets never mix with an EEG store.
+func BuildECGMDB(recs []*Recording) (*Store, error) {
+	cfg := mdb.DefaultBuildConfig()
+	cfg.PreictalLabelSeconds = synth.ECGPreArrhythmicSeconds
+	return mdb.Build(recs, cfg)
 }
 
 // BuildMDBWithConfig constructs a mega-database with explicit

@@ -1,0 +1,86 @@
+package emap_test
+
+import (
+	"context"
+	"testing"
+
+	"emap"
+)
+
+// TestECGSurface drives the root multi-modal API end to end at small
+// scale: build an ECG mega-database, open a session with the modality
+// and multi-channel options, and run a short two-channel stream. The
+// full separation behaviour (pre-arrhythmic flagged, sinus quiet) is
+// covered by internal/core; this test pins the public plumbing.
+func TestECGSurface(t *testing.T) {
+	gen := emap.NewGenerator(46)
+	recs := gen.ECGTrainingRecordings(2, 1)
+	if len(recs) == 0 {
+		t.Fatal("no ECG training recordings")
+	}
+	for _, r := range recs {
+		if r.Class != emap.ECGNormal && r.Class != emap.Arrhythmia {
+			t.Fatalf("non-ECG class %v in ECG training set", r.Class)
+		}
+	}
+	store, err := emap.BuildECGMDB(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	normal, anomalous := store.LabelCounts()
+	if normal == 0 || anomalous == 0 {
+		t.Fatalf("ECG store labels: %d normal, %d anomalous — want both", normal, anomalous)
+	}
+
+	sess, err := emap.New(store,
+		emap.WithModality("ecg"),
+		emap.WithChannels(2),
+		emap.WithAgreement(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sess.Config()
+	if cfg.Modality != "ecg" || cfg.Channels != 2 || cfg.Agreement != 2 {
+		t.Fatalf("options did not plumb through: modality=%q channels=%d agreement=%d",
+			cfg.Modality, cfg.Channels, cfg.Agreement)
+	}
+
+	// A short two-channel run over sinus rhythm: both channels quiet,
+	// so the K=2 alarm must stay silent.
+	mst, err := sess.StartMulti(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := gen.Instance(emap.ECGNormal, 0, emap.InstanceOpts{OffsetSamples: 0, DurSeconds: 8})
+	wlen := 256
+	go func() {
+		for off := 0; off+wlen <= len(in.Samples); off += wlen {
+			w := in.Samples[off : off+wlen]
+			if err := mst.Push(emap.MultiWindow{w, w}); err != nil {
+				return
+			}
+		}
+	}()
+	for rep := range mst.Reports() {
+		if rep.Alarm {
+			t.Errorf("window %d: sinus input raised the 2-of-2 alarm", rep.Window)
+		}
+		if rep.Window == 7 {
+			break
+		}
+	}
+	rep, err := mst.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Modality != "ecg" || rep.Channels != 2 || rep.Agreement != 2 {
+		t.Fatalf("multi report header: %+v", rep)
+	}
+	if rep.Alarm {
+		t.Fatal("final alarm set on sinus input")
+	}
+	if len(mst.Stats()) == 0 {
+		t.Fatal("no pipeline stage stats")
+	}
+}

@@ -1,0 +1,52 @@
+package clock
+
+import "time"
+
+// Alarm abstracts the one wall-clock deadline in the streaming core:
+// the close-grace window a closing stream gives a slow consumer. The
+// rest of a session runs on the simulated Clock, which nothing
+// advances in real time — so the grace cannot be expressed as a
+// simulated event, and a bare time.NewTimer in the stream made the
+// shutdown tests hostage to CI scheduling. Routing the deadline
+// through an injected Alarm keeps the production default (a real
+// timer) while letting tests substitute a hand-fired one and make the
+// grace expiry a deterministic program event.
+type Alarm interface {
+	// Start arms the alarm for duration d and returns the channel it
+	// fires on plus a release function (always safe to call; it never
+	// blocks and frees the underlying timer).
+	Start(d time.Duration) (<-chan time.Time, func())
+}
+
+// WallAlarm is the production Alarm: a real time.Timer.
+type WallAlarm struct{}
+
+// Start arms a wall-clock timer.
+func (WallAlarm) Start(d time.Duration) (<-chan time.Time, func()) {
+	t := time.NewTimer(d)
+	return t.C, func() { t.Stop() }
+}
+
+// ManualAlarm is a test Alarm that fires only when Fire is called —
+// the requested duration is ignored, so a test decides exactly when
+// the grace expires regardless of machine speed.
+type ManualAlarm struct {
+	c chan time.Time
+}
+
+// NewManualAlarm returns an unfired manual alarm.
+func NewManualAlarm() *ManualAlarm {
+	return &ManualAlarm{c: make(chan time.Time)}
+}
+
+// Start hands out the shared fire channel; d is ignored.
+func (a *ManualAlarm) Start(d time.Duration) (<-chan time.Time, func()) {
+	return a.c, func() {}
+}
+
+// Fire expires the alarm: it blocks until a Start-ed waiter receives
+// (rendezvous semantics make the expiry a synchronisation point the
+// test can order against).
+func (a *ManualAlarm) Fire() {
+	a.c <- time.Time{}
+}

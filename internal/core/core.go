@@ -68,6 +68,25 @@ type Config struct {
 	// without searching, letting the acquisition filter settle
 	// (default 1; the first window carries the 100-tap transient).
 	WarmupWindows int
+	// CloseGrace bounds how long a closing stream keeps trying to
+	// deliver an undelivered StepReport to a slow consumer (default
+	// 100 ms of wall time; the simulated clock never advances in
+	// real time, so this is the one wall-clock knob a stream has).
+	CloseGrace time.Duration
+	// Channels is the number of concurrently monitored channels for
+	// multi-channel runs (Session.StartMulti); default 1. Single
+	// streams (Session.Start) always monitor one channel.
+	Channels int
+	// Agreement is K of the K-of-N cross-channel agreement rule: the
+	// alarm raises only while at least K channel predictors concur.
+	// Default is a strict majority of Channels; values above
+	// Channels are clamped.
+	Agreement int
+	// Modality labels the signal kind this session monitors ("eeg"
+	// default, "ecg" for the heart-rate tier). It selects nothing in
+	// core — training data and tenant routing carry the semantics —
+	// but it flows into reports and the edge tenant namespace.
+	Modality string
 	// Cost model (see costs.go) — zero values take defaults.
 	Costs CostModel
 }
@@ -145,6 +164,21 @@ func (c Config) withDefaults() (Config, error) {
 	if c.WarmupWindows <= 0 {
 		c.WarmupWindows = 1
 	}
+	if c.CloseGrace <= 0 {
+		c.CloseGrace = defaultCloseGrace
+	}
+	if c.Channels <= 0 {
+		c.Channels = 1
+	}
+	if c.Agreement <= 0 {
+		c.Agreement = c.Channels/2 + 1
+	}
+	if c.Agreement > c.Channels {
+		c.Agreement = c.Channels
+	}
+	if c.Modality == "" {
+		c.Modality = "eeg"
+	}
 	c.Costs = c.Costs.withDefaults()
 	return c, nil
 }
@@ -166,6 +200,10 @@ type Session struct {
 	cloud *clock.Actor
 
 	predictor *track.Predictor
+
+	// alarm drives the close-grace deadline; tests substitute a
+	// clock.ManualAlarm to make grace expiry deterministic.
+	alarm clock.Alarm
 
 	mu     sync.Mutex
 	active bool // a Stream is running
@@ -208,6 +246,7 @@ func NewSession(store *mdb.Store, cfg Config) (*Session, error) {
 		edge:      clk.Actor("edge"),
 		cloud:     clk.Actor("cloud"),
 		predictor: track.NewPredictor(cfg.Predict),
+		alarm:     clock.WallAlarm{},
 	}, nil
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"emap/internal/mdb"
+	"emap/internal/synth"
+)
+
+// buildECGStore populates a mega-database purely from ECG-modality
+// recordings — the distinct namespace the heart-rate tier searches
+// against. Composition mirrors buildStore: pre-onset crops of the
+// anomaly class plus background-class crops per archetype.
+func buildECGStore(t testing.TB) (*mdb.Store, *synth.Generator) {
+	t.Helper()
+	g := synth.NewGenerator(synth.Config{Seed: 77, ArchetypesPerClass: 3})
+	var recs []*synth.Recording
+	for arch := 0; arch < 3; arch++ {
+		for i := 0; i < 4; i++ {
+			recs = append(recs,
+				g.Instance(synth.ECGNormal, arch, synth.InstanceOpts{
+					OffsetSamples: i * 2000, DurSeconds: 90}),
+				// Crops must include the onset so Instance annotates
+				// it and LabelFor can split pre-arrhythmic slices from
+				// the sinus-dominated head.
+				g.Instance(synth.Arrhythmia, arch, synth.InstanceOpts{
+					OffsetSamples: (synth.OnsetAt-90)*256 + i*2000, DurSeconds: 120}),
+			)
+		}
+	}
+	cfg := mdb.DefaultBuildConfig()
+	cfg.PreictalLabelSeconds = synth.ECGPreArrhythmicSeconds
+	store, err := mdb.Build(recs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store, g
+}
+
+// TestECGModalitySession: the same sample→search→track loop monitors
+// the second modality end to end — a pre-arrhythmic ECG lead is
+// predicted anomalous against an ECG mega-database, and sinus rhythm
+// stays quiet.
+func TestECGModalitySession(t *testing.T) {
+	store, g := buildECGStore(t)
+	sess, err := NewSession(store, Config{Modality: "ecg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Config().Modality != "ecg" {
+		t.Fatalf("Modality = %q, want ecg", sess.Config().Modality)
+	}
+
+	rep, err := sess.Process(g.ArrhythmiaInput(0, 20, 25), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Class != synth.Arrhythmia {
+		t.Fatalf("input class %v, want arrhythmia", rep.Class)
+	}
+	if !rep.Decision || !rep.Correct() {
+		t.Fatalf("pre-arrhythmic lead not predicted anomalous (FinalPA %g, trace %v)",
+			rep.FinalPA, rep.PATrace)
+	}
+	if rep.CloudCalls == 0 {
+		t.Fatal("no cloud search adopted during the ECG run")
+	}
+
+	// A session's predictor accumulates across runs; the sinus-rhythm
+	// control needs its own.
+	quiet, err := NewSession(store, Config{Modality: "ecg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm, err := quiet.Process(g.Instance(synth.ECGNormal, 1,
+		synth.InstanceOpts{OffsetSamples: 0, DurSeconds: 25}), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if norm.Decision {
+		t.Fatalf("sinus rhythm flagged anomalous (FinalPA %g, trace %v)", norm.FinalPA, norm.PATrace)
+	}
+	if !norm.Correct() {
+		t.Fatal("Correct() disagrees with the ECGNormal ground truth")
+	}
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"emap/internal/search"
+	"emap/internal/synth"
+)
+
+// noiseWindows returns n deterministic pseudo-noise windows that
+// correlate with nothing in a synthetic EEG store: a sum of
+// incommensurate in-band tones with drifting phase.
+func noiseWindows(cfg Config, n int) []Window {
+	wl := cfg.windowLen()
+	out := make([]Window, n)
+	for k := range out {
+		w := make(Window, wl)
+		for i := range w {
+			t := float64(k*wl + i)
+			w[i] = math.Sin(0.173*t) + 0.7*math.Sin(0.291*t+0.013*t*t/2048) + 0.4*math.Sin(0.449*t)
+		}
+		out[k] = w
+	}
+	return out
+}
+
+// TestReportWarmupOnlyStream: a stream that never leaves warmup must
+// still finalise coherently — zero tracking state, an empty P_A
+// trajectory, and a timeline of exactly the acquisition events.
+func TestReportWarmupOnlyStream(t *testing.T) {
+	store, g := buildStore(t)
+	sess, err := NewSession(store, Config{WarmupWindows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	input := g.SeizureInput(0, 30, n)
+	steps, report := pushAll(t, sess, input, n)
+
+	for i, st := range steps {
+		if !st.Warmup {
+			t.Fatalf("step %d not flagged warmup", i)
+		}
+	}
+	if report.Windows != n {
+		t.Fatalf("Windows = %d, want %d", report.Windows, n)
+	}
+	if len(report.Iters) != 0 {
+		t.Fatalf("warmup-only run recorded %d iters", len(report.Iters))
+	}
+	if len(report.PATrace) != 0 {
+		t.Fatalf("warmup-only run recorded a P_A trace of %d", len(report.PATrace))
+	}
+	if report.Rise != 0 || report.FinalPA != 0 {
+		t.Fatalf("Rise/FinalPA = %g/%g, want 0/0", report.Rise, report.FinalPA)
+	}
+	if report.Decision {
+		t.Fatal("warmup-only run decided anomalous")
+	}
+	if report.CloudCalls != 0 || report.InitialOverhead != 0 {
+		t.Fatalf("warmup-only run reports cloud activity: %d calls, overhead %v",
+			report.CloudCalls, report.InitialOverhead)
+	}
+	if report.MaxTrackCost() != 0 {
+		t.Fatalf("MaxTrackCost = %v on a warmup-only run", report.MaxTrackCost())
+	}
+	// Two edge events per window (sample, filter), nothing else.
+	if len(report.Timeline) != 2*n {
+		t.Fatalf("timeline has %d events, want %d", len(report.Timeline), 2*n)
+	}
+	for _, ev := range report.Timeline {
+		if ev.Actor != "edge" {
+			t.Fatalf("warmup-only timeline contains %q event by %q", ev.Name, ev.Actor)
+		}
+	}
+}
+
+// TestReportNoMatchStream: when the cloud search retrieves nothing
+// (the query resembles no stored signal and δ is strict), the tracker
+// runs empty — the report must finalise with an empty trajectory, no
+// track cost, and the cloud round-trips still on the timeline.
+func TestReportNoMatchStream(t *testing.T) {
+	store, _ := buildStore(t)
+	sess, err := NewSession(store, Config{Search: search.Params{Delta: 0.995}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		for range stream.Reports() {
+		}
+	}()
+	for _, w := range noiseWindows(sess.Config(), 12) {
+		if err := stream.Push(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	report, err := stream.Close()
+	<-drained
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Windows != 12 {
+		t.Fatalf("Windows = %d, want 12", report.Windows)
+	}
+	for i, it := range report.Iters {
+		if it.Remaining != 0 {
+			t.Fatalf("iter %d tracked %d signals from a no-match search", i, it.Remaining)
+		}
+	}
+	// Empty sets are absence of data: the predictor never observes.
+	if len(report.PATrace) != 0 {
+		t.Fatalf("no-match run recorded a P_A trace of %d", len(report.PATrace))
+	}
+	if report.Rise != 0 || report.FinalPA != 0 || report.Decision {
+		t.Fatalf("no-match run finalised Rise=%g FinalPA=%g Decision=%v",
+			report.Rise, report.FinalPA, report.Decision)
+	}
+	if report.MaxTrackCost() != 0 {
+		t.Fatalf("MaxTrackCost = %v with nothing to track", report.MaxTrackCost())
+	}
+	if report.InitialOverhead <= 0 {
+		t.Fatal("no-match run lost its initial overhead")
+	}
+	uploads := 0
+	for _, ev := range report.Timeline {
+		if ev.Actor == "cloud" && ev.Name == "upload" {
+			uploads++
+		}
+	}
+	if uploads == 0 {
+		t.Fatal("timeline lost the cloud round-trips")
+	}
+}
+
+// TestReportContextCancelledStream: a cancelled stream yields no
+// report (the context error instead), and the session finalises a
+// complete report on the next run.
+func TestReportContextCancelledStream(t *testing.T) {
+	store, g := buildStore(t)
+	sess, err := NewSession(store, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	stream, err := sess.Start(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	input := g.SeizureInput(0, 30, 10)
+	wl := sess.Config().windowLen()
+	if err := stream.Push(Window(input.Samples[:wl])); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	report, err := stream.Close()
+	if report != nil {
+		t.Fatalf("cancelled stream produced a report: %+v", report)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Close after cancel: %v", err)
+	}
+	// The session finalises normally afterwards, with the aborted
+	// run's simulated events still on the shared timeline.
+	rep2, err := sess.Process(g.SeizureInput(0, 30, 6), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Windows != 6 {
+		t.Fatalf("follow-up Windows = %d, want 6", rep2.Windows)
+	}
+	if len(rep2.Timeline) == 0 {
+		t.Fatal("follow-up report lost the timeline")
+	}
+	if len(rep2.PATrace) != len(sess.predictor.History()) {
+		t.Fatal("PATrace does not reflect the session predictor history")
+	}
+}
+
+// TestReportCorrect: the ground-truth comparison across classes.
+func TestReportCorrect(t *testing.T) {
+	r := &Report{Class: synth.Normal, Decision: false}
+	if !r.Correct() {
+		t.Fatal("normal/quiet misjudged")
+	}
+	r = &Report{Class: synth.Seizure, Decision: true}
+	if !r.Correct() {
+		t.Fatal("seizure/alarm misjudged")
+	}
+	r = &Report{Class: synth.Seizure, Decision: false}
+	if r.Correct() {
+		t.Fatal("missed seizure judged correct")
+	}
+}

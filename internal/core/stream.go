@@ -7,7 +7,7 @@ import (
 	"sync"
 	"time"
 
-	"emap/internal/dsp"
+	"emap/internal/pipeline"
 	"emap/internal/proto"
 	"emap/internal/track"
 )
@@ -39,19 +39,58 @@ type StepReport struct {
 // ErrStreamClosed is returned by Push after Close.
 var ErrStreamClosed = errors.New("core: stream closed")
 
-// closeGrace bounds how long a closing stream keeps trying to deliver
-// its final StepReport to a slow consumer.
-const closeGrace = 100 * time.Millisecond
+// defaultCloseGrace bounds how long a closing stream keeps trying to
+// deliver a StepReport to a slow consumer (Config.CloseGrace
+// overrides).
+const defaultCloseGrace = 100 * time.Millisecond
+
+// Stage payloads: what flows between the pipeline stages of one
+// stream. Each carries the window index assigned at intake, so every
+// downstream stage agrees on numbering without shared state.
+type (
+	// rawWindow is an accepted Push, numbered.
+	rawWindow struct {
+		k   int
+		raw Window
+	}
+	// filteredWindow left the acquisition bandpass.
+	filteredWindow struct {
+		k        int
+		filtered []float64
+	}
+	// quantWindow is ready for tracking: the dequantised 16-bit view
+	// the cloud and the tracker both see. warmup windows skip
+	// quantisation entirely.
+	quantWindow struct {
+		k      int
+		warmup bool
+		window []float64
+	}
+)
 
 // Stream is one live monitoring run: windows go in via Push, a
 // StepReport per window comes out of Reports, and Close returns the
 // final Report. The caller should consume Reports (or cancel the
-// context): Push blocks while the worker is busy and the reports
+// context): Push blocks while the pipeline is busy and the reports
 // buffer is full. Close always gets through — reports nobody is
 // reading at that point may be dropped. Process shows the pattern.
+//
+// Internally the run is an internal/pipeline dataflow — the paper's
+// Fig. 3 loop as five typed stages:
+//
+//	acquire → filter → quantize → track → deliver
+//
+// acquire numbers accepted windows; filter runs the stateful 100-tap
+// bandpass; quantize models the 16-bit wire; track owns every
+// simulated-clock interaction (acquisition slots, tracking cost,
+// cloud calls) so the event trace stays bit-identical to the original
+// single-goroutine loop; deliver feeds Reports with the close-grace
+// contract. Stages are connected by bounded channels, so a slow
+// consumer backpressures Push just as before.
 type Stream struct {
 	sess *Session
 	ctx  context.Context
+	wlen int // cached at Start: Push validates without touching session state
 
 	in      chan Window
 	reports chan StepReport
@@ -60,15 +99,17 @@ type Stream struct {
 	closeOnce sync.Once
 	closing   chan struct{} // closed by Close: end of input
 
-	// worker-private state (owned by run's goroutine).
-	fir      *dsp.Stream
+	pipe *pipeline.Pipe
+
+	// track-stage-private state (owned by the track stage goroutine;
+	// finalize reads it only after the pipeline has fully stopped).
 	tracker  *track.Tracker
 	pending  *pendingSearch
 	report   *Report
-	k        int // next window index
+	k        int // windows fully processed
 	decision bool
 
-	// set by the worker before closing done.
+	// set before done closes.
 	err error
 }
 
@@ -91,21 +132,112 @@ func (s *Session) Start(ctx context.Context) (*Stream, error) {
 	st := &Stream{
 		sess:    s,
 		ctx:     ctx,
+		wlen:    s.cfg.windowLen(),
 		in:      make(chan Window),
 		reports: make(chan StepReport, 16),
 		done:    make(chan struct{}),
 		closing: make(chan struct{}),
-		fir:     s.fir.NewStream(),
 		report:  &Report{},
 	}
+	st.pipe = st.build()
 	go st.run()
 	return st, nil
 }
 
-// run is the stream's worker: it consumes pushed windows until Close
-// signals end of input or the context cancels, then finalises the
-// report. The session is released before done closes, so a caller
-// returning from Close can Start the next stream immediately.
+// build assembles the stream's stage graph. The stages start
+// immediately but block on their inputs until Push feeds the intake.
+func (st *Stream) build() *pipeline.Pipe {
+	s := st.sess
+	p := pipeline.New(st.ctx)
+
+	// acquire: accept pushed windows until Close or cancellation,
+	// assigning each its window index.
+	accepted := pipeline.Emit(p, "acquire", 1, func(ctx context.Context, emit func(rawWindow) bool) error {
+		k := 0
+		for {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-st.closing:
+				return nil
+			case w := <-st.in:
+				if !emit(rawWindow{k: k, raw: w}) {
+					return ctx.Err()
+				}
+				k++
+			}
+		}
+	})
+
+	// filter: the acquisition bandpass. The dsp.Stream carries the
+	// 100-tap delay line across windows, so this stage is stateful
+	// and runs with concurrency 1 — order is the correctness.
+	fir := s.fir.NewStream()
+	filtered := pipeline.Map(p, "filter", accepted, pipeline.Opts{Buffer: 1},
+		func(_ context.Context, w rawWindow) (filteredWindow, error) {
+			return filteredWindow{k: w.k, filtered: fir.NextBlock(w.raw)}, nil
+		})
+
+	// quantize: model the 16-bit wire the edge uploads over — the
+	// tracker must see the same dequantised view the cloud searched.
+	// Warmup windows are never uploaded and skip it.
+	warmup := s.cfg.WarmupWindows
+	quantized := pipeline.Map(p, "quantize", filtered, pipeline.Opts{Buffer: 1},
+		func(_ context.Context, w filteredWindow) (quantWindow, error) {
+			if w.k < warmup {
+				return quantWindow{k: w.k, warmup: true}, nil
+			}
+			counts, scale := proto.Quantize(w.filtered)
+			return quantWindow{k: w.k, window: proto.Dequantize(counts, scale)}, nil
+		})
+
+	// track: everything that touches the simulated clock — the
+	// acquisition slot, the filter cost, pending-set adoption, the
+	// tracking iteration and cloud recalls — in exactly the order the
+	// original single-goroutine loop performed them. Concurrency 1 by
+	// construction; raising it would scramble the event trace.
+	tracked := pipeline.Map(p, "track", quantized, pipeline.Opts{},
+		func(_ context.Context, q quantWindow) (StepReport, error) {
+			return st.track(q)
+		})
+
+	// deliver: feed Reports. While the stream is open, delivery
+	// blocks (backpressure up to Push); once Close fires, each
+	// undelivered report gets one grace period, and after the first
+	// expiry the consumer is considered gone and the rest drop.
+	abandoned := false
+	pipeline.Do(p, "deliver", tracked, func(ctx context.Context, rep StepReport) error {
+		if abandoned {
+			return nil
+		}
+		select {
+		case st.reports <- rep:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-st.closing:
+			// The caller is shutting down. A live consumer may
+			// still want this report (it can be the alarm
+			// transition), so give delivery a short grace — but
+			// never hang Close on an abandoned consumer.
+			fire, stop := s.alarm.Start(s.cfg.CloseGrace)
+			defer stop()
+			select {
+			case st.reports <- rep:
+			case <-fire:
+				abandoned = true
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+			return nil
+		}
+	})
+	return p
+}
+
+// run waits the pipeline out and seals the stream. The session is
+// released before done closes, so a caller returning from Close can
+// Start the next stream immediately.
 func (st *Stream) run() {
 	defer func() {
 		close(st.reports)
@@ -114,51 +246,19 @@ func (st *Stream) run() {
 		st.sess.mu.Unlock()
 		close(st.done)
 	}()
-	for {
-		select {
-		case <-st.ctx.Done():
-			st.err = st.ctx.Err()
-			return
-		case <-st.closing:
-			st.finalize()
-			return
-		case w := <-st.in:
-			rep, err := st.step(w)
-			if err != nil {
-				st.err = err
-				return
-			}
-			select {
-			case st.reports <- rep:
-			case <-st.ctx.Done():
-				st.err = st.ctx.Err()
-				return
-			case <-st.closing:
-				// The caller is shutting down. A live
-				// consumer may still want this report (it can
-				// be the alarm transition), so give delivery
-				// a short grace — but never hang Close on an
-				// abandoned consumer.
-				grace := time.NewTimer(closeGrace)
-				select {
-				case st.reports <- rep:
-				case <-grace.C:
-				case <-st.ctx.Done():
-				}
-				grace.Stop()
-				st.finalize()
-				return
-			}
-		}
+	if err := st.pipe.Wait(); err != nil {
+		st.err = err
+		return
 	}
+	st.finalize()
 }
 
-// Push feeds one window into the stream. It blocks while the worker
+// Push feeds one window into the stream. It blocks while the pipeline
 // is busy (or the reports buffer is full) and fails once the stream
 // is closed, errored, or its context cancelled.
 func (st *Stream) Push(w Window) error {
-	if len(w) != st.sess.cfg.windowLen() {
-		return fmt.Errorf("core: window must be %d samples, got %d", st.sess.cfg.windowLen(), len(w))
+	if len(w) != st.wlen {
+		return fmt.Errorf("core: window must be %d samples, got %d", st.wlen, len(w))
 	}
 	select {
 	case <-st.closing:
@@ -184,8 +284,13 @@ func (st *Stream) Push(w Window) error {
 // the stream ends.
 func (st *Stream) Reports() <-chan StepReport { return st.reports }
 
-// Close signals end-of-input, waits for the worker to finish the
-// window it is on, and returns the finalised report. It is
+// Stats snapshots the per-stage pipeline counters (elements in/out,
+// stage-function busy time) — the stream's contribution to the
+// observability surface. Safe to call while the stream runs.
+func (st *Stream) Stats() []pipeline.StageStats { return st.pipe.Stats() }
+
+// Close signals end-of-input, waits for the in-flight windows to
+// drain through the pipeline, and returns the finalised report. It is
 // idempotent; after a context cancellation it returns the context
 // error.
 func (st *Stream) Close() (*Report, error) {
@@ -208,28 +313,27 @@ func (st *Stream) finalize() {
 	st.report.Rise = s.predictor.Rise()
 }
 
-// step advances the pipeline by one window: acquisition, filtering,
-// quantisation, pending-set adoption, tracking and (when needed) a
-// cloud call — the body of paper Fig. 3 for one time-step.
-func (st *Stream) step(raw Window) (StepReport, error) {
+// track advances the session by one prepared window: acquisition and
+// filter slots on the simulated clock, pending-set adoption, tracking
+// and (when needed) a cloud call — the body of paper Fig. 3 for one
+// time-step.
+func (st *Stream) track(q quantWindow) (StepReport, error) {
 	s := st.sess
-	k := st.k
-	st.k++
+	k := q.k
+	st.k = k + 1
 	windowDur := time.Duration(s.cfg.WindowSeconds * float64(time.Second))
 
 	// Acquisition: the sampling slot occupies one window of real
 	// time, then the edge filters and quantises.
 	s.edge.Do(windowDur, "sample", fmt.Sprintf("window %d", k))
-	filtered := st.fir.NextBlock(raw)
 	s.edge.Do(s.cfg.Costs.EdgeFilter, "filter", "100-tap bandpass")
 	rep := StepReport{IterStat: IterStat{Window: k}, Decision: st.decision}
-	if k < s.cfg.WarmupWindows {
+	if q.warmup {
 		rep.Warmup = true
 		rep.At = s.edge.Now()
 		return rep, nil // let the filter transient settle
 	}
-	counts, scale := proto.Quantize(filtered)
-	window := proto.Dequantize(counts, scale) // models the 16-bit wire
+	window := q.window
 
 	// Deliver a completed background search, if its set has arrived
 	// by now.

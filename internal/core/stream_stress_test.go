@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"emap/internal/clock"
+)
+
+// TestStreamCloseGraceDeterministic: the close-grace expiry is a
+// program event, not a wall-clock race — with a manual alarm
+// injected, Close of an abandoned stream returns exactly when the
+// test fires the grace, regardless of machine speed.
+func TestStreamCloseGraceDeterministic(t *testing.T) {
+	store, _ := buildStore(t)
+	sess, err := NewSession(store, Config{WarmupWindows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarm := clock.NewManualAlarm()
+	sess.alarm = alarm
+	stream, err := sess.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 17 windows overfill the 16-slot reports buffer with nobody
+	// reading, so at least one report is undelivered at Close time.
+	win := make(Window, sess.Config().windowLen())
+	for i := 0; i < 17; i++ {
+		if err := stream.Push(win); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closed := make(chan *Report, 1)
+	go func() {
+		rep, err := stream.Close()
+		if err != nil {
+			t.Errorf("Close: %v", err)
+		}
+		closed <- rep
+	}()
+	// Fire blocks until the delivery stage is waiting on the grace —
+	// the synchronisation point that makes this deterministic.
+	alarm.Fire()
+	select {
+	case rep := <-closed:
+		if rep.Windows != 17 {
+			t.Fatalf("Windows = %d, want 17 (accepted windows must drain)", rep.Windows)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the grace fired")
+	}
+}
+
+// TestStreamConcurrentPushCloseStart: Push, Close and the next Start
+// racing from different goroutines must stay free of data races and
+// deadlocks (run under -race in CI).
+func TestStreamConcurrentPushCloseStart(t *testing.T) {
+	store, _ := buildStore(t)
+	sess, err := NewSession(store, Config{WarmupWindows: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := sess.Config().windowLen()
+	for round := 0; round < 25; round++ {
+		stream, err := sess.Start(context.Background())
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		var wg sync.WaitGroup
+		// Consumer.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range stream.Reports() {
+			}
+		}()
+		// Competing pushers.
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				win := make(Window, wl)
+				for i := 0; i < 20; i++ {
+					if stream.Push(win) != nil {
+						return
+					}
+				}
+			}()
+		}
+		// Close races the pushers.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := stream.Close(); err != nil {
+				t.Errorf("round %d close: %v", round, err)
+			}
+		}()
+		wg.Wait()
+		// The stage counters must be consistent after shutdown.
+		for _, s := range stream.Stats() {
+			if s.Errors != 0 {
+				t.Fatalf("round %d: stage %s errored", round, s.Name)
+			}
+		}
+	}
+}

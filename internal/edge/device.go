@@ -57,6 +57,31 @@ type Config struct {
 	// ingests) to one tenant store. NewDevice installs it on the
 	// client; empty leaves the client's tenant untouched.
 	Tenant string
+	// Modality labels the signal kind this device monitors ("eeg"
+	// default). A non-default modality routes cloud traffic into a
+	// modality-suffixed tenant namespace — "<tenant>-<modality>", or
+	// the bare modality when Tenant is empty — so a ward's ECG
+	// signal-sets share the cloud tier but never mix with its EEG
+	// mega-database.
+	Modality string
+}
+
+// effectiveTenant derives the tenant the device's client routes to:
+// the configured tenant, suffixed with the modality namespace when a
+// non-default modality is set. Empty means "leave the client alone".
+func (c Config) effectiveTenant() (string, error) {
+	tenant := c.Tenant
+	if c.Modality != "" && c.Modality != "eeg" {
+		if tenant == "" {
+			tenant = c.Modality
+		} else {
+			tenant += "-" + c.Modality
+		}
+	}
+	if tenant != "" && !mdb.ValidTenantID(tenant) {
+		return "", fmt.Errorf("edge: derived tenant %q is not a valid tenant ID", tenant)
+	}
+	return tenant, nil
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -171,8 +196,12 @@ func NewDevice(client *Client, cfg Config) (*Device, error) {
 	if err != nil {
 		return nil, fmt.Errorf("edge: designing filter: %w", err)
 	}
-	if cfg.Tenant != "" {
-		client.SetTenant(cfg.Tenant)
+	tenant, err := cfg.effectiveTenant()
+	if err != nil {
+		return nil, err
+	}
+	if tenant != "" {
+		client.SetTenant(tenant)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Device{

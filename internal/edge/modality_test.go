@@ -1,0 +1,108 @@
+package edge
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"emap/internal/cloud"
+	"emap/internal/mdb"
+	"emap/internal/synth"
+)
+
+// TestDeviceModalityTenantNamespace: a device configured for a second
+// modality must route its cloud traffic into the modality-suffixed
+// tenant, so ECG signal-sets share the cloud tier with EEG without
+// ever mixing stores.
+func TestDeviceModalityTenantNamespace(t *testing.T) {
+	eeg, _ := buildStore(t)
+	reg, err := mdb.NewRegistry("", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Adopt(cloud.DefaultTenant, eeg); err != nil {
+		t.Fatal(err)
+	}
+	// The ECG namespace starts empty; the device's own ingest
+	// populates it.
+	if err := reg.Adopt("ward-7-ecg", mdb.NewStore()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cloud.NewRegistryServer(reg, cloud.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cConn, sConn := net.Pipe()
+	go srv.HandleConn(sConn)
+	client, err := NewClientOpts(cConn, ClientOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	dev, err := NewDevice(client, Config{Tenant: "ward-7", Modality: "ecg"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if got := client.Tenant(); got != "ward-7-ecg" {
+		t.Fatalf("client tenant %q, want ward-7-ecg", got)
+	}
+
+	// Ingest an ECG recording through the device: the sets must land
+	// in the modality tenant, not the default EEG store.
+	g := synth.NewGenerator(synth.Config{Seed: 9, ArchetypesPerClass: 2})
+	rec := g.Instance(synth.ECGNormal, 0, synth.InstanceOpts{OffsetSamples: 0, DurSeconds: 60})
+	sets, err := dev.Ingest(context.Background(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sets == 0 {
+		t.Fatal("ingest produced no signal-sets")
+	}
+	ecgStore, ok := reg.Get("ward-7-ecg")
+	if !ok {
+		t.Fatal("ECG tenant missing from registry")
+	}
+	if got := ecgStore.NumSets(); got != sets {
+		t.Fatalf("ECG tenant has %d sets, want %d", got, sets)
+	}
+	if got := eeg.NumSets(); got == 0 {
+		t.Fatal("EEG store emptied")
+	}
+	for _, id := range ecgStore.RecordIDs() {
+		r, _ := ecgStore.Record(id)
+		if r.Class != synth.ECGNormal {
+			t.Fatalf("ECG tenant holds class %v", r.Class)
+		}
+	}
+}
+
+// TestDeviceModalityTenantDerivation covers the namespace rule and its
+// validation without a server round-trip.
+func TestDeviceModalityTenantDerivation(t *testing.T) {
+	cases := []struct {
+		tenant, modality, want string
+		wantErr                bool
+	}{
+		{"", "", "", false},
+		{"ward-7", "", "ward-7", false},
+		{"ward-7", "eeg", "ward-7", false},
+		{"ward-7", "ecg", "ward-7-ecg", false},
+		{"", "ecg", "ecg", false},
+		{"ward-7", "no spaces", "", true},
+		{"-lead", "ecg", "", true},
+	}
+	for _, c := range cases {
+		got, err := Config{Tenant: c.tenant, Modality: c.modality}.effectiveTenant()
+		if c.wantErr {
+			if err == nil {
+				t.Fatalf("(%q,%q): no error", c.tenant, c.modality)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Fatalf("(%q,%q) = %q, %v; want %q", c.tenant, c.modality, got, err, c.want)
+		}
+	}
+}

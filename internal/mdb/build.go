@@ -155,7 +155,7 @@ func Preprocess(raw *synth.Recording, cfg BuildConfig, fir *dsp.FIR) (*Record, e
 func LabelFor(rec *Record, cfg BuildConfig) func(start int) bool {
 	cfg = cfg.withDefaults()
 	switch {
-	case rec.Class == synth.Normal:
+	case !rec.Class.Anomalous():
 		return func(int) bool { return false }
 	case rec.Onset >= 0:
 		window := int(cfg.PreictalLabelSeconds * cfg.BaseRate)

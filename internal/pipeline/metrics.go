@@ -1,0 +1,50 @@
+package pipeline
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the per-stage counter block. Stages update it with atomic
+// adds on the hot path; Snapshot reads are lock-free and may be taken
+// while the stage runs.
+type Metrics struct {
+	name string
+	in   atomic.Uint64
+	out  atomic.Uint64
+	errs atomic.Uint64
+	busy atomic.Int64 // nanoseconds spent inside stage functions
+}
+
+func newMetrics(name string) *Metrics {
+	return &Metrics{name: name}
+}
+
+// StageStats is one stage's counter snapshot.
+type StageStats struct {
+	// Name is the stage name given at construction.
+	Name string
+	// In counts elements received from the stage's input(s).
+	In uint64
+	// Out counts elements emitted downstream (for sinks: elements
+	// fully processed).
+	Out uint64
+	// Errors counts stage-function failures (at most 1 today — the
+	// first error cancels the pipe).
+	Errors uint64
+	// Busy is cumulative wall time spent inside the stage function,
+	// excluding channel waits. Busy/elapsed approximates stage
+	// utilisation; the largest Busy marks the bottleneck stage.
+	Busy time.Duration
+}
+
+// Snapshot reads the counters; safe during stage execution.
+func (m *Metrics) Snapshot() StageStats {
+	return StageStats{
+		Name:   m.name,
+		In:     m.in.Load(),
+		Out:    m.out.Load(),
+		Errors: m.errs.Load(),
+		Busy:   time.Duration(m.busy.Load()),
+	}
+}

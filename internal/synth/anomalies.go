@@ -43,6 +43,10 @@ func (g *Generator) buildCanonical(k archKey) []float64 {
 		return g.buildEncephalopathy(k)
 	case Stroke:
 		return g.buildStroke(k)
+	case ECGNormal:
+		return g.buildECGNormal(k)
+	case Arrhythmia:
+		return g.buildArrhythmia(k)
 	}
 	return g.buildNormal(k)
 }

@@ -1,0 +1,229 @@
+package synth
+
+import "math"
+
+// The ECG modality: EMAP's pipeline is signal-agnostic — per Demirel
+// et al. (PAPERS.md) the same sample→search→track loop monitors other
+// periodic biosignals — so synth grows a second modality alongside
+// EEG: single-lead ECG with a ventricular tachyarrhythmia as the
+// predicted anomaly. The ECG classes live OUTSIDE Classes /
+// Anomalies: those lists define the EEG mega-database composition
+// (and the wire codes existing stores were built with), so ECG
+// recordings only enter stores that are explicitly built from
+// ECGClasses — a distinct tenant namespace in the cloud tier.
+const (
+	// ECGNormal is sinus rhythm — the background class of the ECG
+	// mega-database.
+	ECGNormal Class = iota + Stroke + 1
+	// Arrhythmia is the ECG anomaly: ramping ventricular ectopy
+	// degenerating into sustained ventricular tachycardia. Its
+	// canonical timeline mirrors the seizure archetype (sinus head,
+	// pre-arrhythmic ramp from PreictalAt, onset at OnsetAt), so the
+	// lead-time experiments transfer unchanged.
+	Arrhythmia
+)
+
+// ECGClasses lists the ECG-modality classes in a stable order.
+var ECGClasses = []Class{ECGNormal, Arrhythmia}
+
+// ECGPreArrhythmicSeconds is the anomalous-label horizon for ECG
+// mega-databases (mdb.BuildConfig.PreictalLabelSeconds). ECG needs a
+// shorter horizon than the EEG default: sinus rhythm is quasi-periodic,
+// so any beat-dominated window correlates with any other at the right
+// lag — a pre-onset window only becomes *distinguishable* once the
+// fractionation rhythm carries a sizeable share of the in-band power,
+// which happens in the last minute before onset. Labelling the whole
+// ramp (as for EEG) would mark still-sinus-dominated windows anomalous
+// and poison P_A for healthy sinus inputs.
+const ECGPreArrhythmicSeconds = 60
+
+// AllClasses lists every class of every modality — EEG first (wire
+// codes 0–3, unchanged), then ECG.
+var AllClasses = append(append([]Class{}, Classes...), ECGClasses...)
+
+// ClassesFor returns the class list of a modality name ("eeg",
+// "ecg"); unknown names fall back to the EEG classes.
+func ClassesFor(modality string) []Class {
+	if modality == "ecg" {
+		return ECGClasses
+	}
+	return Classes
+}
+
+// ArrhythmiaInput crops a fresh arrhythmia instance so that the
+// recording starts leadSeconds before VT onset — the ECG counterpart
+// of SeizureInput.
+func (g *Generator) ArrhythmiaInput(arch int, leadSeconds, durSeconds float64) *Recording {
+	onset := g.CanonicalOnset(Arrhythmia)
+	off := onset - int(leadSeconds*BaseRate)
+	if off < 0 {
+		off = 0
+	}
+	return g.Instance(Arrhythmia, arch, InstanceOpts{OffsetSamples: off, DurSeconds: durSeconds})
+}
+
+// renderSinus renders n samples of sinus-rhythm ECG from the paired
+// ECGNormal archetype's deterministic stream. Both ECG classes share
+// it (Arrhythmia renders exactly the canonical-onset prefix), so a
+// pre-arrhythmic recording genuinely resembles the ECGNormal
+// recordings in the database — the Fig. 2 retrieval dynamic, carried
+// over to the second modality. The draw sequence depends only on the
+// archetype, never on n, keeping the shared prefix bit-identical.
+func (g *Generator) renderSinus(idx, n int) []float64 {
+	r := g.archSource(archKey{ECGNormal, idx}, "canon")
+	dst := make([]float64, n)
+
+	hr := r.Range(58, 76)         // resting rate, bpm
+	rsaFreq := r.Range(0.15, 0.3) // respiratory sinus arrhythmia
+	rsaDepth := r.Range(0.02, 0.06)
+	rAmp := r.Range(0.9, 1.1) // per-archetype R-wave scale (re-calibrated later)
+	axis := r.Range(0.85, 1.15)
+
+	// Per-beat jitter comes from a beat-indexed derived stream, so
+	// the sequence is archetype-deterministic and length-independent.
+	jit := r.Derive("beat-jitter")
+
+	t := 0.0
+	for {
+		rr := 60 / hr * (1 + rsaDepth*math.Sin(2*math.Pi*rsaFreq*t)) * jit.Range(0.985, 1.015)
+		t += rr
+		at := int(t * BaseRate)
+		if at >= n {
+			break
+		}
+		addBeat(dst, at, rAmp*jit.Range(0.95, 1.05), axis)
+	}
+	// A small broadband floor (muscle noise, electrode contact).
+	addPinkNoise(r, dst, 0.04)
+	return dst
+}
+
+// addBeat overlays one P-QRS-T complex with the R peak at index at.
+// The narrow QRS lobes put the beat's energy squarely inside the
+// 11–40 Hz acquisition band; P and T are slow and mostly filtered
+// out, kept for raw-signal realism.
+func addBeat(dst []float64, at int, amp, axis float64) {
+	// P wave: low, broad, ~160 ms before R.
+	addLobe(dst, at-secondsToSamples(0.16), 0.12*amp, 0.045)
+	// QRS: q-R-s triphasic, ~90 ms total.
+	addLobe(dst, at-secondsToSamples(0.024), -0.18*amp*axis, 0.012)
+	addLobe(dst, at, amp*axis, 0.014)
+	addLobe(dst, at+secondsToSamples(0.028), -0.28*amp*axis, 0.013)
+	// T wave: broad repolarisation bump ~300 ms after R.
+	addLobe(dst, at+secondsToSamples(0.3), 0.3*amp, 0.07)
+}
+
+// addLobe adds a gaussian deflection centred at index at with the
+// given peak amplitude and sigma in seconds.
+func addLobe(dst []float64, at int, amp, sigmaSec float64) {
+	sig := sigmaSec * BaseRate
+	span := int(4 * sig)
+	if span < 2 {
+		span = 2
+	}
+	for k := -span; k <= span; k++ {
+		i := at + k
+		if i < 0 || i >= len(dst) {
+			continue
+		}
+		x := float64(k) / sig
+		dst[i] += amp * math.Exp(-0.5*x*x)
+	}
+}
+
+// addWideComplex overlays one ventricular (wide, bizarre) complex: a
+// broad bipolar deflection ~160 ms wide with a discordant T — the
+// morphology of a PVC and of monomorphic VT beats. Wider lobes than
+// a sinus QRS, but still sharp enough to keep energy in-band.
+func addWideComplex(dst []float64, at int, amp float64) {
+	addLobe(dst, at, amp, 0.028)
+	addLobe(dst, at+secondsToSamples(0.07), -0.55*amp, 0.035)
+	addLobe(dst, at+secondsToSamples(0.22), -0.25*amp, 0.06)
+}
+
+// buildECGNormal renders the sinus-rhythm archetype.
+func (g *Generator) buildECGNormal(k archKey) []float64 {
+	return g.renderSinus(k.idx, classDur(ECGNormal)*int(BaseRate))
+}
+
+// buildArrhythmia mirrors buildSeizure's three phases on the ECG:
+//
+//   - sinus [0, PreictalAt): the paired ECGNormal archetype's rhythm;
+//   - pre-arrhythmic [PreictalAt, OnsetAt): ventricular ectopy (PVCs)
+//     whose rate and amplitude ramp toward onset, plus a ramping
+//     low-amplitude fractionation rhythm (in-band electrical
+//     instability) — the signature that makes prediction ahead of the
+//     event possible;
+//   - VT [OnsetAt, end): sustained monomorphic ventricular
+//     tachycardia at ≈180 bpm replacing the sinus rhythm.
+func (g *Generator) buildArrhythmia(k archKey) []float64 {
+	n := classDur(Arrhythmia) * int(BaseRate)
+	onset := OnsetAt * int(BaseRate)
+	pre := PreictalAt * int(BaseRate)
+	dst := make([]float64, n)
+
+	// Shared sinus rhythm up to onset; VT replaces it after.
+	copy(dst, g.renderSinus(k.idx, onset))
+
+	r := g.archSource(k, "canon-overlay")
+
+	// Pre-arrhythmic fractionation: a continuous 14–22 Hz
+	// low-voltage component ramping across the pre-arrhythmic window
+	// and persisting into VT — deterministic per archetype, so
+	// pre-onset windows of different instances stay correlated for
+	// the retrieval stage (the ECG analogue of the seizure's
+	// recruiting rhythm).
+	frFreq := r.Range(14, 22)
+	frPhase := r.Range(0, 2*math.Pi)
+	frMod := r.Range(0.08, 0.2)
+	frGateF := r.Range(0.02, 0.05)
+	frGateP := r.Range(0, 2*math.Pi)
+	for i := pre; i < n; i++ {
+		frac := float64(i-pre) / float64(onset-pre)
+		if frac > 1 {
+			frac = 1
+		}
+		frac = math.Sqrt(frac)
+		tm := float64(i) / BaseRate
+		env := 1 + 0.25*math.Sin(2*math.Pi*frMod*tm)
+		gate := 1.0
+		if i < onset {
+			gate = sigGate(tm, frGateF, frGateP, 0.10)
+		}
+		// The amplitude is sized so that by ECGPreArrhythmicSeconds
+		// before onset the rhythm carries enough in-band power to pull
+		// correlation against plain sinus below the search δ — beats
+		// alone correlate across any two sinus segments, so this
+		// component is what makes labelled-anomalous windows separable.
+		dst[i] += 0.6 * frac * env * gate * math.Sin(2*math.Pi*frFreq*tm+frPhase)
+	}
+
+	// Ramping ventricular ectopy: PVC arrivals climb from ~2/min to
+	// ~24/min approaching onset (√-shaped, as for preictal spikes, so
+	// the early window carries a weak but real signature).
+	for i := pre; i < onset; {
+		frac := math.Sqrt(float64(i-pre) / float64(onset-pre))
+		ratePerSec := (2 + 22*frac) / 60
+		gap := int(BaseRate / ratePerSec * r.Range(0.6, 1.4))
+		if gap < int(BaseRate) {
+			gap = int(BaseRate)
+		}
+		i += gap
+		if i >= onset {
+			break
+		}
+		addWideComplex(dst, i, r.Range(1.6, 2.4)*(0.7+0.6*frac))
+	}
+
+	// Sustained monomorphic VT with a rise-plateau envelope.
+	vtRate := r.Range(170, 200) // bpm
+	period := int(60 / vtRate * BaseRate)
+	for i := onset; i < n; i += period {
+		prog := float64(i-onset) / (10 * BaseRate)
+		if prog > 1 {
+			prog = 1
+		}
+		addWideComplex(dst, i, (1.8+1.4*prog)*r.Range(0.9, 1.1))
+	}
+	return dst
+}

@@ -1,0 +1,98 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestECGClassCodes(t *testing.T) {
+	// The EEG wire codes are load-bearing (existing stores and the
+	// edge protocol carry them); the ECG classes must extend, never
+	// shift, the numbering.
+	want := map[Class]uint8{Normal: 0, Seizure: 1, Encephalopathy: 2, Stroke: 3, ECGNormal: 4, Arrhythmia: 5}
+	for class, code := range want {
+		if uint8(class) != code {
+			t.Fatalf("%v = %d, want %d", class, uint8(class), code)
+		}
+		if got := ClassFromCode(uint8(class)); got != class {
+			t.Fatalf("ClassFromCode(%d) = %v, want %v", code, got, class)
+		}
+	}
+	if Arrhythmia.String() != "arrhythmia" || ECGNormal.String() != "ecg-normal" {
+		t.Fatalf("ECG class names: %q, %q", ECGNormal.String(), Arrhythmia.String())
+	}
+	if !Arrhythmia.Anomalous() || ECGNormal.Anomalous() {
+		t.Fatal("ECG ground-truth labels wrong")
+	}
+	if got := ClassesFor("ecg"); len(got) != 2 || got[0] != ECGNormal {
+		t.Fatalf("ClassesFor(ecg) = %v", got)
+	}
+	if got := ClassesFor("eeg"); len(got) != len(Classes) {
+		t.Fatalf("ClassesFor(eeg) = %v", got)
+	}
+	if len(AllClasses) != len(Classes)+len(ECGClasses) {
+		t.Fatalf("AllClasses = %v", AllClasses)
+	}
+}
+
+// TestArrhythmiaSharesSinusPrefix: the pre-onset head of an arrhythmia
+// canonical is the paired ECGNormal archetype's sinus rhythm up to the
+// per-class calibration scale — the cross-class resemblance the
+// retrieval stage depends on (Fig. 2 carried to the second modality).
+func TestArrhythmiaSharesSinusPrefix(t *testing.T) {
+	g := NewGenerator(Config{Seed: 5})
+	arr := g.Canonical(Arrhythmia, 0)
+	nor := g.Canonical(ECGNormal, 0)
+	// Before PreictalAt no overlay has been added; the two waveforms
+	// must be exact scalar multiples of each other.
+	n := PreictalAt * int(BaseRate)
+	ratio := 0.0
+	for i := 0; i < n; i++ {
+		if math.Abs(nor[i]) < 1e-6 {
+			continue
+		}
+		r := arr[i] / nor[i]
+		if ratio == 0 {
+			ratio = r
+			continue
+		}
+		if math.Abs(r-ratio) > 1e-9*math.Abs(ratio) {
+			t.Fatalf("sample %d: ratio %g deviates from %g", i, r, ratio)
+		}
+	}
+	if ratio == 0 {
+		t.Fatal("prefix comparison never sampled")
+	}
+	// Deep in the pre-arrhythmic ramp the fractionation rhythm and
+	// ectopy must make the waveforms genuinely diverge.
+	var diff float64
+	for i := (OnsetAt - 10) * int(BaseRate); i < OnsetAt*int(BaseRate); i++ {
+		diff += math.Abs(arr[i] - ratio*nor[i])
+	}
+	if diff < 1 {
+		t.Fatal("no pre-arrhythmic divergence before onset")
+	}
+}
+
+func TestArrhythmiaInputOnset(t *testing.T) {
+	g := NewGenerator(Config{Seed: 5})
+	lead := 20.0
+	rec := g.ArrhythmiaInput(0, lead, 40)
+	if rec.Class != Arrhythmia {
+		t.Fatalf("class %v", rec.Class)
+	}
+	if want := int(lead * BaseRate); rec.Onset != want {
+		t.Fatalf("onset %d, want %d", rec.Onset, want)
+	}
+	if got := len(rec.Samples); got != 40*int(BaseRate) {
+		t.Fatalf("length %d", got)
+	}
+	// Same seed ⇒ bit-identical instance (the determinism contract
+	// every synth workload relies on).
+	again := NewGenerator(Config{Seed: 5}).ArrhythmiaInput(0, lead, 40)
+	for i := range rec.Samples {
+		if rec.Samples[i] != again.Samples[i] {
+			t.Fatalf("sample %d differs between same-seed generators", i)
+		}
+	}
+}

@@ -70,19 +70,24 @@ func (c Class) String() string {
 		return "encephalopathy"
 	case Stroke:
 		return "stroke"
+	case ECGNormal:
+		return "ecg-normal"
+	case Arrhythmia:
+		return "arrhythmia"
 	}
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
-// Anomalous reports whether the class is one of the three anomalies.
-func (c Class) Anomalous() bool { return c != Normal }
+// Anomalous reports whether the class is an anomaly of its modality
+// (EEG: seizure/encephalopathy/stroke; ECG: arrhythmia).
+func (c Class) Anomalous() bool { return c != Normal && c != ECGNormal }
 
 // ClassFromCode converts a wire class code back to a Class, mapping
 // unknown codes to Normal. Both protocol endpoints (edge download
 // materialisation, cloud ingest) decode through this one mapping.
 func ClassFromCode(code uint8) Class {
 	c := Class(code)
-	for _, known := range Classes {
+	for _, known := range AllClasses {
 		if c == known {
 			return c
 		}
@@ -225,9 +230,9 @@ func (g *Generator) Archetypes() int { return g.cfg.ArchetypesPerClass }
 // classDur returns the canonical duration in seconds for a class.
 func classDur(c Class) int {
 	switch c {
-	case Seizure:
-		return SeizureDur
-	case Normal:
+	case Seizure, Arrhythmia:
+		return SeizureDur // both anomalies share the onset timeline
+	case Normal, ECGNormal:
 		return NormalDur
 	default:
 		return OtherDur
@@ -261,7 +266,7 @@ func (g *Generator) Canonical(class Class, idx int) []float64 {
 	// where prediction needs them.
 	filtered := g.bp.Apply(raw)
 	measure := filtered[g.bp.Len():] // skip the filter transient
-	if k.class == Seizure {
+	if k.class == Seizure || k.class == Arrhythmia {
 		if end := OnsetAt * int(BaseRate); end > g.bp.Len() && end <= len(filtered) {
 			measure = filtered[g.bp.Len():end]
 		}
@@ -277,10 +282,11 @@ func (g *Generator) Canonical(class Class, idx int) []float64 {
 	return raw
 }
 
-// CanonicalOnset returns the onset sample index of a seizure archetype
-// at the base rate, or -1 for other classes.
+// CanonicalOnset returns the onset sample index of a seizure or
+// arrhythmia archetype at the base rate, or -1 for classes without a
+// localised onset.
 func (g *Generator) CanonicalOnset(class Class) int {
-	if class != Seizure {
+	if class != Seizure && class != Arrhythmia {
 		return -1
 	}
 	return OnsetAt * int(BaseRate)
@@ -363,8 +369,7 @@ func (g *Generator) Instance(class Class, arch int, opt InstanceOpts) *Recording
 	}
 
 	onset := -1
-	if class == Seizure {
-		co := g.CanonicalOnset(Seizure)
+	if co := g.CanonicalOnset(class); co >= 0 {
 		if co >= off && co < off+n {
 			onset = co - off
 		}

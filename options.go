@@ -6,6 +6,7 @@ import (
 	"emap/internal/cloud"
 	"emap/internal/core"
 	"emap/internal/mdb"
+	"emap/internal/pipeline"
 	"emap/internal/search"
 )
 
@@ -111,6 +112,47 @@ func WithWarmupWindows(n int) Option {
 // WithCostModel overrides the simulated compute-cost model.
 func WithCostModel(m CostModel) Option {
 	return func(c *Config) { c.Costs = m }
+}
+
+// Multi-channel & multi-modal re-exports (DESIGN.md §15): StartMulti
+// fans N channels out to per-channel acquisition stages and fans back
+// in to a K-of-N agreement stage gating the alarm.
+type (
+	// MultiWindow is one acquisition slot across all channels.
+	MultiWindow = core.MultiWindow
+	// MultiStream is a live multi-channel run (Session.StartMulti).
+	MultiStream = core.MultiStream
+	// MultiStepReport is the per-slot outcome a MultiStream emits.
+	MultiStepReport = core.MultiStepReport
+	// MultiReport is a multi-channel session's batch outcome.
+	MultiReport = core.MultiReport
+	// ChannelStat is one channel's state within a MultiStepReport.
+	ChannelStat = core.ChannelStat
+	// ChannelReport summarises one channel in a MultiReport.
+	ChannelReport = core.ChannelReport
+	// StageStats is a pipeline stage's counter snapshot
+	// (Stream.Stats / MultiStream.Stats).
+	StageStats = pipeline.StageStats
+)
+
+// WithChannels sets how many channels a multi-channel session
+// (Session.StartMulti) monitors concurrently (default 1).
+func WithChannels(n int) Option {
+	return func(c *Config) { c.Channels = n }
+}
+
+// WithAgreement sets K of the K-of-N cross-channel agreement rule:
+// the alarm raises only while at least K channel predictors concur
+// (default: a strict majority of the channels).
+func WithAgreement(k int) Option {
+	return func(c *Config) { c.Agreement = k }
+}
+
+// WithModality labels the signal kind the session monitors ("eeg"
+// default, "ecg" for the heart-rate tier). The label flows into
+// reports; training data and tenant routing carry the semantics.
+func WithModality(m string) Option {
+	return func(c *Config) { c.Modality = m }
 }
 
 // New prepares a monitoring session over a mega-database with
