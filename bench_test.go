@@ -26,6 +26,7 @@ import (
 	"emap/internal/netsim"
 	"emap/internal/proto"
 	"emap/internal/search"
+	"emap/internal/wal"
 )
 
 // benchEnv is the shared reduced environment for figure benches.
@@ -847,4 +848,92 @@ func benchClusterSearch(b *testing.B, nodeCount int) {
 	}
 	b.ReportMetric(float64(served)/float64(max(b.N, 1)), "node-requests/op")
 	b.ReportMetric(float64(router.Routing.MovedRetries.Load()), "moved-retries")
+}
+
+// BenchmarkIngestWAL prices the durability guarantee: the cloud
+// ingest path with no journal versus each WAL fsync policy
+// (DESIGN.md §16). The interval_vs_never sub-benchmark times both
+// relaxed policies in one run, reports the ratio, and FAILS if
+// piggybacked group fsync costs more than 1.5x the unsynced path —
+// the acceptance bound that makes `interval` the deployable default
+// when per-ingest fsync is too slow for the ward's offered load.
+func BenchmarkIngestWAL(b *testing.B) {
+	gen := emap.NewGenerator(1)
+	samples := gen.SeizureInput(0, 30, 10).Samples[:1024]
+	counts, scale := proto.Quantize(samples)
+	mkIngest := func(id string, seq uint32) *proto.Ingest {
+		return &proto.Ingest{Seq: seq, RecordID: id, Onset: -1, Scale: scale, Samples: counts}
+	}
+	mkServer := func(b *testing.B, policy string) *cloud.Server {
+		cfg := cloud.Config{SliceLen: 256, CacheSize: -1}
+		if policy != "nowal" {
+			p, err := wal.ParsePolicy(policy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg.WALDir = b.TempDir()
+			cfg.WALSync = p
+		}
+		reg, err := mdb.NewRegistry(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := cloud.NewRegistryServer(reg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	for _, policy := range []string{"nowal", "always", "interval", "never"} {
+		b.Run(policy, func(b *testing.B) {
+			srv := mkServer(b, policy)
+			defer srv.Close()
+			b.SetBytes(int64(len(counts) * 2))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Ingest("bench", mkIngest(fmt.Sprintf("rec-%d", i), uint32(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("interval_vs_never", func(b *testing.B) {
+		const burst = 64
+		intervalSrv := mkServer(b, "interval")
+		defer intervalSrv.Close()
+		neverSrv := mkServer(b, "never")
+		defer neverSrv.Close()
+		// Warm both servers so neither side pays first-touch costs
+		// (tenant open, log creation, slice-index growth) on the clock.
+		var seq uint32
+		ingest := func(srv *cloud.Server, id string) {
+			seq++
+			if _, err := srv.Ingest("bench", mkIngest(id, seq)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for i := 0; i < 16; i++ {
+			ingest(intervalSrv, fmt.Sprintf("warm-i-%d", i))
+			ingest(neverSrv, fmt.Sprintf("warm-n-%d", i))
+		}
+		var intervalNs, neverNs int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			for j := 0; j < burst; j++ {
+				ingest(intervalSrv, fmt.Sprintf("i-%d-%d", i, j))
+			}
+			t1 := time.Now()
+			for j := 0; j < burst; j++ {
+				ingest(neverSrv, fmt.Sprintf("n-%d-%d", i, j))
+			}
+			intervalNs += t1.Sub(t0).Nanoseconds()
+			neverNs += time.Since(t1).Nanoseconds()
+		}
+		ratio := float64(intervalNs) / float64(max(neverNs, 1))
+		b.ReportMetric(ratio, "interval/never")
+		if ratio > 1.5 {
+			b.Fatalf("piggybacked group fsync costs %.2fx the unsynced path (bound 1.5x)", ratio)
+		}
+	})
 }

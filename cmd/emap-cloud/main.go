@@ -20,6 +20,8 @@
 //	           [-empty] [-kernel auto|scalar|fft|quant]
 //	           [-hot-bytes N] [-store-format gob|columnar]
 //	           [-rate N] [-burst N] [-shed-queue N]
+//	           [-wal-dir DIR] [-wal-sync always|interval|never]
+//	           [-wal-interval 50ms] [-idle-timeout 0s]
 //	           [-http :9300]
 //	           [-node ID] [-advertise HOST:PORT]
 //	           [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -38,6 +40,16 @@
 // each tenant's request rate (token bucket) and -shed-queue enables
 // load shedding of routine-priority uploads under saturation; both
 // admission refusals are visible on /metrics.
+//
+// -wal-dir enables crash-safe ingest durability: every acknowledged
+// ingest is journaled to a per-tenant write-ahead log before it is
+// acknowledged, and a restarted process replays each tenant's journal
+// over its last snapshot — a kill between snapshots loses nothing.
+// -wal-sync picks the fsync policy (always: ack after fsync, the
+// durability guarantee; interval: group fsyncs, bounded loss window;
+// never: the filesystem decides) and -wal-interval the group-fsync
+// period. -idle-timeout reaps connections that deliver no frame for
+// that long (slow-loris guard; 0 keeps them forever).
 //
 // -store-format columnar persists tenant snapshots in the quantized
 // columnar v2 layout (memory-mapped and scanned compressed on load)
@@ -77,6 +89,7 @@ import (
 	"emap/internal/mdb"
 	"emap/internal/obs"
 	"emap/internal/search"
+	"emap/internal/wal"
 )
 
 // options is the parsed flag set — separated from main so the
@@ -104,6 +117,10 @@ type options struct {
 	kernel      string
 	hotBytes    int64
 	storeFormat string
+	walDir      string
+	walSync     string
+	walInterval time.Duration
+	idleTimeout time.Duration
 	httpAddr    string
 	cpuprofile  string
 	memprofile  string
@@ -135,6 +152,10 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.kernel, "kernel", "auto", "correlation kernel dispatch: auto|scalar|fft|quant")
 	fs.Int64Var(&o.hotBytes, "hot-bytes", 0, "per-tenant budget for tier promotions in bytes (0: unbounded)")
 	fs.StringVar(&o.storeFormat, "store-format", "", "tenant snapshot format: gob|columnar (empty: keep each store's format)")
+	fs.StringVar(&o.walDir, "wal-dir", "", "per-tenant write-ahead log directory; ingests are journaled before acknowledgement (empty: no journal)")
+	fs.StringVar(&o.walSync, "wal-sync", "always", "WAL fsync policy: always|interval|never")
+	fs.DurationVar(&o.walInterval, "wal-interval", 0, "group-fsync period under -wal-sync interval (0: 50ms)")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 0, "reap connections idle this long (0: never)")
 	fs.StringVar(&o.httpAddr, "http", "", "observability endpoint address serving /metrics and /healthz (empty: disabled)")
 	fs.StringVar(&o.cpuprofile, "cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
 	fs.StringVar(&o.memprofile, "memprofile", "", "write a heap profile to this file at shutdown")
@@ -160,6 +181,15 @@ func (o *options) validate() error {
 	if o.snapshot != "" && o.empty {
 		return errors.New("-mdb and -empty conflict; pass one")
 	}
+	if _, err := wal.ParsePolicy(o.walSync); err != nil {
+		return err
+	}
+	if o.walInterval < 0 {
+		return fmt.Errorf("-wal-interval %v invalid (want ≥ 0)", o.walInterval)
+	}
+	if o.idleTimeout < 0 {
+		return fmt.Errorf("-idle-timeout %v invalid (want ≥ 0)", o.idleTimeout)
+	}
 	return nil
 }
 
@@ -170,20 +200,25 @@ func (o *options) cloudConfig(logger *log.Logger) cloud.Config {
 	if o.storeFormat != "" {
 		format, _ = mdb.ParseFormat(o.storeFormat)
 	}
+	syncPolicy, _ := wal.ParsePolicy(o.walSync) // validated by validate
 	return cloud.Config{
-		Search:         search.Params{Kernel: kernelMode},
-		HotBytes:       o.hotBytes,
-		StoreFormat:    format,
-		HorizonSeconds: o.horizon,
-		Workers:        o.workers,
-		MaxBatch:       o.maxBatch,
-		BatchWindow:    o.batchWindow,
-		CacheSize:      o.cacheSize,
-		TenantRate:     o.tenantRate,
-		TenantBurst:    o.tenantBurst,
-		ShedQueue:      o.shedQueue,
-		DefaultTenant:  o.defTenant,
-		Logger:         logger,
+		Search:          search.Params{Kernel: kernelMode},
+		HotBytes:        o.hotBytes,
+		StoreFormat:     format,
+		HorizonSeconds:  o.horizon,
+		Workers:         o.workers,
+		MaxBatch:        o.maxBatch,
+		BatchWindow:     o.batchWindow,
+		CacheSize:       o.cacheSize,
+		TenantRate:      o.tenantRate,
+		TenantBurst:     o.tenantBurst,
+		ShedQueue:       o.shedQueue,
+		DefaultTenant:   o.defTenant,
+		WALDir:          o.walDir,
+		WALSync:         syncPolicy,
+		WALSyncInterval: o.walInterval,
+		IdleTimeout:     o.idleTimeout,
+		Logger:          logger,
 	}
 }
 
@@ -288,6 +323,9 @@ func main() {
 	}
 	if stored := reg.ListStored(); len(stored) > 0 {
 		logger.Printf("%d tenant snapshots available in %s", len(stored), o.storeDir)
+	}
+	if o.walDir != "" {
+		logger.Printf("ingest journal in %s (fsync %s)", o.walDir, o.walSync)
 	}
 
 	cfg := o.cloudConfig(logger)

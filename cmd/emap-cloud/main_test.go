@@ -7,6 +7,7 @@ import (
 
 	"emap/internal/mdb"
 	"emap/internal/search"
+	"emap/internal/wal"
 )
 
 func TestParseFlagsDefaults(t *testing.T) {
@@ -126,5 +127,47 @@ func TestValidateRejectsMDBEmptyConflict(t *testing.T) {
 	}
 	if err := o.validate(); err == nil {
 		t.Fatal("-mdb with -empty accepted")
+	}
+}
+
+func TestParseFlagsWALAndIdle(t *testing.T) {
+	o, err := parseFlags([]string{
+		"-wal-dir", "/tmp/wal", "-wal-sync", "interval",
+		"-wal-interval", "20ms", "-idle-timeout", "90s",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg := o.cloudConfig(nil)
+	if cfg.WALDir != "/tmp/wal" || cfg.WALSync != wal.SyncInterval ||
+		cfg.WALSyncInterval != 20*time.Millisecond || cfg.IdleTimeout != 90*time.Second {
+		t.Fatalf("durability flags not mapped onto config: %+v", cfg)
+	}
+	// The default policy is the safe one: ack only after fsync.
+	def, err := parseFlags(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := def.cloudConfig(nil); got.WALSync != wal.SyncAlways {
+		t.Fatalf("default -wal-sync maps to %v, want always", got.WALSync)
+	}
+}
+
+func TestValidateRejectsBadWALFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-wal-sync", "sometimes"},
+		{"-wal-interval", "-1s"},
+		{"-idle-timeout", "-5s"},
+	} {
+		o, err := parseFlags(args)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := o.validate(); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
 	}
 }

@@ -9,13 +9,17 @@
 //	           [-addr HOST:PORT] [-tenants 4] [-interval 1s]
 //	           [-timeout 5s] [-diurnal] [-seed 1] [-seed-records 2]
 //	           [-storm-at 0s] [-storm-duration 0s] [-storm-fraction 0.1]
-//	           [-chaos-at 0s] [-heal-at 0s]
+//	           [-chaos-at 0s] [-heal-at 0s] [-crash-at 0s]
 //	           [-workers N] [-shed-queue N] [-rate N] [-burst N]
 //	           [-out BENCH_fleet.json] [-v]
 //
 // The default netsim mode hosts the cloud server in-process and pipes
 // devices into it — thousands of devices with no sockets — with chaos
 // (-chaos-at/-heal-at) injected through the netsim fault injector.
+// -crash-at hard-restarts the in-process cloud mid-run over the same
+// snapshot and WAL directories; devices then ingest alongside their
+// uploads and the run exits non-zero if any acknowledged ingest is
+// lost across the restart (the durability acceptance gate).
 // tcp mode points the same fleet at a running emap-cloud or
 // emap-router at -addr; the chaos flags are refused there. The report
 // goes to -out as JSON (stdout when empty); CI's smoke run publishes
@@ -53,6 +57,7 @@ type options struct {
 	stormFraction float64
 	chaosAt       time.Duration
 	healAt        time.Duration
+	crashAt       time.Duration
 	seed          int64
 	seedRecords   int
 	workers       int
@@ -82,6 +87,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.Float64Var(&o.stormFraction, "storm-fraction", 0.1, "fraction of the fleet the storm turns anomalous")
 	fs.DurationVar(&o.chaosAt, "chaos-at", 0, "network split offset, netsim mode (0: no chaos)")
 	fs.DurationVar(&o.healAt, "heal-at", 0, "network heal offset (must follow -chaos-at)")
+	fs.DurationVar(&o.crashAt, "crash-at", 0, "hard-restart the in-process cloud at this offset, netsim mode (0: no crash); exits non-zero if an acked ingest is lost")
 	fs.Int64Var(&o.seed, "seed", 1, "run seed (reproducible fleets)")
 	fs.IntVar(&o.seedRecords, "seed-records", 2, "recordings ingested per tenant store before the run (negative: none)")
 	fs.IntVar(&o.workers, "workers", 0, "in-process server search workers (netsim mode; 0: GOMAXPROCS)")
@@ -127,6 +133,7 @@ func (o *options) fleetConfig(logger *log.Logger) fleet.Config {
 		StormFraction:  o.stormFraction,
 		ChaosAt:        o.chaosAt,
 		HealAt:         o.healAt,
+		CrashAt:        o.crashAt,
 		Seed:           o.seed,
 		SeedRecords:    o.seedRecords,
 		Workers:        o.workers,
@@ -166,6 +173,10 @@ func main() {
 			rep.Chaos.Drops, rep.Chaos.Severed, rep.Chaos.ReadoptedDevices,
 			rep.Chaos.ReadoptionP50Ms, rep.Chaos.ReadoptionMaxMs)
 	}
+	if rep.Durability != nil {
+		logger.Printf("durability: %d ingests acked, %d survived the crash-restart, %d lost",
+			rep.Durability.IngestAcked, rep.Durability.IngestSurvived, rep.Durability.IngestLost)
+	}
 
 	body, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -174,10 +185,15 @@ func main() {
 	body = append(body, '\n')
 	if o.out == "" {
 		os.Stdout.Write(body)
-		return
+	} else {
+		if err := os.WriteFile(o.out, body, 0o644); err != nil {
+			logger.Fatal(err)
+		}
+		fmt.Printf("report written to %s\n", o.out)
 	}
-	if err := os.WriteFile(o.out, body, 0o644); err != nil {
-		logger.Fatal(err)
+	// The durability gate comes after the report is written, so a
+	// failing run still leaves its evidence behind.
+	if rep.Durability != nil && rep.Durability.IngestLost > 0 {
+		logger.Fatalf("%d acknowledged ingests lost across the crash-restart", rep.Durability.IngestLost)
 	}
-	fmt.Printf("report written to %s\n", o.out)
 }

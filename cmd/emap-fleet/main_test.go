@@ -90,3 +90,13 @@ func TestParseFlagsStoreTier(t *testing.T) {
 		t.Fatal("negative -hot-bytes accepted")
 	}
 }
+
+func TestParseFlagsCrashRestart(t *testing.T) {
+	o, err := parseFlags([]string{"-crash-at", "12s", "-duration", "30s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg := o.fleetConfig(nil); cfg.CrashAt != 12*time.Second {
+		t.Fatalf("-crash-at not mapped: %+v", cfg)
+	}
+}

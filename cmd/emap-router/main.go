@@ -11,7 +11,7 @@
 //
 //	emap-router [-addr :7400] [-drain 10s]
 //	            -nodes id1=host:port,id2=host:port[,...]
-//	            [-vnodes 64] [-http :9400]
+//	            [-vnodes 64] [-idle-timeout 0s] [-http :9400]
 //
 // Each -nodes entry is a stable node ID and the address the router
 // dials; IDs determine ring placement and must match each node's
@@ -39,11 +39,12 @@ import (
 // options is the parsed flag set — separated from main so the
 // flag-to-config path is testable without spawning the process.
 type options struct {
-	addr     string
-	nodes    string
-	vnodes   int
-	drain    time.Duration
-	httpAddr string
+	addr        string
+	nodes       string
+	vnodes      int
+	drain       time.Duration
+	idleTimeout time.Duration
+	httpAddr    string
 }
 
 // parseFlags parses an emap-router argument list.
@@ -54,6 +55,7 @@ func parseFlags(args []string) (*options, error) {
 	fs.StringVar(&o.nodes, "nodes", "", "cluster members as id=host:port, comma separated")
 	fs.IntVar(&o.vnodes, "vnodes", cluster.DefaultVirtualNodes, "virtual nodes per member on the hash ring")
 	fs.DurationVar(&o.drain, "drain", 10*time.Second, "graceful-shutdown drain budget")
+	fs.DurationVar(&o.idleTimeout, "idle-timeout", 0, "reap edge connections idle this long (0: never)")
 	fs.StringVar(&o.httpAddr, "http", "", "observability endpoint address serving /metrics and /healthz (empty: disabled)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -94,6 +96,7 @@ func main() {
 
 	router := cluster.NewRouter(cluster.RouterConfig{
 		VirtualNodes: o.vnodes,
+		IdleTimeout:  o.idleTimeout,
 		Logger:       logger,
 	})
 	seedCtx, cancelSeed := context.WithTimeout(context.Background(), 2*time.Minute)

@@ -1,6 +1,7 @@
 package cloud
 
 import (
+	"fmt"
 	"time"
 
 	"emap/internal/proto"
@@ -81,8 +82,24 @@ func (e *Engine) dispatch(t *tenant, p *pending) {
 	batch := g.pendings
 	t.batchMu.Unlock()
 
-	e.searchBatch(t, batch)
-	close(g.done)
+	// The leader searches on behalf of every joiner, so a panic in the
+	// search path must not strand them on g.done: recover, fail the
+	// whole batch (one 5xx each), and let the pool keep serving.
+	func() {
+		defer close(g.done)
+		defer func() {
+			if r := recover(); r != nil {
+				e.Metrics.Panics.Add(1)
+				err := fmt.Errorf("internal error: batch search panicked: %v", r)
+				for _, p := range batch {
+					if p.err == nil && p.entries == nil {
+						p.err = err
+					}
+				}
+			}
+		}()
+		e.searchBatch(t, batch)
+	}()
 }
 
 // searchBatch runs one batched search over tenant t's store and fans

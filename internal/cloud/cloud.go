@@ -54,9 +54,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"emap/internal/iofault"
 	"emap/internal/mdb"
 	"emap/internal/proto"
 	"emap/internal/search"
+	"emap/internal/wal"
 )
 
 // Config parameterises the cloud service.
@@ -120,6 +122,24 @@ type Config struct {
 	// stores quantized (int16-canonical ingest). Zero keeps each
 	// store's own format (gob for new stores).
 	StoreFormat mdb.Format
+	// WALDir, when set, makes ingest crash-safe: every accepted
+	// TypeIngest is journaled to a per-tenant write-ahead log in this
+	// directory BEFORE it is inserted (and, under WALSync=always,
+	// before it is acknowledged), and tenant opens replay the log over
+	// the snapshot — so acknowledged recordings survive a kill -9
+	// between persists. Empty disables the WAL.
+	WALDir string
+	// WALSync is the log fsync policy (default wal.SyncAlways: ack
+	// after durable); WALSyncInterval is the wal.SyncInterval cadence.
+	WALSync         wal.Policy
+	WALSyncInterval time.Duration
+	// WALFS overrides the filesystem the logs live on; durability
+	// tests inject an iofault.Faulty here. Nil uses the real OS.
+	WALFS iofault.FS
+	// IdleTimeout, when positive, reaps connections that deliver no
+	// frame for this long — the slow-loris guard. Disabled by default
+	// (netsim tests hold idle pipes open by design).
+	IdleTimeout time.Duration
 	// DefaultTenant is the tenant that v1/v2 peers and tenant-less
 	// v3 frames land on (default "default").
 	DefaultTenant string
@@ -168,6 +188,7 @@ func (c Config) TransportConfig(m *Metrics) TransportConfig {
 	return TransportConfig{
 		MaxInFlight: c.MaxInFlight,
 		MaxVersion:  c.MaxVersion,
+		IdleTimeout: c.IdleTimeout,
 		Logger:      c.Logger,
 		Metrics:     m,
 	}
@@ -212,6 +233,17 @@ type Metrics struct {
 	// refused under saturation (CodeShed).
 	RateLimited atomic.Int64
 	Shed        atomic.Int64
+	// Panics counts handler panics recovered by the transport and the
+	// batch leader: each failed exactly one request with a 5xx-class
+	// error while the worker pool kept serving.
+	Panics atomic.Int64
+	// PersistErrors counts eviction-time snapshot persists that failed
+	// (the tenant slot survives and the persist retries on the next
+	// eviction pass).
+	PersistErrors atomic.Int64
+	// IdleReaped counts connections closed by the idle read deadline
+	// (Config.IdleTimeout) — stalled half-open peers, not drains.
+	IdleReaped atomic.Int64
 }
 
 // MetricsSnapshot is a plain-value copy of a Metrics, taken field by
@@ -234,6 +266,9 @@ type MetricsSnapshot struct {
 	Evaluations     int64
 	Ingests         int64
 	IngestedSets    int64
+	Panics          int64
+	PersistErrors   int64
+	IdleReaped      int64
 	// MeanLatency and BatchSizeMean are the derived figures of the
 	// same-named methods, computed from the snapshot's own loads.
 	MeanLatency   time.Duration
@@ -258,6 +293,9 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Evaluations:     m.Evaluations.Load(),
 		Ingests:         m.Ingests.Load(),
 		IngestedSets:    m.IngestedSets.Load(),
+		Panics:          m.Panics.Load(),
+		PersistErrors:   m.PersistErrors.Load(),
+		IdleReaped:      m.IdleReaped.Load(),
 	}
 	if nanos := m.RequestNanos.Load(); s.Requests > 0 {
 		s.MeanLatency = time.Duration(nanos / s.Requests)
@@ -328,10 +366,17 @@ func NewServer(store *mdb.Store, cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Build the server (which enables the WAL on the registry when
+	// configured) BEFORE adopting the default tenant, so the adopted
+	// store replays its journal and gets a live log like any other.
+	srv, err := NewRegistryServer(reg, cfg)
+	if err != nil {
+		return nil, err
+	}
 	if err := reg.Adopt(cfg.DefaultTenant, store); err != nil {
 		return nil, fmt.Errorf("cloud: adopting default tenant: %w", err)
 	}
-	return NewRegistryServer(reg, cfg)
+	return srv, nil
 }
 
 // NewRegistryServer returns a multi-tenant server over the given

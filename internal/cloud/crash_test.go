@@ -1,0 +1,201 @@
+package cloud
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"emap/internal/iofault"
+	"emap/internal/mdb"
+	"emap/internal/proto"
+	"emap/internal/wal"
+)
+
+// crashRecSamples is the deterministic waveform of crash-test record i
+// — both the ingest path and the baseline rebuild draw from it, and
+// query windows are cut from it.
+func crashRecSamples(i, n int) []float64 {
+	samples := make([]float64, n)
+	for j := range samples {
+		samples[j] = 45*math.Sin(2*math.Pi*float64(j)/101) +
+			12*math.Sin(2*math.Pi*float64(j)/17+float64(i)) +
+			3*math.Cos(2*math.Pi*float64(j)/7*float64(i+1))
+	}
+	return samples
+}
+
+func crashIngest(i int) *proto.Ingest {
+	counts, scale := proto.Quantize(crashRecSamples(i, 1024))
+	return &proto.Ingest{Seq: uint32(i), RecordID: fmt.Sprintf("crash-%02d", i), Onset: -1, Scale: scale, Samples: counts}
+}
+
+// crashScenario is one injected crash point of the kill-restart
+// acceptance test.
+type crashScenario struct {
+	name string
+	// schedule arms the fault for a crash landing around ingest n
+	// (1-based).
+	schedule func(fs *iofault.Faulty, n int)
+	// evictAfter, when > 0, evicts the tenant after that many acked
+	// ingests — the path that exercises checkpoint crash points.
+	evictAfter int
+}
+
+// TestKillRestartAcceptance is the acceptance harness of the
+// durability tentpole: with WALSync=always, ingest recordings against
+// a fault-injected filesystem, hard-crash at a randomized injected
+// crash point, recover over the same directories, and assert that (a)
+// every acknowledged ingest is present — and nothing else — and (b)
+// searches against the recovered store are bit-identical to an
+// uncrashed baseline holding exactly the acknowledged set.
+func TestKillRestartAcceptance(t *testing.T) {
+	const totalIngests = 6
+	rng := rand.New(rand.NewSource(7)) // randomized-but-reproducible crash points
+
+	scenarios := []crashScenario{
+		{
+			// The crash lands mid-append: the frame never reaches even
+			// the page cache.
+			name:     "append-crash",
+			schedule: func(fs *iofault.Faulty, n int) { fs.CrashAt(iofault.OpWrite, n) },
+		},
+		{
+			// The crash lands before the fsync barrier: the append
+			// buffered but nothing is durable.
+			name:     "pre-sync",
+			schedule: func(fs *iofault.Faulty, n int) { fs.CrashAt(iofault.OpSync, n) },
+		},
+		{
+			// The crash lands mid-fsync: a torn frame — a few bytes of
+			// the record — reaches the platter and replay must cut it.
+			name:     "append-mid-frame",
+			schedule: func(fs *iofault.Faulty, n int) { fs.CrashDuringSyncAt(n, 5) },
+		},
+		{
+			// The crash lands inside the eviction checkpoint, before
+			// the rename: snapshot AND full log survive; replay must
+			// be idempotent.
+			name:       "pre-rename",
+			schedule:   func(fs *iofault.Faulty, n int) { fs.CrashAt(iofault.OpRename, 1) },
+			evictAfter: 3,
+		},
+		{
+			// The crash lands after the checkpoint rename (at the log
+			// reopen): snapshot plus empty log survive.
+			name: "post-checkpoint",
+			// Opens: tenant log open (1), checkpoint temp (2), reopen (3).
+			schedule:   func(fs *iofault.Faulty, n int) { fs.CrashAt(iofault.OpOpen, 3) },
+			evictAfter: 3,
+		},
+	}
+
+	for _, sc := range scenarios {
+		// Crash around a random ingest, but always after the first (so
+		// every scenario has at least one ack to preserve) and inside
+		// the run.
+		n := 2 + rng.Intn(totalIngests-2)
+		t.Run(sc.name, func(t *testing.T) {
+			runCrashScenario(t, sc, n, totalIngests)
+		})
+	}
+}
+
+func runCrashScenario(t *testing.T, sc crashScenario, crashAt, totalIngests int) {
+	snapDir, walDir := t.TempDir(), t.TempDir()
+	cfg := Config{SliceLen: 256, CacheSize: -1}
+
+	// Phase 1: serve ingests on the fault-injected filesystem.
+	fs := iofault.NewFaulty()
+	sc.schedule(fs, crashAt)
+	reg, err := mdb.NewRegistry(snapDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wcfg := cfg
+	wcfg.WALDir, wcfg.WALFS, wcfg.WALSync = walDir, fs, wal.SyncAlways
+	srv, err := NewRegistryServer(reg, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked []int
+	for i := 0; i < totalIngests; i++ {
+		if sc.evictAfter > 0 && len(acked) == sc.evictAfter {
+			// The eviction persists the snapshot (real OS) and
+			// checkpoints the log (faulty FS) — where the rename and
+			// reopen crash points live.
+			reg.Evict("ward-a")
+		}
+		if _, err := srv.Ingest("ward-a", crashIngest(i)); err != nil {
+			continue // not acked; the crash (or its aftermath) refused it
+		}
+		acked = append(acked, i)
+	}
+	srv.Close()
+	if !fs.Crashed() {
+		t.Fatalf("crash point never fired (acked %d of %d)", len(acked), totalIngests)
+	}
+	if len(acked) == 0 {
+		t.Fatal("scenario acked nothing; nothing to verify")
+	}
+	if len(acked) == totalIngests && sc.evictAfter == 0 {
+		t.Fatal("crash lost no acks and evicted nothing; crash point mis-aimed")
+	}
+
+	// Phase 2: restart over the same directories through a clean OS
+	// view — exactly what a rebooted process sees.
+	reg2, err := mdb.NewRegistry(snapDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := cfg
+	rcfg.WALDir, rcfg.WALSync = walDir, wal.SyncAlways
+	recovered, err := NewRegistryServer(reg2, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err := reg2.Open("ward-a")
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	for _, i := range acked {
+		if _, ok := store.Record(fmt.Sprintf("crash-%02d", i)); !ok {
+			t.Fatalf("acked ingest crash-%02d lost", i)
+		}
+	}
+	if got := store.NumRecords(); got != len(acked) {
+		t.Fatalf("recovered store holds %d records, want exactly the %d acked", got, len(acked))
+	}
+
+	// Phase 3: uncrashed baseline — the acked set ingested in the same
+	// order into a fresh server — must answer searches bit-identically.
+	baseline, err := NewServer(nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range acked {
+		if _, err := baseline.Ingest("", crashIngest(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for q := 0; q < 4; q++ {
+		src := acked[q%len(acked)]
+		window := crashRecSamples(src, 1024)[256*(q%3) : 256*(q%3)+256]
+		counts, scale := proto.Quantize(window)
+		up := &proto.Upload{Seq: uint32(100 + q), Scale: scale, Samples: counts}
+		want, err := baseline.Search(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := recovered.SearchTenant("ward-a", up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.Entries, want.Entries) {
+			t.Fatalf("query %d: recovered search differs from baseline\n got: %d entries\nwant: %d entries",
+				q, len(got.Entries), len(want.Entries))
+		}
+	}
+	recovered.Close()
+}

@@ -88,7 +88,45 @@ func NewEngine(reg *mdb.Registry, cfg Config) (*Engine, error) {
 		}
 		e.tmu.Unlock()
 	}
+	// A failed eviction-time persist keeps the tenant resident and
+	// retries on the next pass; the counter (and log line) is how the
+	// failure stops being silent.
+	reg.OnPersistError = func(id string, err error) {
+		e.Metrics.PersistErrors.Add(1)
+		if cfg.Logger != nil {
+			cfg.Logger.Printf("cloud: persisting tenant %q: %v", id, err)
+		}
+	}
+	if cfg.WALDir != "" {
+		if err := reg.EnableWAL(mdb.WALConfig{
+			Dir:      cfg.WALDir,
+			Sync:     cfg.WALSync,
+			Interval: cfg.WALSyncInterval,
+			FS:       cfg.WALFS,
+			Apply: func(s *mdb.Store, payload []byte) error {
+				return applyWALIngest(s, payload, cfg)
+			},
+		}); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
+}
+
+// applyWALIngest replays one journaled ingest payload (a TypeIngest
+// wire payload) into a tenant store being opened. Records the snapshot
+// already covers — a checkpoint that crashed before its rename — are
+// skipped, keeping replay idempotent.
+func applyWALIngest(s *mdb.Store, payload []byte, cfg Config) error {
+	ing, err := proto.DecodeIngest(payload)
+	if err != nil {
+		return fmt.Errorf("cloud: journaled ingest: %w", err)
+	}
+	if _, ok := s.Record(ing.RecordID); ok {
+		return nil
+	}
+	_, err = insertIngest(s, ing, cfg)
+	return err
 }
 
 // Stop releases the engine's waiters (batch-collection windows); it
@@ -302,7 +340,7 @@ func (e *Engine) serveIngest(frame proto.Frame) (proto.MsgType, []byte) {
 	// just like a scan, and must stay bounded however many
 	// connections pipeline ingests.
 	e.sem <- struct{}{}
-	ack, err := e.ingestInto(t, ing)
+	ack, err := e.ingestInto(t, ing, frame.Payload)
 	<-e.sem
 	if err != nil {
 		e.Metrics.Errors.Add(1)
@@ -328,8 +366,39 @@ var errTenantEvicted = errors.New("cloud: tenant evicted during ingest; retry")
 // duplicate-ID refusal proves the record is already in the reloaded
 // store and is acknowledged as such; if not, the rerun inserts it
 // afresh. Only repeated eviction collisions surface as an error.
-func (e *Engine) ingestInto(t *tenant, ing *proto.Ingest) (*proto.IngestAck, error) {
+//
+// With a WAL enabled, each attempt journals the wire payload BEFORE
+// inserting: under wal.SyncAlways the acknowledgement this returns
+// implies the recording is on stable storage. payload is the encoded
+// TypeIngest payload when the caller has it (the wire path); nil makes
+// ingestInto encode it itself. A WAL disk failure fails the request —
+// durability was promised and cannot be delivered — while an
+// eviction-raced append retries like any other eviction collision. A
+// retried attempt may journal the record twice (possibly once in a log
+// a checkpoint then empties); replay skips duplicates, so at-least-once
+// journaling is safe.
+func (e *Engine) ingestInto(t *tenant, ing *proto.Ingest, payload []byte) (*proto.IngestAck, error) {
+	if e.registry.WALEnabled() && payload == nil {
+		payload = proto.EncodeIngest(ing)
+	}
 	for attempt := 0; ; attempt++ {
+		if e.registry.WALEnabled() {
+			if werr := e.registry.AppendWAL(t.id, payload); werr != nil {
+				if !errors.Is(werr, mdb.ErrTenantNotResident) {
+					return nil, fmt.Errorf("cloud: journaling ingest: %w", werr)
+				}
+				// Eviction closed the log under us; reopen and retry.
+				if attempt >= 2 {
+					return nil, fmt.Errorf("%w (tenant %q)", errTenantEvicted, t.id)
+				}
+				fresh, terr := e.tenantFor(t.id)
+				if terr != nil {
+					return nil, fmt.Errorf("%w (tenant %q): %v", errTenantEvicted, t.id, terr)
+				}
+				t = fresh
+				continue
+			}
+		}
 		ack, err := t.ingest(ing, e.cfg)
 		if err != nil {
 			if attempt > 0 {
@@ -393,7 +462,7 @@ func (e *Engine) Ingest(tenantID string, ing *proto.Ingest) (*proto.IngestAck, e
 	if err != nil {
 		return nil, err
 	}
-	return e.ingestInto(t, ing)
+	return e.ingestInto(t, ing, nil)
 }
 
 // assembleEntries attaches the continuation samples to every retrieved

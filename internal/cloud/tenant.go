@@ -83,11 +83,13 @@ func (t *tenant) ackExisting(g *proto.Ingest) (*proto.IngestAck, bool) {
 	}, true
 }
 
-// ingest inserts one preprocessed recording into the tenant's store,
-// slicing and labelling it, and flushes the correlation-set cache:
-// cached sets predate the new data, and a search issued after a
-// successful ingest must be able to retrieve it.
-func (t *tenant) ingest(g *proto.Ingest, cfg Config) (*proto.IngestAck, error) {
+// insertIngest inserts one decoded recording into a store, slicing and
+// labelling it per cfg, and returns the signal-sets created. It is the
+// shared insert core of the live ingest path (tenant.ingest) and WAL
+// replay (applyWALIngest) — both must store byte-identical data, or a
+// recovered store would answer searches differently from the store
+// that acknowledged the ingest.
+func insertIngest(store *mdb.Store, g *proto.Ingest, cfg Config) (int, error) {
 	rec := &mdb.Record{
 		ID:        g.RecordID,
 		Class:     synth.ClassFromCode(g.Class),
@@ -95,18 +97,23 @@ func (t *tenant) ingest(g *proto.Ingest, cfg Config) (*proto.IngestAck, error) {
 		Onset:     int(g.Onset),
 	}
 	labelFn := mdb.LabelFor(rec, mdb.BuildConfig{BaseRate: cfg.BaseRate})
-	var created int
-	var err error
-	if t.store.Quantized() {
+	if store.Quantized() {
 		// The wire counts ARE the canonical payload: no dequantize, no
 		// float copy — and the record still dequantizes to exactly the
 		// samples the float path below would have stored, because both
 		// reconstruct count·scale on the same float32 grid.
-		created, err = t.store.InsertQuantized(rec, g.Samples, g.Scale, cfg.SliceLen, labelFn)
-	} else {
-		rec.Samples = proto.Dequantize(g.Samples, g.Scale)
-		created, err = t.store.Insert(rec, cfg.SliceLen, labelFn)
+		return store.InsertQuantized(rec, g.Samples, g.Scale, cfg.SliceLen, labelFn)
 	}
+	rec.Samples = proto.Dequantize(g.Samples, g.Scale)
+	return store.Insert(rec, cfg.SliceLen, labelFn)
+}
+
+// ingest inserts one preprocessed recording into the tenant's store,
+// slicing and labelling it, and flushes the correlation-set cache:
+// cached sets predate the new data, and a search issued after a
+// successful ingest must be able to retrieve it.
+func (t *tenant) ingest(g *proto.Ingest, cfg Config) (*proto.IngestAck, error) {
+	created, err := insertIngest(t.store, g, cfg)
 	if err != nil {
 		return nil, err
 	}

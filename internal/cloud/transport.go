@@ -3,10 +3,12 @@ package cloud
 import (
 	"context"
 	"errors"
+	"fmt"
 	"io"
 	"log"
 	"net"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +40,12 @@ type TransportConfig struct {
 	// MaxVersion caps the protocol version negotiated with peers
 	// (default proto.MaxVersion).
 	MaxVersion uint8
+	// IdleTimeout, when positive, closes a connection that delivers no
+	// frame for this long — the slow-loris guard: a stalled half-open
+	// peer is reaped instead of holding its goroutines and buffers
+	// forever. Disabled by default; deployments set it well above the
+	// edge upload cadence.
+	IdleTimeout time.Duration
 	// Logger receives per-connection diagnostics; nil disables
 	// logging.
 	Logger *log.Logger
@@ -187,6 +195,21 @@ func (t *Transport) isDrainErr(err error) bool {
 	return t.draining
 }
 
+// isIdleErr reports whether a read error is the idle deadline expiring
+// on a non-draining transport — a stalled peer, not a shutdown.
+func (t *Transport) isIdleErr(err error) bool {
+	if t.cfg.IdleTimeout <= 0 {
+		return false
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.draining
+}
+
 // HandleConn serves one peer connection until it fails, the peer
 // disconnects, or the transport drains. The calling goroutine is the
 // frame reader; requests on v2+ connections are dispatched concurrently
@@ -238,9 +261,22 @@ func (t *Transport) HandleConn(conn net.Conn) {
 	var jobs sync.WaitGroup
 	connSem := make(chan struct{}, t.cfg.MaxInFlight)
 	for {
+		if t.cfg.IdleTimeout > 0 {
+			// Arm the idle deadline per read — but never overwrite the
+			// past deadline Shutdown plants to stop this conn's intake.
+			t.mu.Lock()
+			draining := t.draining
+			t.mu.Unlock()
+			if !draining {
+				conn.SetReadDeadline(time.Now().Add(t.cfg.IdleTimeout))
+			}
+		}
 		frame, err := proto.ReadFrameAny(conn)
 		if err != nil {
-			if !errors.Is(err, io.EOF) && !t.isDrainErr(err) {
+			if t.isIdleErr(err) {
+				m.IdleReaped.Add(1)
+				t.logf("cloud: reaping idle connection: no frame in %v", t.cfg.IdleTimeout)
+			} else if !errors.Is(err, io.EOF) && !t.isDrainErr(err) {
 				m.Errors.Add(1)
 				t.logf("cloud: read: %v", err)
 			}
@@ -303,13 +339,31 @@ func (t *Transport) HandleConn(conn net.Conn) {
 }
 
 // serveFrame runs one frame through the handler and queues its reply,
-// mirroring the request's frame version, ID and tenant.
+// mirroring the request's frame version, ID and tenant. A handler
+// panic is the handler's bug, but it must cost exactly one request: the
+// panic is recovered, that request answers with a 5xx-class error, and
+// the connection — and every other request on the worker pool — keeps
+// serving.
 func (t *Transport) serveFrame(f proto.Frame, out chan<- outFrame, tracked bool) {
 	if tracked {
 		defer t.cfg.Metrics.leaveFlight()
 	}
-	typ, payload := t.h.ServeFrame(f)
+	typ, payload := t.callHandler(f)
 	out <- outFrame{version: f.Version, typ: typ, id: f.ID, tenant: f.Tenant, payload: payload}
+}
+
+// callHandler invokes the frame handler with panic isolation.
+func (t *Transport) callHandler(f proto.Frame) (typ proto.MsgType, payload []byte) {
+	defer func() {
+		if r := recover(); r != nil {
+			t.cfg.Metrics.Panics.Add(1)
+			t.cfg.Metrics.Errors.Add(1)
+			t.logf("cloud: panic serving type-%d frame: %v\n%s", f.Type, r, debug.Stack())
+			typ = proto.TypeError
+			payload = errorPayload(500, fmt.Sprintf("internal error: %v", r))
+		}
+	}()
+	return t.h.ServeFrame(f)
 }
 
 // errorFrame builds an ErrorMsg reply mirroring the offending frame's

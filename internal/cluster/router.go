@@ -25,6 +25,9 @@ type RouterConfig struct {
 	// VirtualNodes sets the ring's virtual nodes per member (≤0:
 	// DefaultVirtualNodes).
 	VirtualNodes int
+	// IdleTimeout, when positive, reaps edge connections that deliver
+	// no frame for this long (see cloud.TransportConfig.IdleTimeout).
+	IdleTimeout time.Duration
 	// Logger receives router diagnostics; nil disables logging.
 	Logger *log.Logger
 }
@@ -100,6 +103,7 @@ func NewRouter(cfg RouterConfig) *Router {
 	}
 	r.tr = cloud.NewTransport(r, cloud.TransportConfig{
 		MaxInFlight: cfg.MaxInFlight,
+		IdleTimeout: cfg.IdleTimeout,
 		Logger:      cfg.Logger,
 		Metrics:     &r.Metrics,
 	})

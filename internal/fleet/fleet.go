@@ -27,6 +27,8 @@ import (
 	"math"
 	"math/rand"
 	"net"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,6 +40,7 @@ import (
 	"emap/internal/netsim"
 	"emap/internal/proto"
 	"emap/internal/synth"
+	"emap/internal/wal"
 )
 
 // Mode selects how devices reach the service under test.
@@ -84,6 +87,14 @@ type Config struct {
 	// times. Zero ChaosAt disables chaos.
 	ChaosAt time.Duration
 	HealAt  time.Duration
+	// CrashAt hard-restarts the in-process cloud at this offset
+	// (netsim mode only): the transport is torn down without closing
+	// the registry — a process kill — and a fresh server is rebuilt
+	// over the same snapshot and WAL directories. During such a run
+	// devices ingest recordings alongside their uploads, every
+	// acknowledged ingest is tracked, and the report accounts each one
+	// as survived or lost after recovery. Zero disables the crash.
+	CrashAt time.Duration
 	// Seed makes runs reproducible (default 1).
 	Seed int64
 	// SeedRecords ingests this many synthetic recordings into every
@@ -152,6 +163,9 @@ func (c Config) validate() error {
 		}
 		if c.ChaosAt > 0 {
 			return errors.New("fleet: chaos injection needs netsim mode (the harness will not cut a live deployment's network)")
+		}
+		if c.CrashAt > 0 {
+			return errors.New("fleet: -crash-at needs netsim mode (the harness restarts only its own in-process cloud)")
 		}
 	default:
 		return fmt.Errorf("fleet: unknown mode %q (want netsim or tcp)", c.Mode)
@@ -223,9 +237,21 @@ type Report struct {
 	// to next success) over total device-time.
 	DegradedFraction float64 `json:"degraded_time_fraction"`
 
-	Chaos  *ChaosReport           `json:"chaos,omitempty"`
-	Client ClientSummary          `json:"client"`
-	Cloud  *cloud.MetricsSnapshot `json:"cloud,omitempty"`
+	Chaos      *ChaosReport           `json:"chaos,omitempty"`
+	Durability *DurabilityReport      `json:"durability,omitempty"`
+	Client     ClientSummary          `json:"client"`
+	Cloud      *cloud.MetricsSnapshot `json:"cloud,omitempty"`
+}
+
+// DurabilityReport is the crash-restart half of the SLO report: every
+// ingest the cloud acknowledged before the mid-run kill, checked
+// against the recovered stores. A non-zero IngestLost is a durability
+// bug — the acknowledgement promised the write was safe.
+type DurabilityReport struct {
+	CrashAtSeconds float64 `json:"crash_at_seconds"`
+	IngestAcked    int64   `json:"ingest_acked"`
+	IngestSurvived int64   `json:"ingest_survived"`
+	IngestLost     int64   `json:"ingest_lost"`
 }
 
 // runner is one run's shared state.
@@ -234,9 +260,15 @@ type runner struct {
 	start    time.Time
 	healTime time.Time // zero when chaos is off
 
-	srv  *cloud.Server     // netsim mode
-	part *netsim.Partition // netsim mode
-	dial func(d *device) (*edge.Client, error)
+	srvMu sync.Mutex
+	srv   *cloud.Server                 // netsim mode; nil mid-restart
+	mkSrv func() (*cloud.Server, error) // netsim mode: (re)builds the server
+	part  *netsim.Partition             // netsim mode
+	dial  func(d *device) (*edge.Client, error)
+
+	ingestAcked atomic.Int64
+	ackMu       sync.Mutex
+	acked       map[string][]string // tenant -> acknowledged record IDs
 
 	uploads     atomic.Int64
 	successes   atomic.Int64
@@ -268,8 +300,17 @@ type device struct {
 	stormRoll float64
 	base      []float64
 	client    *edge.Client
+	ingestSeq int
 
 	degradedSince time.Time // zero: healthy
+}
+
+// cloudSrv returns the current in-process server (nil in tcp mode or
+// mid-restart).
+func (r *runner) cloudSrv() *cloud.Server {
+	r.srvMu.Lock()
+	defer r.srvMu.Unlock()
+	return r.srv
 }
 
 func (r *runner) logf(format string, args ...any) {
@@ -289,19 +330,47 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 
 	switch cfg.Mode {
 	case ModeNetsim:
-		srv, err := cloud.NewServer(nil, cloud.Config{
+		srvCfg := cloud.Config{
 			Workers:     cfg.Workers,
 			ShedQueue:   cfg.ShedQueue,
 			TenantRate:  cfg.TenantRate,
 			TenantBurst: cfg.TenantBurst,
 			StoreFormat: cfg.StoreFormat,
 			HotBytes:    cfg.HotBytes,
-		})
+		}
+		if cfg.CrashAt > 0 {
+			// The crash-restart run needs state that outlives a server:
+			// a dir-backed registry plus a write-ahead log, rebuilt over
+			// the same directories after the kill — exactly what a
+			// restarted emap-cloud process sees.
+			stateDir, err := os.MkdirTemp("", "emap-fleet-crash-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(stateDir)
+			snapDir, walDir := filepath.Join(stateDir, "snap"), filepath.Join(stateDir, "wal")
+			durCfg := srvCfg
+			durCfg.WALDir, durCfg.WALSync = walDir, wal.SyncAlways
+			r.mkSrv = func() (*cloud.Server, error) {
+				reg, err := mdb.NewRegistry(snapDir, 0)
+				if err != nil {
+					return nil, err
+				}
+				return cloud.NewRegistryServer(reg, durCfg)
+			}
+		} else {
+			r.mkSrv = func() (*cloud.Server, error) { return cloud.NewServer(nil, srvCfg) }
+		}
+		srv, err := r.mkSrv()
 		if err != nil {
 			return nil, err
 		}
 		r.srv = srv
-		defer srv.Close()
+		defer func() {
+			if s := r.cloudSrv(); s != nil {
+				s.Close()
+			}
+		}()
 		if cfg.SeedRecords > 0 {
 			if err := seedStores(srv, cfg); err != nil {
 				return nil, err
@@ -319,8 +388,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 						r.part.Drops.Add(1)
 						return nil, netsim.ErrPartitioned
 					}
+					cur := r.cloudSrv()
+					if cur == nil {
+						return nil, errors.New("fleet: cloud restarting")
+					}
 					cs, ss := net.Pipe()
-					go srv.HandleConn(ss)
+					go cur.HandleConn(ss)
 					return r.part.Wrap(cs), nil
 				},
 			})
@@ -354,6 +427,11 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 
 	r.start = time.Now()
+	if cfg.CrashAt > 0 {
+		crash := time.AfterFunc(cfg.CrashAt, r.crashRestart)
+		defer crash.Stop()
+		r.logf("fleet: cloud crash-restart scheduled at %v", cfg.CrashAt)
+	}
 	if cfg.ChaosAt > 0 {
 		r.healTime = r.start.Add(cfg.HealAt)
 		split := r.part.SplitAfter(cfg.ChaosAt)
@@ -390,7 +468,70 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	}
 	wg.Wait()
 
-	return r.report(time.Since(r.start)), nil
+	rep := r.report(time.Since(r.start))
+	if cfg.CrashAt > 0 {
+		rep.Durability = r.checkSurvival()
+	}
+	return rep, nil
+}
+
+// crashRestart is the mid-run kill: tear the serving transport down
+// without ever closing the registry (no snapshot persists, no WAL
+// checkpoint — the write-ahead log is the only durable copy of
+// unevicted ingests), then rebuild the server over the same
+// directories the way a restarted process would.
+func (r *runner) crashRestart() {
+	r.srvMu.Lock()
+	old := r.srv
+	r.srv = nil
+	r.srvMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	srv, err := r.mkSrv()
+	if err != nil {
+		r.logf("fleet: cloud restart failed: %v", err)
+		return
+	}
+	r.srvMu.Lock()
+	r.srv = srv
+	r.srvMu.Unlock()
+	r.logf("fleet: cloud crash-restarted; tenants recover from snapshots + WAL replay")
+}
+
+// checkSurvival opens every tenant on the recovered server and checks
+// each acknowledged ingest is present. Ingests whose acknowledgement
+// never reached the device are free to be lost (the device retries
+// them in a real deployment); acknowledged ones are not.
+func (r *runner) checkSurvival() *DurabilityReport {
+	rep := &DurabilityReport{
+		CrashAtSeconds: r.cfg.CrashAt.Seconds(),
+		IngestAcked:    r.ingestAcked.Load(),
+	}
+	srv := r.cloudSrv()
+	if srv == nil {
+		rep.IngestLost = rep.IngestAcked
+		return rep
+	}
+	r.ackMu.Lock()
+	defer r.ackMu.Unlock()
+	for tenant, ids := range r.acked {
+		store, err := srv.Registry().Open(tenant)
+		if err != nil {
+			rep.IngestLost += int64(len(ids))
+			r.logf("fleet: opening tenant %q for the survival check: %v", tenant, err)
+			continue
+		}
+		for _, id := range ids {
+			if _, ok := store.Record(id); ok {
+				rep.IngestSurvived++
+			} else {
+				rep.IngestLost++
+				r.logf("fleet: acked ingest %s/%s lost across the crash", tenant, id)
+			}
+		}
+	}
+	return rep
 }
 
 // runDevice is one device's upload loop: staggered start, jittered
@@ -412,10 +553,43 @@ func (r *runner) runDevice(ctx context.Context, d *device) {
 	}
 	for {
 		r.uploadOnce(ctx, d)
+		if r.cfg.CrashAt > 0 && d.client != nil && d.rng.Float64() < 0.25 {
+			// Crash-restart runs mix ingests into the offered load: the
+			// writes whose durability the run is scored on.
+			r.ingestOnce(ctx, d)
+		}
 		if !sleepCtx(ctx, r.interval(d)) {
 			return
 		}
 	}
+}
+
+// ingestOnce pushes one deterministic recording and, when the cloud
+// acknowledges it, records the ID for the post-recovery survival
+// check. Errors are fine — an unacknowledged ingest carries no
+// durability promise.
+func (r *runner) ingestOnce(ctx context.Context, d *device) {
+	d.ingestSeq++
+	id := fmt.Sprintf("dev-%04d-rec-%d", d.id, d.ingestSeq)
+	samples := make([]float64, 2048)
+	for i := range samples {
+		samples[i] = d.base[i%len(d.base)] * (1 + 0.001*float64(d.ingestSeq))
+	}
+	counts, scale := proto.Quantize(samples)
+	reqCtx, cancel := context.WithTimeout(ctx, r.cfg.RequestTimeout)
+	_, err := d.client.Ingest(reqCtx, &proto.Ingest{
+		Seq: uint32(d.ingestSeq), RecordID: id, Onset: -1, Scale: scale, Samples: counts})
+	cancel()
+	if err != nil {
+		return
+	}
+	r.ingestAcked.Add(1)
+	r.ackMu.Lock()
+	if r.acked == nil {
+		r.acked = make(map[string][]string)
+	}
+	r.acked[d.tenant] = append(r.acked[d.tenant], id)
+	r.ackMu.Unlock()
 }
 
 // interval is the device's next sleep: the mean interval, over the
@@ -592,8 +766,8 @@ func (r *runner) report(ran time.Duration) *Report {
 		}
 		rep.Chaos = ch
 	}
-	if r.srv != nil {
-		snap := r.srv.Metrics.Snapshot()
+	if srv := r.cloudSrv(); srv != nil {
+		snap := srv.Metrics.Snapshot()
 		rep.Cloud = &snap
 	}
 	return rep

@@ -49,6 +49,8 @@ func TestConfigValidate(t *testing.T) {
 		{"netsim with addr", Config{Addr: "x:1"}, false},
 		{"tcp without addr", Config{Mode: ModeTCP}, false},
 		{"tcp with chaos", Config{Mode: ModeTCP, Addr: "x:1", ChaosAt: time.Second, HealAt: 2 * time.Second}, false},
+		{"tcp with crash", Config{Mode: ModeTCP, Addr: "x:1", CrashAt: time.Second}, false},
+		{"netsim with crash", Config{CrashAt: time.Second}, true},
 		{"heal before split", Config{ChaosAt: 2 * time.Second, HealAt: time.Second}, false},
 		{"bad mode", Config{Mode: "carrier-pigeon"}, false},
 	}
@@ -127,6 +129,51 @@ func TestFleetSmokeChaos(t *testing.T) {
 	}
 	if back.Uploads != rep.Uploads || back.Chaos.ReadoptedDevices != rep.Chaos.ReadoptedDevices {
 		t.Fatal("report did not survive a JSON round trip")
+	}
+}
+
+// TestFleetCrashRestartNoLoss: a mid-run hard restart of the
+// in-process cloud — transport killed, registry abandoned, server
+// rebuilt over the same snapshot and WAL directories — loses no
+// acknowledged ingest.
+func TestFleetCrashRestartNoLoss(t *testing.T) {
+	rep, err := Run(context.Background(), Config{
+		Devices:  12,
+		Tenants:  2,
+		Duration: 3 * time.Second,
+		Interval: 100 * time.Millisecond,
+		CrashAt:  1 * time.Second,
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Durability == nil {
+		t.Fatal("durability report missing from a crash-restart run")
+	}
+	d := rep.Durability
+	if d.IngestAcked == 0 {
+		t.Fatal("crash run acked no ingests; nothing was tested")
+	}
+	if d.IngestLost != 0 {
+		t.Fatalf("%d of %d acked ingests lost across the crash-restart", d.IngestLost, d.IngestAcked)
+	}
+	if d.IngestSurvived != d.IngestAcked {
+		t.Fatalf("survival accounting inconsistent: %+v", d)
+	}
+	if rep.Errors == 0 {
+		t.Fatal("a mid-run server kill must surface upload errors")
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Durability == nil || back.Durability.IngestAcked != d.IngestAcked {
+		t.Fatal("durability report did not survive a JSON round trip")
 	}
 }
 

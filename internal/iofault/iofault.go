@@ -1,0 +1,392 @@
+// Package iofault is a small filesystem seam with deterministic fault
+// injection for durability testing. Production code takes an FS and
+// runs on the passthrough OS implementation; tests substitute a Faulty
+// filesystem that injects scheduled write/sync/rename errors, short
+// writes, and — the crash-safety workhorse — process-death crash
+// points that freeze the on-disk state exactly as a kill -9 or power
+// loss would have left it.
+//
+// The Faulty filesystem models the durability contract of a real OS:
+// bytes passed to Write live in a volatile buffer (the page cache)
+// until Sync flushes them to the backing file; a crash discards every
+// unflushed buffer, and a crash scheduled mid-Sync flushes only a
+// prefix of the pending bytes — the torn tail a write-ahead log must
+// tolerate on replay. After a crash every operation fails with
+// ErrCrashed; the test then reopens the same directory through a clean
+// OS filesystem and observes exactly what a restarted process would.
+package iofault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation on a Faulty filesystem
+// after its scheduled crash point fired: the simulated process is
+// dead, and nothing more reaches disk.
+var ErrCrashed = errors.New("iofault: filesystem crashed")
+
+// File is the slice of *os.File durable storage needs: sequential
+// writes, a durability barrier, and close.
+type File interface {
+	io.Writer
+	// Sync flushes buffered writes to stable storage. On the OS
+	// filesystem it is fsync; on a Faulty filesystem it is the moment
+	// buffered bytes survive a crash.
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem surface the WAL runs on. All paths are
+// ordinary OS paths; the Faulty implementation wraps the same
+// directory tree the OS implementation would touch, so a test can
+// crash one filesystem and reopen the files through another.
+type FS interface {
+	// OpenFile opens a file for writing (the WAL appends; flag is the
+	// usual os.O_* mask).
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// ReadFile returns the file's durable contents ([]byte, as
+	// os.ReadFile). Buffered-but-unsynced writes are NOT visible:
+	// replay sees only what a crash would have left.
+	ReadFile(name string) ([]byte, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file; removing a missing file is the caller's
+	// error to interpret (os semantics).
+	Remove(name string) error
+	// Truncate cuts the file to size bytes (torn-tail repair).
+	Truncate(name string, size int64) error
+	// MkdirAll creates the directory path.
+	MkdirAll(path string, perm os.FileMode) error
+}
+
+// osFS is the passthrough production filesystem.
+type osFS struct{}
+
+// OS returns the passthrough filesystem over the real OS.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) Rename(oldname, newname string) error         { return os.Rename(oldname, newname) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Truncate(name string, size int64) error       { return os.Truncate(name, size) }
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// Op names one operation class for fault scheduling.
+type Op int
+
+const (
+	OpWrite Op = iota
+	OpSync
+	OpRename
+	OpRemove
+	OpTruncate
+	OpOpen
+	opCount
+)
+
+// String returns the operation name.
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRemove:
+		return "remove"
+	case OpTruncate:
+		return "truncate"
+	case OpOpen:
+		return "open"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// fault is one scheduled injection: when the op counter for Kind
+// reaches At (1-based), the action fires.
+type fault struct {
+	at      int64
+	err     error // non-nil: fail the op with this error, once
+	crash   bool  // crash the filesystem at this op
+	partial int   // crash-during-sync: flush this many pending bytes first; short write: apply this many bytes
+	short   bool  // short write: apply partial bytes then fail (no crash)
+}
+
+// Faulty is an FS whose writes are volatile until synced and whose
+// faults fire on a deterministic schedule. It is safe for concurrent
+// use. The zero value is not usable; construct with NewFaulty.
+type Faulty struct {
+	mu     sync.Mutex
+	faults map[Op][]fault
+	dead   bool
+
+	// Writes, Syncs and Renames count operations that reached the
+	// filesystem (including ones a fault then failed); tests use them
+	// to aim schedules.
+	opsSeen [opCount]int64
+}
+
+// NewFaulty returns a fault-injectable filesystem over the real OS
+// directory tree, with no faults scheduled.
+func NewFaulty() *Faulty {
+	return &Faulty{faults: make(map[Op][]fault)}
+}
+
+// FailAt schedules the nth operation of kind op (1-based, counted
+// across all files) to fail with err, without applying. The fault
+// fires once; the op after it proceeds normally.
+func (f *Faulty) FailAt(op Op, n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = append(f.faults[op], fault{at: int64(n), err: err})
+}
+
+// ShortWriteAt schedules the nth Write to apply only the first k bytes
+// to the volatile buffer and then fail with io.ErrShortWrite — the
+// partial-append a full disk or signal-interrupted write produces.
+func (f *Faulty) ShortWriteAt(n, k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[OpWrite] = append(f.faults[OpWrite], fault{at: int64(n), short: true, partial: k})
+}
+
+// CrashAt schedules the simulated process death at the nth operation
+// of kind op: the operation does not apply (a write buffers nothing, a
+// rename leaves both names as they were, a sync flushes nothing), all
+// unsynced buffers are discarded, and every subsequent operation fails
+// with ErrCrashed.
+func (f *Faulty) CrashAt(op Op, n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[op] = append(f.faults[op], fault{at: int64(n), crash: true})
+}
+
+// CrashDuringSyncAt schedules the crash mid-way through the nth Sync:
+// only the first k pending bytes reach the backing file before the
+// process dies — the torn frame a power loss mid-fsync leaves behind.
+func (f *Faulty) CrashDuringSyncAt(n, k int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.faults[OpSync] = append(f.faults[OpSync], fault{at: int64(n), crash: true, partial: k})
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *Faulty) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dead
+}
+
+// Ops returns how many operations of the given kind have been issued.
+func (f *Faulty) Ops(op Op) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.opsSeen[op]
+}
+
+// begin counts one operation and resolves the fault that fires on it,
+// if any. It returns the fault and whether the filesystem is already
+// dead. Caller must not hold f.mu.
+func (f *Faulty) begin(op Op) (fault, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return fault{}, true, ErrCrashed
+	}
+	f.opsSeen[op]++
+	n := f.opsSeen[op]
+	scheduled := f.faults[op]
+	for i, ft := range scheduled {
+		if ft.at == n {
+			// One-shot: remove the fired fault.
+			f.faults[op] = append(scheduled[:i:i], scheduled[i+1:]...)
+			if ft.crash {
+				f.dead = true
+			}
+			return ft, false, nil
+		}
+	}
+	return fault{}, false, nil
+}
+
+func (f *Faulty) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	ft, dead, err := f.begin(OpOpen)
+	if dead {
+		return nil, err
+	}
+	if ft.crash {
+		return nil, ErrCrashed
+	}
+	if ft.err != nil {
+		return nil, ft.err
+	}
+	inner, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+func (f *Faulty) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return nil, ErrCrashed
+	}
+	return os.ReadFile(name)
+}
+
+func (f *Faulty) Rename(oldname, newname string) error {
+	ft, dead, err := f.begin(OpRename)
+	if dead {
+		return err
+	}
+	if ft.crash {
+		return ErrCrashed
+	}
+	if ft.err != nil {
+		return ft.err
+	}
+	return os.Rename(oldname, newname)
+}
+
+func (f *Faulty) Remove(name string) error {
+	ft, dead, err := f.begin(OpRemove)
+	if dead {
+		return err
+	}
+	if ft.crash {
+		return ErrCrashed
+	}
+	if ft.err != nil {
+		return ft.err
+	}
+	return os.Remove(name)
+}
+
+func (f *Faulty) Truncate(name string, size int64) error {
+	ft, dead, err := f.begin(OpTruncate)
+	if dead {
+		return err
+	}
+	if ft.crash {
+		return ErrCrashed
+	}
+	if ft.err != nil {
+		return ft.err
+	}
+	return os.Truncate(name, size)
+}
+
+func (f *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	f.mu.Lock()
+	dead := f.dead
+	f.mu.Unlock()
+	if dead {
+		return ErrCrashed
+	}
+	return os.MkdirAll(path, perm)
+}
+
+// faultyFile buffers writes until Sync — the volatile page cache of
+// the simulated machine. One file's buffer is independent of the
+// others'; the filesystem-wide crash discards them all.
+type faultyFile struct {
+	fs    *Faulty
+	inner *os.File
+
+	bmu     sync.Mutex
+	pending []byte
+	closed  bool
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ft, dead, err := ff.fs.begin(OpWrite)
+	if dead {
+		return 0, err
+	}
+	ff.bmu.Lock()
+	defer ff.bmu.Unlock()
+	if ff.closed {
+		return 0, os.ErrClosed
+	}
+	switch {
+	case ft.crash:
+		// Process death mid-write: nothing of this write reaches even
+		// the page cache, and everything unsynced is gone.
+		return 0, ErrCrashed
+	case ft.short:
+		k := ft.partial
+		if k > len(p) {
+			k = len(p)
+		}
+		ff.pending = append(ff.pending, p[:k]...)
+		return k, io.ErrShortWrite
+	case ft.err != nil:
+		return 0, ft.err
+	}
+	ff.pending = append(ff.pending, p...)
+	return len(p), nil
+}
+
+func (ff *faultyFile) Sync() error {
+	ft, dead, err := ff.fs.begin(OpSync)
+	if dead {
+		return err
+	}
+	ff.bmu.Lock()
+	defer ff.bmu.Unlock()
+	if ff.closed {
+		return os.ErrClosed
+	}
+	if ft.crash {
+		// Crash mid-sync: a prefix of the pending bytes reaches the
+		// backing file (CrashDuringSyncAt), or none (CrashAt). Either
+		// way the process is dead afterwards.
+		k := ft.partial
+		if k > len(ff.pending) {
+			k = len(ff.pending)
+		}
+		if k > 0 {
+			if _, werr := ff.inner.Write(ff.pending[:k]); werr == nil {
+				ff.inner.Sync()
+			}
+		}
+		ff.pending = nil
+		ff.inner.Close()
+		return ErrCrashed
+	}
+	if ft.err != nil {
+		return ft.err
+	}
+	if len(ff.pending) > 0 {
+		if _, werr := ff.inner.Write(ff.pending); werr != nil {
+			return werr
+		}
+		ff.pending = ff.pending[:0]
+	}
+	return ff.inner.Sync()
+}
+
+// Close discards unsynced bytes — closing a file does not make its
+// writes durable, exactly as with a real page cache — and closes the
+// backing file. Callers that need the bytes must Sync first.
+func (ff *faultyFile) Close() error {
+	ff.bmu.Lock()
+	defer ff.bmu.Unlock()
+	if ff.closed {
+		return os.ErrClosed
+	}
+	ff.closed = true
+	ff.pending = nil
+	return ff.inner.Close()
+}

@@ -1,0 +1,232 @@
+package iofault
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSPassthrough exercises the production filesystem end to end:
+// what it writes is what the OS reads back.
+func TestOSPassthrough(t *testing.T) {
+	fs := OS()
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(path)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	if err := fs.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = fs.ReadFile(path); string(got) != "he" {
+		t.Fatalf("after truncate: %q", got)
+	}
+	next := filepath.Join(filepath.Dir(path), "g")
+	if err := fs.Rename(path, next); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove(next); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFaultyWriteVolatileUntilSync pins the core durability model:
+// written bytes are invisible to ReadFile until Sync, and Close
+// without Sync discards them.
+func TestFaultyWriteVolatileUntilSync(t *testing.T) {
+	fs := NewFaulty()
+	path := filepath.Join(t.TempDir(), "f")
+	f, err := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(path); len(got) != 0 {
+		t.Fatalf("unsynced bytes visible: %q", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(path); string(got) != "abc" {
+		t.Fatalf("after sync: %q", got)
+	}
+	// Unsynced tail dies with Close.
+	if _, err := f.Write([]byte("zzz")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(path); string(got) != "abc" {
+		t.Fatalf("close flushed unsynced bytes: %q", got)
+	}
+}
+
+// TestFaultyScheduledErrors fires a one-shot error on the nth write,
+// sync and rename; the operation after each proceeds normally.
+func TestFaultyScheduledErrors(t *testing.T) {
+	fs := NewFaulty()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	boom := errors.New("boom")
+	fs.FailAt(OpWrite, 2, boom)
+	fs.FailAt(OpSync, 1, boom)
+	fs.FailAt(OpRename, 1, boom)
+
+	f, _ := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if _, err := f.Write([]byte("a")); err != nil {
+		t.Fatalf("write 1: %v", err)
+	}
+	if _, err := f.Write([]byte("b")); !errors.Is(err, boom) {
+		t.Fatalf("write 2 = %v, want boom", err)
+	}
+	if _, err := f.Write([]byte("c")); err != nil {
+		t.Fatalf("write 3: %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync 1 = %v, want boom", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync 2: %v", err)
+	}
+	// The failed write applied nothing: only "a" and "c" are durable.
+	if got, _ := fs.ReadFile(path); string(got) != "ac" {
+		t.Fatalf("durable bytes %q, want \"ac\"", got)
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, boom) {
+		t.Fatalf("rename 1 = %v, want boom", err)
+	}
+	if err := fs.Rename(path, path+"2"); err != nil {
+		t.Fatalf("rename 2: %v", err)
+	}
+}
+
+// TestFaultyShortWrite applies a prefix of the write and reports
+// io.ErrShortWrite.
+func TestFaultyShortWrite(t *testing.T) {
+	fs := NewFaulty()
+	path := filepath.Join(t.TempDir(), "f")
+	fs.ShortWriteAt(1, 3)
+	f, _ := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	n, err := f.Write([]byte("abcdef"))
+	if n != 3 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("short write = (%d, %v), want (3, short write)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := fs.ReadFile(path); string(got) != "abc" {
+		t.Fatalf("durable bytes %q, want \"abc\"", got)
+	}
+}
+
+// TestFaultyCrashAtWrite kills the filesystem at a write: nothing of
+// that write or any unsynced predecessor survives, and every later
+// operation fails with ErrCrashed.
+func TestFaultyCrashAtWrite(t *testing.T) {
+	fs := NewFaulty()
+	path := filepath.Join(t.TempDir(), "f")
+	fs.CrashAt(OpWrite, 3)
+	f, _ := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("a"))
+	f.Sync()
+	f.Write([]byte("b")) // buffered, never synced
+	if _, err := f.Write([]byte("c")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash write = %v", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("Crashed() = false after crash point")
+	}
+	if _, err := f.Write([]byte("d")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if err := fs.Rename(path, path+"2"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename = %v", err)
+	}
+	if _, err := fs.OpenFile(path, os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+	// A fresh OS view over the same path sees only the synced prefix —
+	// what a restarted process finds.
+	got, err := OS().ReadFile(path)
+	if err != nil || string(got) != "a" {
+		t.Fatalf("post-crash durable state %q, %v; want \"a\"", got, err)
+	}
+}
+
+// TestFaultyCrashDuringSync flushes only the scheduled prefix of the
+// pending buffer — the torn tail.
+func TestFaultyCrashDuringSync(t *testing.T) {
+	fs := NewFaulty()
+	path := filepath.Join(t.TempDir(), "f")
+	f, _ := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("abc"))
+	f.Sync()
+	fs.CrashDuringSyncAt(2, 2)
+	f.Write([]byte("defgh"))
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash sync = %v", err)
+	}
+	got, err := OS().ReadFile(path)
+	if err != nil || string(got) != "abcde" {
+		t.Fatalf("torn state %q, %v; want \"abcde\"", got, err)
+	}
+}
+
+// TestFaultyCrashAtRename leaves both names untouched — the
+// pre-rename crash point of an atomic replace.
+func TestFaultyCrashAtRename(t *testing.T) {
+	fs := NewFaulty()
+	dir := t.TempDir()
+	oldp, newp := filepath.Join(dir, "old"), filepath.Join(dir, "new")
+	os.WriteFile(oldp, []byte("O"), 0o644)
+	os.WriteFile(newp, []byte("N"), 0o644)
+	fs.CrashAt(OpRename, 1)
+	if err := fs.Rename(oldp, newp); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("rename = %v", err)
+	}
+	o, _ := os.ReadFile(oldp)
+	n, _ := os.ReadFile(newp)
+	if string(o) != "O" || string(n) != "N" {
+		t.Fatalf("crash applied the rename: old=%q new=%q", o, n)
+	}
+}
+
+// TestFaultyOpCounters proves schedules can be aimed with Ops.
+func TestFaultyOpCounters(t *testing.T) {
+	fs := NewFaulty()
+	path := filepath.Join(t.TempDir(), "f")
+	f, _ := fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte("a"))
+	f.Write([]byte("b"))
+	f.Sync()
+	if got := fs.Ops(OpWrite); got != 2 {
+		t.Fatalf("Ops(write) = %d, want 2", got)
+	}
+	if got := fs.Ops(OpSync); got != 1 {
+		t.Fatalf("Ops(sync) = %d, want 1", got)
+	}
+	if got := fs.Ops(OpOpen); got != 1 {
+		t.Fatalf("Ops(open) = %d, want 1", got)
+	}
+}

@@ -8,6 +8,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"emap/internal/iofault"
+	"emap/internal/wal"
 )
 
 // ErrRegistryFull is returned by Open when the registry is at its
@@ -18,6 +22,19 @@ var ErrRegistryFull = errors.New("mdb: registry full and no snapshot directory t
 // snapExt is the filename extension of per-tenant snapshot files
 // inside a registry directory.
 const snapExt = ".snap"
+
+// walExt is the filename extension of per-tenant write-ahead logs
+// inside a WAL directory.
+const walExt = ".wal"
+
+// ErrNoWAL is returned by AppendWAL on a registry without EnableWAL.
+var ErrNoWAL = errors.New("mdb: WAL not enabled")
+
+// ErrTenantNotResident is returned by AppendWAL when the tenant is not
+// (or no longer) resident — typically an eviction racing the append.
+// Callers resolve it the way they resolve a store-identity mismatch:
+// reopen the tenant and retry.
+var ErrTenantNotResident = errors.New("mdb: tenant not resident")
 
 // ValidTenantID reports whether id is an acceptable tenant identifier:
 // 1–64 characters from [A-Za-z0-9._-], starting with a letter or
@@ -54,6 +71,21 @@ type Registry struct {
 	// query the registry (but must not mutate it).
 	OnEvict func(tenant string, s *Store)
 
+	// OnPersistError, when set, runs (without the registry lock) after
+	// an eviction-time snapshot persist fails. The slot is re-installed
+	// — losing patient data is worse than exceeding the tenant cap —
+	// and, still being the LRU victim, is retried on the next eviction
+	// pass; the hook is how operators see the failure in the meantime.
+	// Set before the first Open.
+	OnPersistError func(tenant string, err error)
+
+	// walCfg, when non-nil, makes every tenant durable between
+	// persists: Open/Adopt replay the tenant's log before serving, and
+	// AppendWAL journals each ingest. Set via EnableWAL before the
+	// first Open; immutable afterwards.
+	walCfg *WALConfig
+	walM   wal.Metrics
+
 	mu    sync.Mutex
 	dir   string // "" = memory-only, eviction cannot persist
 	max   int    // ≤0 = unbounded
@@ -77,6 +109,11 @@ type Registry struct {
 type tenantSlot struct {
 	store   *Store
 	lastUse int64
+	// wal is the tenant's open write-ahead log (nil when the registry
+	// has no WAL). Evicting closes it after the snapshot persist
+	// checkpoints it; appends racing the close fail with wal.ErrClosed,
+	// surfaced as ErrTenantNotResident.
+	wal *wal.Log
 	// resident turns true once the store is loaded and usable;
 	// non-resident slots are invisible to Get and never evicted.
 	resident bool
@@ -107,6 +144,102 @@ func NewRegistry(dir string, max int) (*Registry, error) {
 
 // Dir returns the registry's snapshot directory ("" when memory-only).
 func (r *Registry) Dir() string { return r.dir }
+
+// WALConfig enables crash-safe ingest durability on a registry.
+type WALConfig struct {
+	// Dir holds one log per tenant (<tenant>.wal); created if missing.
+	Dir string
+	// Sync is the fsync policy (default wal.SyncAlways) and Interval
+	// the wal.SyncInterval cadence.
+	Sync     wal.Policy
+	Interval time.Duration
+	// FS is the filesystem the logs live on (default the real OS);
+	// durability tests inject an iofault.Faulty here.
+	FS iofault.FS
+	// Apply re-inserts one journaled payload into the tenant's store
+	// during replay. Replay can present records the snapshot already
+	// covers (a checkpoint that crashed pre-rename); Apply must treat
+	// an already-present record ID as a no-op, not an error.
+	Apply func(s *Store, payload []byte) error
+}
+
+// EnableWAL turns on per-tenant write-ahead logging. Call before the
+// first Open; the configuration is immutable afterwards.
+func (r *Registry) EnableWAL(cfg WALConfig) error {
+	if cfg.Dir == "" {
+		return errors.New("mdb: WAL config needs a directory")
+	}
+	if cfg.Apply == nil {
+		return errors.New("mdb: WAL config needs an Apply function")
+	}
+	if cfg.FS == nil {
+		cfg.FS = iofault.OS()
+	}
+	if err := cfg.FS.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("mdb: WAL dir: %w", err)
+	}
+	r.walCfg = &cfg
+	return nil
+}
+
+// WALEnabled reports whether EnableWAL has been called.
+func (r *Registry) WALEnabled() bool { return r.walCfg != nil }
+
+// WALMetrics returns the registry-wide WAL counters (aggregated over
+// every tenant log). Valid even before EnableWAL.
+func (r *Registry) WALMetrics() *wal.Metrics { return &r.walM }
+
+// walPath returns the tenant's log path.
+func (r *Registry) walPath(tenant string) string {
+	return filepath.Join(r.walCfg.Dir, tenant+walExt)
+}
+
+// replayAndOpenWAL replays the tenant's log into s (records acked
+// before a crash re-enter the store) and opens it for appending. Runs
+// during Open/Adopt, before the slot turns resident.
+func (r *Registry) replayAndOpenWAL(tenant string, s *Store) (*wal.Log, error) {
+	cfg := r.walCfg
+	path := r.walPath(tenant)
+	if _, err := wal.Replay(cfg.FS, path, &r.walM, func(p []byte) error {
+		return cfg.Apply(s, p)
+	}); err != nil {
+		return nil, fmt.Errorf("mdb: replaying WAL for tenant %q: %w", tenant, err)
+	}
+	lg, err := wal.Open(path, wal.Options{Sync: cfg.Sync, Interval: cfg.Interval, FS: cfg.FS}, &r.walM)
+	if err != nil {
+		return nil, fmt.Errorf("mdb: tenant %q: %w", tenant, err)
+	}
+	return lg, nil
+}
+
+// AppendWAL journals one ingest payload to the tenant's log BEFORE the
+// caller inserts it into the store. Under wal.SyncAlways a nil return
+// means the payload is on stable storage — the caller may acknowledge.
+// ErrTenantNotResident means an eviction won the race; reopen the
+// tenant and retry, exactly as for a store-identity mismatch.
+func (r *Registry) AppendWAL(tenant string, payload []byte) error {
+	if r.walCfg == nil {
+		return ErrNoWAL
+	}
+	r.mu.Lock()
+	slot, ok := r.open[tenant]
+	if !ok || !slot.resident || slot.wal == nil {
+		r.mu.Unlock()
+		return ErrTenantNotResident
+	}
+	lg := slot.wal
+	r.mu.Unlock()
+	// Append outside the registry lock: an fsync must never stall
+	// other tenants' opens. The log closing under us (eviction)
+	// surfaces as ErrClosed.
+	if err := lg.Append(payload); err != nil {
+		if errors.Is(err, wal.ErrClosed) {
+			return ErrTenantNotResident
+		}
+		return err
+	}
+	return nil
+}
 
 // SetSaveFormat selects the snapshot format the registry persists
 // tenants in, overriding each store's own preference; FormatColumnar
@@ -236,12 +369,19 @@ func (r *Registry) Open(tenant string) (*Store, error) {
 				}
 			}
 		}
+		// Re-apply journaled ingests the snapshot missed, then open the
+		// log for this residency.
+		var lg *wal.Log
+		if loadErr == nil && r.walCfg != nil {
+			lg, loadErr = r.replayAndOpenWAL(tenant, store)
+		}
 		r.mu.Lock()
 		if loadErr != nil {
 			delete(r.open, tenant)
 			slot.loadErr = loadErr
 		} else {
 			slot.store = store
+			slot.wal = lg
 			slot.resident = true
 		}
 		r.mu.Unlock()
@@ -253,7 +393,10 @@ func (r *Registry) Open(tenant string) (*Store, error) {
 // Adopt registers an existing store under the given tenant ID,
 // replacing nothing: adopting an already-open tenant is an error. It
 // seeds a registry with a pre-built store (e.g. the default tenant of
-// a single-store deployment).
+// a single-store deployment, or a parked replica promoted after a
+// failover). With a WAL enabled, the tenant's log replays into the
+// adopted store first — a promoted replica catches up on the ingests
+// journaled since its copy was parked.
 func (r *Registry) Adopt(tenant string, s *Store) error {
 	if !ValidTenantID(tenant) {
 		return fmt.Errorf("mdb: invalid tenant ID %q", tenant)
@@ -278,8 +421,9 @@ func (r *Registry) Adopt(tenant string, s *Store) error {
 		}
 		return err
 	}
-	slot := &tenantSlot{store: s, resident: true, ready: make(chan struct{})}
-	close(slot.ready)
+	// Reserve a non-resident slot so concurrent Opens wait for the
+	// replay below instead of loading a stale snapshot over it.
+	slot := &tenantSlot{ready: make(chan struct{})}
 	r.touch(slot)
 	r.open[tenant] = slot
 	budget := r.budget
@@ -287,7 +431,27 @@ func (r *Registry) Adopt(tenant string, s *Store) error {
 	if budget > 0 {
 		s.SetTierBudget(budget)
 	}
-	return r.finishEvicts(pend)
+	evictErr := r.finishEvicts(pend)
+
+	var lg *wal.Log
+	if r.walCfg != nil {
+		lg, err = r.replayAndOpenWAL(tenant, s)
+		if err != nil {
+			r.mu.Lock()
+			delete(r.open, tenant)
+			slot.loadErr = err
+			r.mu.Unlock()
+			close(slot.ready)
+			return err
+		}
+	}
+	r.mu.Lock()
+	slot.store = s
+	slot.wal = lg
+	slot.resident = true
+	r.mu.Unlock()
+	close(slot.ready)
+	return evictErr
 }
 
 // Get returns the tenant's store without opening or creating it.
@@ -376,12 +540,26 @@ func (r *Registry) finishEvicts(pend []pendingEvict) error {
 	var firstErr error
 	for _, p := range pend {
 		err := r.persist(p.id, p.slot.store)
-		if err == nil && r.OnEvict != nil {
-			// Notify BEFORE lifting the reopen barrier: once the
-			// barrier drops, the tenant may reopen with fresh
-			// serving state that a late notification must not
-			// destroy.
-			r.OnEvict(p.id, p.slot.store)
+		if err == nil {
+			if p.slot.wal != nil {
+				// The snapshot now covers every journaled record:
+				// checkpoint (empty) the log, then close it. A failed
+				// checkpoint is non-fatal — the next replay re-applies
+				// covered records and Apply skips them.
+				p.slot.wal.Checkpoint()
+				p.slot.wal.Close()
+			}
+			if r.OnEvict != nil {
+				// Notify BEFORE lifting the reopen barrier: once the
+				// barrier drops, the tenant may reopen with fresh
+				// serving state that a late notification must not
+				// destroy.
+				r.OnEvict(p.id, p.slot.store)
+			}
+		} else if r.OnPersistError != nil {
+			// The slot (and its open WAL) is re-installed below;
+			// the next eviction pass retries the persist.
+			r.OnPersistError(p.id, err)
 		}
 		r.mu.Lock()
 		if err != nil {
@@ -481,17 +659,30 @@ func (r *Registry) Drop(tenant string) (*Store, bool) {
 	}
 	delete(r.open, tenant)
 	r.mu.Unlock()
+	if slot.wal != nil {
+		// No checkpoint: the tenant's data now lives elsewhere and
+		// DropSnapshot removes the log file alongside the snapshot.
+		slot.wal.Close()
+	}
 	if r.OnEvict != nil {
 		r.OnEvict(tenant, slot.store)
 	}
 	return slot.store, true
 }
 
-// DropSnapshot deletes the tenant's on-disk snapshot, if any. Paired
-// with Drop during migration so a later Open cannot resurrect the
-// transferred tenant from a stale file.
+// DropSnapshot deletes the tenant's on-disk snapshot and write-ahead
+// log, if any. Paired with Drop during migration so a later Open
+// cannot resurrect the transferred tenant from a stale file.
 func (r *Registry) DropSnapshot(tenant string) error {
-	if r.dir == "" || !ValidTenantID(tenant) {
+	if !ValidTenantID(tenant) {
+		return nil
+	}
+	if r.walCfg != nil {
+		if err := r.walCfg.FS.Remove(r.walPath(tenant)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	if r.dir == "" {
 		return nil
 	}
 	err := os.Remove(filepath.Join(r.dir, tenant+snapExt))
@@ -547,8 +738,14 @@ func (r *Registry) Close() error {
 		pend = append(pend, r.beginEvictLocked(id, slot))
 	}
 	r.mu.Unlock()
-	if r.OnEvict != nil {
-		for _, p := range dropped {
+	for _, p := range dropped {
+		if p.slot.wal != nil {
+			// No snapshot was written, so NO checkpoint: with a
+			// memory-only registry the log is the only durable copy,
+			// and the next Open replays it.
+			p.slot.wal.Close()
+		}
+		if r.OnEvict != nil {
 			r.OnEvict(p.id, p.slot.store)
 		}
 	}

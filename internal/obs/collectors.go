@@ -41,8 +41,26 @@ func CloudCollector(e *cloud.Engine) Collector {
 		counter(emit, "emap_cloud_evaluations_total", "Omega evaluations performed by shard scans.", float64(s.Evaluations))
 		counter(emit, "emap_cloud_ingests_total", "Recordings inserted via TypeIngest.", float64(s.Ingests))
 		counter(emit, "emap_cloud_ingested_sets_total", "Signal-sets produced by ingests.", float64(s.IngestedSets))
+		counter(emit, "emap_cloud_panics_total", "Handler panics recovered by the transport or batch leader.", float64(s.Panics))
+		counter(emit, "emap_cloud_persist_errors_total", "Eviction-time snapshot persists that failed.", float64(s.PersistErrors))
+		counter(emit, "emap_cloud_idle_reaped_total", "Connections closed by the idle read deadline.", float64(s.IdleReaped))
 		gauge(emit, "emap_cloud_request_latency_mean_seconds", "Mean per-request service time.", s.MeanLatency.Seconds())
 		gauge(emit, "emap_cloud_batch_size_mean", "Mean uploads served per batched search pass.", s.BatchSizeMean)
+
+		if reg := e.Registry(); reg != nil && reg.WALEnabled() {
+			w := reg.WALMetrics().Snapshot()
+			counter(emit, "emap_wal_appends_total", "Ingest frames appended to tenant write-ahead logs.", float64(w.Appends))
+			counter(emit, "emap_wal_appended_bytes_total", "Bytes appended to tenant write-ahead logs, frames included.", float64(w.AppendedBytes))
+			counter(emit, "emap_wal_syncs_total", "fsync barriers issued on tenant write-ahead logs.", float64(w.Syncs))
+			counter(emit, "emap_wal_sync_seconds_total", "Wall time spent inside WAL fsync barriers.", float64(w.SyncNanos)/1e9)
+			if w.Syncs > 0 {
+				gauge(emit, "emap_wal_sync_latency_mean_seconds", "Mean fsync barrier latency.", float64(w.SyncNanos)/1e9/float64(w.Syncs))
+			}
+			counter(emit, "emap_wal_replayed_total", "Journal records replayed into stores on open or adopt.", float64(w.Replayed))
+			counter(emit, "emap_wal_torn_tails_total", "Torn or corrupt log tails truncated during replay.", float64(w.TornTails))
+			counter(emit, "emap_wal_truncated_bytes_total", "Bytes discarded from torn log tails.", float64(w.TruncatedBytes))
+			counter(emit, "emap_wal_checkpoints_total", "Log checkpoints after a covering snapshot persisted.", float64(w.Checkpoints))
+		}
 
 		for _, id := range e.Tenants() {
 			m := e.MetricsFor(id)

@@ -280,6 +280,71 @@ func TestRouterCollector(t *testing.T) {
 	}
 }
 
+// TestWALMetricsExposed: a WAL-enabled engine exports the emap_wal_*
+// durability counters (and the robustness counters ride along); an
+// engine without a journal exports none of them.
+func TestWALMetricsExposed(t *testing.T) {
+	reg, err := mdb.NewRegistry(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := cloud.NewRegistryServer(reg, cloud.Config{SliceLen: 256, WALDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	samples := make([]int16, 1024)
+	for i := range samples {
+		samples[i] = int16(7*i%301 - 150)
+	}
+	if _, err := srv.Ingest("ward-a", &proto.Ingest{Seq: 1, RecordID: "rec-a", Onset: -1, Scale: 1, Samples: samples}); err != nil {
+		t.Fatal(err)
+	}
+
+	var b strings.Builder
+	mreg := NewRegistry()
+	mreg.Register(CloudCollector(srv.Engine))
+	if err := mreg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := parseExposition(t, b.String())
+	if got["emap_wal_appends_total"] < 1 {
+		t.Fatalf("emap_wal_appends_total = %v, want >= 1", got["emap_wal_appends_total"])
+	}
+	for _, want := range []string{
+		"emap_wal_appended_bytes_total",
+		"emap_wal_syncs_total",
+		"emap_wal_sync_seconds_total",
+		"emap_wal_replayed_total",
+		"emap_wal_torn_tails_total",
+		"emap_wal_truncated_bytes_total",
+		"emap_wal_checkpoints_total",
+		"emap_cloud_panics_total",
+		"emap_cloud_persist_errors_total",
+		"emap_cloud_idle_reaped_total",
+	} {
+		if _, ok := got[want]; !ok {
+			t.Fatalf("exposition missing %s", want)
+		}
+	}
+
+	// No journal, no WAL families.
+	plain, err := cloud.NewServer(nil, cloud.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Close()
+	b.Reset()
+	mreg = NewRegistry()
+	mreg.Register(CloudCollector(plain.Engine))
+	if err := mreg.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := parseExposition(t, b.String()); func() bool { _, ok := got["emap_wal_appends_total"]; return ok }() {
+		t.Fatal("WAL counters exported without a journal")
+	}
+}
+
 // TestFamilyOrderingStable: samples of one family emitted from
 // different collectors still group under a single # TYPE header.
 func TestFamilyOrderingStable(t *testing.T) {

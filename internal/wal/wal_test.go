@@ -1,0 +1,432 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"emap/internal/iofault"
+)
+
+// openForTest opens a log with SyncAlways on the real OS.
+func openForTest(t *testing.T, path string) (*Log, *Metrics) {
+	t.Helper()
+	m := &Metrics{}
+	l, err := Open(path, Options{Sync: SyncAlways}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l, m
+}
+
+// replayAll replays path and returns the payloads in order.
+func replayAll(t *testing.T, fs iofault.FS, path string, m *Metrics) [][]byte {
+	t.Helper()
+	var got [][]byte
+	n, err := Replay(fs, path, m, func(p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != len(got) {
+		t.Fatalf("Replay n = %d, applied %d", n, len(got))
+	}
+	return got
+}
+
+// TestAppendReplayRoundTrip pins the basic contract: what Append wrote,
+// Replay returns, in order.
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, m := openForTest(t, path)
+	records := [][]byte{[]byte("one"), []byte(""), bytes.Repeat([]byte{0xAB}, 4096), []byte("four")}
+	for _, r := range records {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, nil, path, m)
+	if len(got) != len(records) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(records))
+	}
+	for i := range records {
+		if !bytes.Equal(got[i], records[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], records[i])
+		}
+	}
+	ms := m.Snapshot()
+	if ms.Appends != int64(len(records)) || ms.Replayed != int64(len(records)) || ms.TornTails != 0 {
+		t.Fatalf("metrics = %+v", ms)
+	}
+	if ms.Syncs == 0 {
+		t.Fatal("SyncAlways recorded no syncs")
+	}
+}
+
+// TestReplayMissingFile treats a missing log as empty.
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(nil, filepath.Join(t.TempDir(), "absent.wal"), nil, func([]byte) error {
+		t.Fatal("apply called on missing log")
+		return nil
+	})
+	if n != 0 || err != nil {
+		t.Fatalf("Replay missing = (%d, %v), want (0, nil)", n, err)
+	}
+}
+
+// TestReplayTornTail cuts the file mid-frame at every possible offset
+// of the last frame: replay must apply the intact prefix records,
+// truncate the file back to the last frame boundary, and a second
+// replay must be clean.
+func TestReplayTornTail(t *testing.T) {
+	dir := t.TempDir()
+	full := appendFrame(nil, []byte("alpha"))
+	full = appendFrame(full, []byte("beta"))
+	lastBoundary := len(full)
+	full = appendFrame(full, []byte("gamma"))
+
+	for cut := lastBoundary + 1; cut < len(full); cut++ {
+		path := filepath.Join(dir, fmt.Sprintf("cut%d.wal", cut))
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := &Metrics{}
+		got := replayAll(t, nil, path, m)
+		if len(got) != 2 || string(got[0]) != "alpha" || string(got[1]) != "beta" {
+			t.Fatalf("cut %d: replayed %q", cut, got)
+		}
+		if m.Snapshot().TornTails != 1 {
+			t.Fatalf("cut %d: torn tail not counted", cut)
+		}
+		data, _ := os.ReadFile(path)
+		if len(data) != lastBoundary {
+			t.Fatalf("cut %d: truncated to %d, want %d", cut, len(data), lastBoundary)
+		}
+		// The repaired log is clean and appendable.
+		m2 := &Metrics{}
+		if got = replayAll(t, nil, path, m2); len(got) != 2 {
+			t.Fatalf("cut %d: second replay %q", cut, got)
+		}
+		if m2.Snapshot().TornTails != 0 {
+			t.Fatalf("cut %d: repaired log still torn", cut)
+		}
+	}
+}
+
+// TestReplayCorruptCRC stops at a bit-flipped frame without applying
+// it.
+func TestReplayCorruptCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	data := appendFrame(nil, []byte("good"))
+	bad := appendFrame(nil, []byte("evil"))
+	bad[len(bad)-1] ^= 0x01 // corrupt payload byte
+	if err := os.WriteFile(path, append(data, bad...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, nil, path, &Metrics{})
+	if len(got) != 1 || string(got[0]) != "good" {
+		t.Fatalf("replayed %q", got)
+	}
+	onDisk, _ := os.ReadFile(path)
+	if len(onDisk) != len(data) {
+		t.Fatalf("file not truncated at corrupt frame: %d bytes, want %d", len(onDisk), len(data))
+	}
+}
+
+// TestReplayApplyError aborts and leaves the file untouched.
+func TestReplayApplyError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	data := appendFrame(nil, []byte("a"))
+	data = appendFrame(data, []byte("b"))
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	n, err := Replay(nil, path, nil, func(p []byte) error {
+		if string(p) == "b" {
+			return boom
+		}
+		return nil
+	})
+	if n != 1 || !errors.Is(err, boom) {
+		t.Fatalf("Replay = (%d, %v), want (1, boom)", n, err)
+	}
+	onDisk, _ := os.ReadFile(path)
+	if !bytes.Equal(onDisk, data) {
+		t.Fatal("apply error modified the file")
+	}
+}
+
+// TestAppendTooLarge rejects oversized payloads before touching the
+// file.
+func TestAppendTooLarge(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, _ := openForTest(t, path)
+	defer l.Close()
+	if err := l.Append(make([]byte, MaxRecord+1)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("Append oversized = %v, want ErrTooLarge", err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatal("oversized append reached the file")
+	}
+}
+
+// TestAppendAfterClose fails with ErrClosed; double Close is a no-op.
+func TestAppendAfterClose(t *testing.T) {
+	l, _ := openForTest(t, filepath.Join(t.TempDir(), "t.wal"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after close = %v", err)
+	}
+	if err := l.Sync(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Sync after close = %v", err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("double close = %v", err)
+	}
+}
+
+// TestCheckpointTruncates empties the log and keeps it appendable; the
+// post-checkpoint appends are the only ones a replay sees.
+func TestCheckpointTruncates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	l, m := openForTest(t, path)
+	for _, r := range []string{"a", "b", "c"} {
+		if err := l.Append([]byte(r)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("post-checkpoint size %d, want 0", fi.Size())
+	}
+	if err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, nil, path, m)
+	if len(got) != 1 || string(got[0]) != "after" {
+		t.Fatalf("replayed %q, want [after]", got)
+	}
+	if m.Snapshot().Checkpoints != 1 {
+		t.Fatal("checkpoint not counted")
+	}
+}
+
+// TestSyncIntervalPiggyback pins the interval policy: appends inside
+// the interval do not sync, the first append past it does.
+func TestSyncIntervalPiggyback(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	m := &Metrics{}
+	l, err := Open(path, Options{Sync: SyncInterval, Interval: 30 * time.Millisecond}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 3; i++ {
+		if err := l.Append([]byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Syncs.Load(); got != 0 {
+		t.Fatalf("synced %d times inside the interval", got)
+	}
+	time.Sleep(35 * time.Millisecond)
+	if err := l.Append([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Syncs.Load(); got != 1 {
+		t.Fatalf("Syncs = %d after interval elapsed, want 1", got)
+	}
+}
+
+// TestSyncNeverDefersToClose never syncs on append, but Close makes
+// everything durable.
+func TestSyncNeverDefersToClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := iofault.NewFaulty()
+	m := &Metrics{}
+	l, err := Open(path, Options{Sync: SyncNever, FS: fs}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("volatile")); err != nil {
+		t.Fatal(err)
+	}
+	if m.Syncs.Load() != 0 {
+		t.Fatal("SyncNever synced on append")
+	}
+	// Nothing durable yet: a crash now would lose the record.
+	if got, _ := iofault.OS().ReadFile(path); len(got) != 0 {
+		t.Fatalf("unsynced append durable: %d bytes", len(got))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := replayAll(t, nil, path, m)
+	if len(got) != 1 || string(got[0]) != "volatile" {
+		t.Fatalf("after close: %q", got)
+	}
+}
+
+// TestCrashPreSyncLosesOnlyUnacked: with a Faulty FS and SyncAlways, a
+// crash at the nth sync means append n failed — so it was never acked —
+// and every prior acked append replays.
+func TestCrashPreSyncLosesOnlyUnacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := iofault.NewFaulty()
+	fs.CrashAt(iofault.OpSync, 3)
+	l, err := Open(path, Options{Sync: SyncAlways, FS: fs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acked [][]byte
+	for i := 0; i < 5; i++ {
+		p := []byte(fmt.Sprintf("rec-%d", i))
+		if err := l.Append(p); err != nil {
+			break // crash: this and later records were never acked
+		}
+		acked = append(acked, p)
+	}
+	if len(acked) != 2 {
+		t.Fatalf("acked %d records before crash, want 2", len(acked))
+	}
+	// Restart: replay through a clean OS view.
+	got := replayAll(t, iofault.OS(), path, &Metrics{})
+	if len(got) != len(acked) {
+		t.Fatalf("recovered %d records, want %d", len(got), len(acked))
+	}
+	for i := range acked {
+		if !bytes.Equal(got[i], acked[i]) {
+			t.Fatalf("record %d = %q, want %q", i, got[i], acked[i])
+		}
+	}
+}
+
+// TestCrashDuringSyncTornTail crashes mid-fsync so a torn frame lands
+// on disk; replay truncates it and keeps every previously synced
+// record.
+func TestCrashDuringSyncTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := iofault.NewFaulty()
+	l, err := Open(path, Options{Sync: SyncAlways, FS: fs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("stable")); err != nil {
+		t.Fatal(err)
+	}
+	// Next sync flushes only 5 of the pending frame bytes.
+	fs.CrashDuringSyncAt(2, 5)
+	if err := l.Append([]byte("torn-record")); !errors.Is(err, iofault.ErrCrashed) {
+		t.Fatalf("append at crash = %v", err)
+	}
+	m := &Metrics{}
+	got := replayAll(t, iofault.OS(), path, m)
+	if len(got) != 1 || string(got[0]) != "stable" {
+		t.Fatalf("recovered %q, want [stable]", got)
+	}
+	if m.Snapshot().TornTails != 1 {
+		t.Fatal("torn tail not detected")
+	}
+}
+
+// TestCheckpointCrashPreRename leaves the old log intact: replay after
+// the crash still returns every record.
+func TestCheckpointCrashPreRename(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.wal")
+	fs := iofault.NewFaulty()
+	l, err := Open(path, Options{Sync: SyncAlways, FS: fs}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append([]byte("keep")); err != nil {
+		t.Fatal(err)
+	}
+	fs.CrashAt(iofault.OpRename, 1)
+	if err := l.Checkpoint(); !errors.Is(err, iofault.ErrCrashed) {
+		t.Fatalf("checkpoint at crash = %v", err)
+	}
+	got := replayAll(t, iofault.OS(), path, &Metrics{})
+	if len(got) != 1 || string(got[0]) != "keep" {
+		t.Fatalf("recovered %q, want [keep]", got)
+	}
+}
+
+// TestParsePolicy round-trips every policy and rejects junk.
+func TestParsePolicy(t *testing.T) {
+	for _, p := range []Policy{SyncAlways, SyncInterval, SyncNever} {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParsePolicy(%q) = (%v, %v)", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("sometimes"); err == nil {
+		t.Fatal("ParsePolicy accepted junk")
+	}
+}
+
+// FuzzWALReplay fuzzes the frame parser: whatever the bytes, ParseFrames
+// must return without panicking, its cut point must be a fixed point
+// (parsing the good prefix yields the same records and consumes it
+// fully), and the number of decoded records must be monotone over
+// prefixes of the input.
+func FuzzWALReplay(f *testing.F) {
+	// Seed corpus from real logs: a well-formed multi-record log, its
+	// truncations, and targeted corruptions.
+	good := appendFrame(nil, []byte("seed-record-a"))
+	good = appendFrame(good, bytes.Repeat([]byte{0x5A}, 257))
+	good = appendFrame(good, []byte{})
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:len(good)-3]) // torn tail
+	f.Add(good[:5])           // partial header
+	flip := append([]byte(nil), good...)
+	flip[9] ^= 0x80 // corrupt first payload
+	f.Add(flip)
+	huge := binary.LittleEndian.AppendUint32(nil, MaxRecord+1) // oversized length prefix
+	f.Add(binary.LittleEndian.AppendUint32(huge, 0))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payloads, goodLen := ParseFrames(data)
+		if goodLen < 0 || goodLen > len(data) {
+			t.Fatalf("goodLen %d out of range [0, %d]", goodLen, len(data))
+		}
+		// Fixed point: the valid prefix re-parses to the same records.
+		again, againLen := ParseFrames(data[:goodLen])
+		if againLen != goodLen || len(again) != len(payloads) {
+			t.Fatalf("reparse of good prefix: (%d records, %d) vs (%d, %d)",
+				len(again), againLen, len(payloads), goodLen)
+		}
+		for i := range payloads {
+			if !bytes.Equal(again[i], payloads[i]) {
+				t.Fatalf("record %d differs on reparse", i)
+			}
+		}
+		// Monotone: cutting bytes off the tail never yields more
+		// records, and extending never yields fewer.
+		if len(data) > 0 {
+			prefix, prefixLen := ParseFrames(data[:len(data)-1])
+			if len(prefix) > len(payloads) || prefixLen > goodLen {
+				t.Fatalf("prefix parsed more: (%d, %d) vs (%d, %d)",
+					len(prefix), prefixLen, len(payloads), goodLen)
+			}
+		}
+	})
+}
